@@ -1,0 +1,100 @@
+//! Micro-benchmark: GSO mining cost as the number of glowworms and iterations grow (the
+//! Criterion counterpart of Fig. 10), plus the ablation of the KDE-guided movement rule
+//! (Eq. 8 vs plain Eq. 7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use surf_core::finder::RegionFitness;
+use surf_core::objective::{Objective, Threshold};
+use surf_core::surrogate::{GbrtSurrogate, SurrogateTrainer};
+use surf_data::region::Region;
+use surf_data::synthetic::{SyntheticDataset, SyntheticSpec};
+use surf_data::workload::{Workload, WorkloadSpec};
+use surf_ml::kde::KernelDensity;
+use surf_optim::gso::{GlowwormSwarm, GsoParams};
+
+struct Setup {
+    surrogate: GbrtSurrogate,
+    domain: Region,
+    kde: KernelDensity,
+    threshold: Threshold,
+}
+
+fn setup() -> Setup {
+    let synthetic = SyntheticDataset::generate(
+        &SyntheticSpec::density(2, 1).with_points(20_000).with_seed(5),
+    );
+    let workload = Workload::generate(
+        &synthetic.dataset,
+        synthetic.statistic,
+        &WorkloadSpec::default().with_queries(2_000).with_seed(5),
+    )
+    .unwrap();
+    let (surrogate, _) = SurrogateTrainer::quick().train(&workload).unwrap();
+    let points: Vec<Vec<f64>> = (0..1_000).map(|i| synthetic.dataset.row(i).values).collect();
+    Setup {
+        surrogate,
+        domain: synthetic.dataset.domain().unwrap(),
+        kde: KernelDensity::fit_scott(&points).unwrap(),
+        threshold: Threshold::above(800.0),
+    }
+}
+
+fn bench_gso(c: &mut Criterion) {
+    let setup = setup();
+    let mut group = c.benchmark_group("gso_mining");
+    group.sample_size(10);
+
+    for &glowworms in &[50usize, 100, 200] {
+        let fitness = RegionFitness::new(
+            &setup.surrogate,
+            Objective::log(4.0),
+            setup.threshold,
+            setup.domain.clone(),
+            None,
+            0.02,
+            0.4,
+        );
+        group.bench_with_input(
+            BenchmarkId::new("glowworms", glowworms),
+            &glowworms,
+            |b, &l| {
+                b.iter(|| {
+                    let params = GsoParams::paper_default()
+                        .with_glowworms(l)
+                        .with_iterations(50)
+                        .with_seed(5);
+                    black_box(GlowwormSwarm::new(params).run(&fitness))
+                })
+            },
+        );
+    }
+
+    // Ablation: KDE-guided movement (Eq. 8) vs plain luciferin-only selection (Eq. 7).
+    for (name, use_kde) in [("with_kde_guide", true), ("without_kde_guide", false)] {
+        let kde = if use_kde { Some(&setup.kde) } else { None };
+        let fitness = RegionFitness::new(
+            &setup.surrogate,
+            Objective::log(4.0),
+            setup.threshold,
+            setup.domain.clone(),
+            kde,
+            0.02,
+            0.4,
+        );
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let params = GsoParams::paper_default()
+                    .with_glowworms(100)
+                    .with_iterations(50)
+                    .with_density_guide(use_kde)
+                    .with_seed(5);
+                black_box(GlowwormSwarm::new(params).run(&fitness))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gso);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Micro-benchmark: evaluating the mining objective through a trained surrogate versus
+//! through the true function — the core asymmetry that makes SuRF's mining time independent
+//! of the dataset size (Table I).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use surf_core::objective::{Objective, Threshold};
+use surf_core::surrogate::{Surrogate, SurrogateTrainer, TrueFunctionSurrogate};
+use surf_data::region::Region;
+use surf_data::statistic::Statistic;
+use surf_data::synthetic::{SyntheticDataset, SyntheticSpec};
+use surf_data::workload::{Workload, WorkloadSpec};
+
+fn bench_surrogate_vs_true(c: &mut Criterion) {
+    let mut group = c.benchmark_group("objective_evaluation");
+    let region = Region::new(vec![0.5, 0.5], vec![0.1, 0.1]).unwrap();
+    let objective = Objective::log(4.0);
+    let threshold = Threshold::above(500.0);
+
+    for &n in &[100_000usize, 1_000_000] {
+        let synthetic = SyntheticDataset::generate(
+            &SyntheticSpec::density(2, 1)
+                .with_points(n)
+                .with_points_per_region(n / 10)
+                .with_seed(3),
+        );
+        let true_surrogate = TrueFunctionSurrogate::new(&synthetic.dataset, Statistic::Count, 0.0);
+        group.bench_with_input(BenchmarkId::new("true_function", n), &n, |b, _| {
+            b.iter(|| {
+                let value = true_surrogate.predict(black_box(&region));
+                black_box(objective.evaluate(value, &region, &threshold))
+            })
+        });
+    }
+
+    // The learned surrogate: evaluation cost does not depend on N at all.
+    let synthetic = SyntheticDataset::generate(
+        &SyntheticSpec::density(2, 1).with_points(50_000).with_seed(3),
+    );
+    let workload = Workload::generate(
+        &synthetic.dataset,
+        Statistic::Count,
+        &WorkloadSpec::default().with_queries(2_000).with_seed(3),
+    )
+    .unwrap();
+    let (surrogate, _) = SurrogateTrainer::quick().train(&workload).unwrap();
+    group.bench_function("gbrt_surrogate", |b| {
+        b.iter(|| {
+            let value = surrogate.predict(black_box(&region));
+            black_box(objective.evaluate(value, &region, &threshold))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_surrogate_vs_true);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Micro-benchmark: the cost of the true statistic evaluation `f(x, l)` as the dataset grows.
+//! This is the per-candidate cost the Naive and f+GlowWorm baselines pay — and the cost SuRF
+//! avoids by evaluating a surrogate instead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use surf_data::region::Region;
+use surf_data::statistic::Statistic;
+use surf_data::synthetic::{SyntheticDataset, SyntheticSpec};
+
+fn bench_count_statistic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("true_statistic_count");
+    for &n in &[10_000usize, 100_000, 1_000_000] {
+        let synthetic = SyntheticDataset::generate(
+            &SyntheticSpec::density(2, 1)
+                .with_points(n)
+                .with_points_per_region(n / 10)
+                .with_seed(1),
+        );
+        let region = Region::new(vec![0.5, 0.5], vec![0.1, 0.1]).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    Statistic::Count
+                        .evaluate_or(&synthetic.dataset, black_box(&region), 0.0)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_average_statistic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("true_statistic_average");
+    for &n in &[10_000usize, 100_000] {
+        let synthetic = SyntheticDataset::generate(
+            &SyntheticSpec::aggregate(3, 1).with_points(n).with_seed(2),
+        );
+        let region = Region::new(vec![0.5, 0.5, 0.5], vec![0.15, 0.15, 0.15]).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    Statistic::average_of_measure()
+                        .evaluate_or(&synthetic.dataset, black_box(&region), 0.0)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_count_statistic, bench_average_statistic);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Micro-benchmark: surrogate (GBRT) training cost versus the number of past queries — the
+//! Criterion counterpart of Fig. 6 (without hyper-tuning; the grid-search curve is produced
+//! by the `fig6_training_overhead` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use surf_core::surrogate::SurrogateTrainer;
+use surf_data::statistic::Statistic;
+use surf_data::synthetic::{SyntheticDataset, SyntheticSpec};
+use surf_data::workload::{Workload, WorkloadSpec};
+
+fn bench_training(c: &mut Criterion) {
+    let synthetic = SyntheticDataset::generate(
+        &SyntheticSpec::density(2, 1).with_points(20_000).with_seed(4),
+    );
+    let mut group = c.benchmark_group("surrogate_training");
+    group.sample_size(10);
+    for &queries in &[500usize, 2_000, 8_000] {
+        let workload = Workload::generate(
+            &synthetic.dataset,
+            Statistic::Count,
+            &WorkloadSpec::default().with_queries(queries).with_seed(4),
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(queries), &queries, |b, _| {
+            b.iter(|| black_box(SurrogateTrainer::quick().train(black_box(&workload)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

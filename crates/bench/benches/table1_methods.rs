@@ -1,0 +1,43 @@
+//! Criterion counterpart of Table I at reduced scale: mining time of each method on the same
+//! dataset. Run the `table1_method_scaling` binary for the full N × d sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use surf_core::comparison::{ComparisonConfig, Method, MethodComparison};
+use surf_core::objective::Threshold;
+use surf_data::statistic::Statistic;
+use surf_data::synthetic::{SyntheticDataset, SyntheticSpec};
+
+fn bench_methods(c: &mut Criterion) {
+    let synthetic = SyntheticDataset::generate(
+        &SyntheticSpec::density(2, 1)
+            .with_points(50_000)
+            .with_points_per_region(6_000)
+            .with_seed(6),
+    );
+    let threshold = Threshold::above(2_000.0);
+    let harness = MethodComparison::new(
+        ComparisonConfig::quick()
+            .with_seed(6)
+            .with_naive_time_limit(Duration::from_secs(10)),
+    );
+
+    let mut group = c.benchmark_group("table1_methods_n50k_d2");
+    group.sample_size(10);
+    for method in Method::ALL {
+        group.bench_function(method.name(), |b| {
+            b.iter(|| {
+                black_box(
+                    harness
+                        .run(method, &synthetic.dataset, Statistic::Count, threshold)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

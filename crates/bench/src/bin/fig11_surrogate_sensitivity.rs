@@ -1,0 +1,181 @@
+//! Figure 11: surrogate-model sensitivity.
+//!
+//! * Left panel — correlation between the surrogate's out-of-sample RMSE and the mining IoU:
+//!   surrogates of varying quality (different training sizes and depths) are trained on the
+//!   same dataset, each is used for mining, and the Pearson correlation between RMSE and IoU
+//!   is reported (the paper finds ≈ −0.57).
+//! * Right panel — cross-validated RMSE versus the number of training examples for
+//!   solution-space dimensionalities 2..10.
+
+use serde::Serialize;
+use surf_bench::report::{print_table, write_artifact};
+use surf_bench::Scale;
+use surf_core::finder::mine_regions;
+use surf_core::objective::{Objective, Threshold};
+use surf_core::surrogate::SurrogateTrainer;
+use surf_data::iou::average_best_iou;
+use surf_data::synthetic::{SyntheticDataset, SyntheticSpec};
+use surf_data::workload::{Workload, WorkloadSpec};
+use surf_ml::gbrt::GbrtParams;
+use surf_ml::metrics::pearson;
+use surf_optim::gso::GsoParams;
+
+#[derive(Serialize)]
+struct LeftPoint {
+    rmse: f64,
+    iou: f64,
+    training_examples: usize,
+    max_depth: usize,
+}
+
+#[derive(Serialize)]
+struct RightPoint {
+    solution_dimensions: usize,
+    training_examples: usize,
+    rmse: f64,
+}
+
+#[derive(Serialize)]
+struct Artifact {
+    correlation: f64,
+    left: Vec<LeftPoint>,
+    right: Vec<RightPoint>,
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("# Figure 11 — surrogate sensitivity: RMSE vs IoU and RMSE vs training size");
+
+    // Left panel: density, d = 3, k = 1 (as in the paper).
+    let synthetic = SyntheticDataset::generate(
+        &SyntheticSpec::density(3, 1)
+            .with_points(scale.pick(4_000, 9_000, 12_000))
+            .with_seed(110),
+    );
+    let threshold = Threshold::above(0.5 * synthetic.spec.points_per_region as f64);
+    let domain = synthetic.dataset.domain().unwrap();
+
+    let training_sizes: Vec<usize> = scale.pick(
+        vec![100, 300, 800],
+        vec![100, 300, 800, 2_000, 5_000],
+        vec![100, 300, 1_000, 5_000, 20_000],
+    );
+    let depths = [2usize, 4, 7];
+    let mut left = Vec::new();
+    for &queries in &training_sizes {
+        for &depth in &depths {
+            let workload = Workload::generate(
+                &synthetic.dataset,
+                synthetic.statistic,
+                &WorkloadSpec::default().with_queries(queries).with_seed(11),
+            )
+            .expect("workload generation succeeds");
+            let trainer = SurrogateTrainer {
+                params: GbrtParams::quick().with_max_depth(depth),
+                ..SurrogateTrainer::default()
+            };
+            let (surrogate, report) = trainer.train(&workload).expect("training succeeds");
+            let outcome = mine_regions(
+                &surrogate,
+                &domain,
+                Objective::log(4.0),
+                threshold,
+                &GsoParams::paper_default().with_iterations(80).with_seed(11),
+                None,
+                0.05,
+                0.4,
+                0.15,
+            );
+            let iou = average_best_iou(
+                &outcome
+                    .regions
+                    .iter()
+                    .map(|m| m.region.clone())
+                    .collect::<Vec<_>>(),
+                &synthetic.ground_truth,
+            );
+            left.push(LeftPoint {
+                rmse: report.holdout_rmse,
+                iou,
+                training_examples: queries,
+                max_depth: depth,
+            });
+        }
+    }
+    let correlation = pearson(
+        &left.iter().map(|p| p.rmse).collect::<Vec<_>>(),
+        &left.iter().map(|p| p.iou).collect::<Vec<_>>(),
+    );
+    let rows: Vec<Vec<String>> = left
+        .iter()
+        .map(|p| {
+            vec![
+                p.training_examples.to_string(),
+                p.max_depth.to_string(),
+                format!("{:.1}", p.rmse),
+                format!("{:.3}", p.iou),
+            ]
+        })
+        .collect();
+    print_table(
+        "Surrogate quality vs mining accuracy (density, d=3, k=1)",
+        &["training examples", "max depth", "holdout RMSE", "IoU"],
+        &rows,
+    );
+    println!(
+        "\nPearson correlation between RMSE and IoU: {correlation:.2} (paper: −0.57 — lower \
+         prediction error should translate into better mining accuracy)"
+    );
+
+    // Right panel: RMSE vs training examples for d = 1..5 (solution dims 2..10).
+    let dims: Vec<usize> = scale.pick(vec![1, 2, 3], vec![1, 2, 3, 4, 5], vec![1, 2, 3, 4, 5]);
+    let mut right = Vec::new();
+    let mut right_rows = Vec::new();
+    for &d in &dims {
+        let synthetic = SyntheticDataset::generate(
+            &SyntheticSpec::density(d, 1)
+                .with_points(scale.pick(3_000, 8_000, 12_000))
+                .with_seed(111 + d as u64),
+        );
+        let mut row = vec![(2 * d).to_string()];
+        for &queries in &training_sizes {
+            let workload = Workload::generate(
+                &synthetic.dataset,
+                synthetic.statistic,
+                &WorkloadSpec::default().with_queries(queries).with_seed(12),
+            )
+            .expect("workload generation succeeds");
+            let (_, report) = SurrogateTrainer::quick()
+                .train(&workload)
+                .expect("training succeeds");
+            row.push(format!("{:.1}", report.holdout_rmse));
+            right.push(RightPoint {
+                solution_dimensions: 2 * d,
+                training_examples: queries,
+                rmse: report.holdout_rmse,
+            });
+        }
+        right_rows.push(row);
+    }
+    let header: Vec<String> = std::iter::once("solution dims".to_string())
+        .chain(training_sizes.iter().map(|q| format!("{q} examples")))
+        .collect();
+    print_table(
+        "Holdout RMSE vs number of training examples",
+        &header.iter().map(String::as_str).collect::<Vec<_>>(),
+        &right_rows,
+    );
+    println!(
+        "\nExpected shape (paper): RMSE decreases with more training examples (≈1,000 examples \
+         already give a usable surrogate) and increases with dimensionality."
+    );
+
+    write_artifact(
+        "fig11_surrogate_sensitivity",
+        &Artifact {
+            correlation,
+            left,
+            right,
+        },
+    );
+}

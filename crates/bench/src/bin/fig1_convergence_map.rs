@@ -1,0 +1,156 @@
+//! Figure 1: final positions of the glowworms in the 2-dimensional region solution space
+//! `(x_1, l_1)` for a `d = 1` density dataset with multiple ground-truth regions, together
+//! with the fraction of the swarm that converged onto constraint-satisfying regions (the
+//! paper reports 84 % for `y_R = 1080`).
+
+use surf_bench::report::{print_table, write_artifact};
+use surf_bench::Scale;
+use surf_core::finder::RegionFitness;
+use surf_core::objective::{Objective, Threshold};
+use surf_core::surrogate::{Surrogate, SurrogateTrainer};
+use surf_data::statistic::Statistic;
+use surf_data::synthetic::{SyntheticDataset, SyntheticSpec};
+use surf_data::workload::{Workload, WorkloadSpec};
+use surf_optim::gso::{GlowwormSwarm, GsoParams};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ParticleRow {
+    x1: f64,
+    l1: f64,
+    fitness: f64,
+    valid: bool,
+}
+
+#[derive(Serialize)]
+struct Artifact {
+    threshold: f64,
+    valid_fraction: f64,
+    iterations_run: usize,
+    particles: Vec<ParticleRow>,
+    ground_truth_centers: Vec<f64>,
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("# Figure 1 — converged glowworm positions in the (x1, l1) solution space");
+
+    // d = 1 density dataset with k = 3 dense ground-truth regions, as in the paper's figure.
+    let spec = SyntheticSpec::density(1, 3)
+        .with_points(scale.pick(4_000, 10_000, 12_000))
+        .with_points_per_region(scale.pick(800, 1_300, 1_500))
+        .with_seed(1080);
+    let synthetic = SyntheticDataset::generate(&spec);
+    let threshold_value = scale.pick(500.0, 1_080.0, 1_080.0);
+    let threshold = Threshold::above(threshold_value);
+
+    // Train the surrogate on past evaluations, then expose the objective landscape to GSO.
+    let workload = Workload::generate(
+        &synthetic.dataset,
+        Statistic::Count,
+        &WorkloadSpec::default()
+            .with_queries(scale.pick(800, 3_000, 10_000))
+            .with_seed(7),
+    )
+    .expect("workload generation succeeds");
+    let (surrogate, _) = SurrogateTrainer::quick()
+        .train(&workload)
+        .expect("surrogate training succeeds");
+    let domain = synthetic.dataset.domain().expect("non-empty dataset");
+    let fitness = RegionFitness::new(
+        &surrogate,
+        Objective::log(4.0),
+        threshold,
+        domain,
+        None,
+        0.01,
+        0.5,
+    );
+
+    let params = GsoParams::paper_default()
+        .with_glowworms(scale.pick(60, 100, 150))
+        .with_iterations(scale.pick(60, 120, 200))
+        .with_seed(1);
+    let result = GlowwormSwarm::new(params).run(&fitness);
+
+    let particles: Vec<ParticleRow> = result
+        .glowworms
+        .iter()
+        .map(|g| ParticleRow {
+            x1: g.position[0],
+            l1: g.position[1],
+            fitness: g.fitness,
+            valid: g.fitness.is_finite(),
+        })
+        .collect();
+
+    // Confirm validity against the surrogate's own prediction (what the swarm optimizes).
+    let valid_fraction = result.valid_fraction();
+    println!(
+        "\nthreshold y_R = {threshold_value}: {:.0}% of the particles converged to regions satisfying f̂ > y_R (paper: 84%)",
+        100.0 * valid_fraction
+    );
+    println!("GSO ran {} iterations", result.iterations_run);
+
+    let rows: Vec<Vec<String>> = particles
+        .iter()
+        .take(20)
+        .map(|p| {
+            vec![
+                format!("{:.3}", p.x1),
+                format!("{:.3}", p.l1),
+                if p.valid {
+                    format!("{:.2}", p.fitness)
+                } else {
+                    "invalid".to_string()
+                },
+            ]
+        })
+        .collect();
+    print_table(
+        "First 20 converged particles (x1, l1, objective)",
+        &["x1", "l1", "objective 𝒥"],
+        &rows,
+    );
+
+    println!("\nground-truth region centres on x1:");
+    for gt in &synthetic.ground_truth {
+        println!(
+            "  centre {:.3}, half length {:.3} (true count {})",
+            gt.center()[0],
+            gt.half_lengths()[0],
+            synthetic.dataset.count_in(gt).unwrap()
+        );
+    }
+    // How many valid particles sit near a ground-truth centre?
+    let near_gt = particles
+        .iter()
+        .filter(|p| p.valid)
+        .filter(|p| {
+            synthetic
+                .ground_truth
+                .iter()
+                .any(|gt| (p.x1 - gt.center()[0]).abs() < 2.0 * gt.half_lengths()[0])
+        })
+        .count();
+    let valid_count = particles.iter().filter(|p| p.valid).count().max(1);
+    println!(
+        "\n{near_gt}/{valid_count} valid particles lie within 2 half-lengths of a ground-truth centre"
+    );
+
+    let _ = surrogate.predict(&synthetic.ground_truth[0]);
+    write_artifact(
+        "fig1_convergence_map",
+        &Artifact {
+            threshold: threshold_value,
+            valid_fraction,
+            iterations_run: result.iterations_run,
+            particles,
+            ground_truth_centers: synthetic
+                .ground_truth
+                .iter()
+                .map(|g| g.center()[0])
+                .collect(),
+        },
+    );
+}

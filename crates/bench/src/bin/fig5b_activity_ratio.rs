@@ -1,0 +1,102 @@
+//! Section V-C (Human Activity): mine accelerometer regions with a high ratio of the activity
+//! "standing". The paper reports that the empirical probability of a random region exceeding
+//! ratio 0.3 is only 0.0035, and that SuRF still identifies regions with a ~33 % stand ratio.
+
+use serde::Serialize;
+use surf_bench::report::{print_table, write_artifact};
+use surf_bench::Scale;
+use surf_core::objective::{Objective, Threshold};
+use surf_core::pipeline::SurfConfig;
+use surf_core::finder::Surf;
+use surf_data::activity::{Activity, ActivityDataset, ActivitySpec};
+use surf_ml::gbrt::GbrtParams;
+use surf_optim::gso::GsoParams;
+
+#[derive(Serialize)]
+struct Artifact {
+    threshold: f64,
+    exceedance_probability: f64,
+    best_true_ratio: f64,
+    regions: Vec<Vec<f64>>,
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("# Section V-C — Human-Activity ratio mining (activity = standing)");
+
+    let activity = ActivityDataset::generate(
+        &ActivitySpec::default()
+            .with_samples(scale.pick(10_000, 40_000, 100_000))
+            .with_seed(4),
+    );
+    let statistic = activity.ratio_statistic(Activity::Standing);
+    let threshold = 0.3;
+
+    // Empirical rarity of the request (paper: P = 0.0035).
+    let exceedance = activity.exceedance_probability(
+        Activity::Standing,
+        threshold,
+        scale.pick(1_000, 4_000, 10_000),
+        0.1,
+        9,
+    );
+    println!(
+        "empirical P(ratio(standing) > {threshold}) over random regions = {exceedance:.4} (paper: 0.0035)"
+    );
+
+    let config = SurfConfig::builder()
+        .statistic(statistic)
+        .threshold(Threshold::above(threshold))
+        .objective(Objective::log(2.0))
+        .training_queries(scale.pick(1_500, 4_000, 12_000))
+        .workload_coverage(0.05, 0.3)
+        .gbrt(GbrtParams::quick())
+        .gso(GsoParams::dimension_adaptive(6).with_seed(4))
+        .length_fractions(0.06, 0.4)
+        .kde_sample(scale.pick(500, 1_500, 3_000))
+        .seed(4)
+        .build();
+    let surf = Surf::fit(&activity.dataset, &config).expect("training succeeds");
+    let outcome = surf.mine();
+
+    let mut rows = Vec::new();
+    let mut best_true_ratio = 0.0_f64;
+    for mined in outcome.regions.iter().take(10) {
+        let true_ratio = statistic
+            .evaluate_or(&activity.dataset, &mined.region, 0.0)
+            .unwrap();
+        best_true_ratio = best_true_ratio.max(true_ratio);
+        let lower = mined.region.lower();
+        let upper = mined.region.upper();
+        rows.push(vec![
+            format!("[{:.2}, {:.2}]", lower[0], upper[0]),
+            format!("[{:.2}, {:.2}]", lower[1], upper[1]),
+            format!("[{:.2}, {:.2}]", lower[2], upper[2]),
+            format!("{:.2}", mined.predicted_value),
+            format!("{true_ratio:.2}"),
+        ]);
+    }
+    print_table(
+        "Proposed accelerometer regions (classification-boundary candidates)",
+        &["accel_x", "accel_y", "accel_z", "predicted ratio", "true ratio"],
+        &rows,
+    );
+    println!(
+        "\nbest true stand ratio among proposals: {best_true_ratio:.2} (paper reports regions at ≈0.33); \
+         base rate of standing in the stream is ≈0.08"
+    );
+
+    write_artifact(
+        "fig5b_activity_ratio",
+        &Artifact {
+            threshold,
+            exceedance_probability: exceedance,
+            best_true_ratio,
+            regions: outcome
+                .regions
+                .iter()
+                .map(|m| m.region.to_solution_vector())
+                .collect(),
+        },
+    );
+}

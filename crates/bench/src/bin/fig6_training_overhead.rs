@@ -1,0 +1,99 @@
+//! Figure 6: surrogate training overhead as the number of past queries grows, with and
+//! without grid-search hyper-tuning.
+//!
+//! The paper sweeps 10k–388k queries and a 144-combination grid; the default scale here
+//! sweeps a reduced range with the quick grid (8 combinations), and `--full` switches to the
+//! paper grid. The shape — hyper-tuned training is orders of magnitude more expensive and
+//! both curves grow with the number of queries — is preserved at every scale.
+
+use serde::Serialize;
+use surf_bench::report::{print_table, write_artifact};
+use surf_bench::Scale;
+use surf_core::surrogate::SurrogateTrainer;
+use surf_data::statistic::Statistic;
+use surf_data::synthetic::{SyntheticDataset, SyntheticSpec};
+use surf_data::workload::{Workload, WorkloadSpec};
+use surf_ml::gbrt::GbrtParams;
+use surf_ml::grid::GbrtGrid;
+
+#[derive(Serialize)]
+struct Row {
+    queries: usize,
+    hypertuning: bool,
+    training_seconds: f64,
+    holdout_rmse: f64,
+    combinations: usize,
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("# Figure 6 — surrogate training overhead vs number of past queries");
+
+    let synthetic = SyntheticDataset::generate(
+        &SyntheticSpec::density(2, 1)
+            .with_points(scale.pick(4_000, 10_000, 12_000))
+            .with_seed(6),
+    );
+    let query_counts: Vec<usize> = match scale {
+        Scale::Quick => vec![500, 1_000, 2_000],
+        Scale::Default => vec![1_000, 2_500, 5_000, 10_000, 20_000],
+        Scale::Full => vec![10_000, 52_000, 94_000, 136_000, 178_000],
+    };
+    let grid = match scale {
+        Scale::Full => GbrtGrid::paper_grid(),
+        _ => GbrtGrid::quick_grid(),
+    };
+    println!(
+        "query counts {query_counts:?}; hyper-tuning grid has {} combinations (paper: 144)",
+        grid.combinations()
+    );
+
+    let mut rows_out = Vec::new();
+    let mut table = Vec::new();
+    for &queries in &query_counts {
+        let workload = Workload::generate(
+            &synthetic.dataset,
+            Statistic::Count,
+            &WorkloadSpec::default().with_queries(queries).with_seed(3),
+        )
+        .expect("workload generation succeeds");
+        for hypertune in [false, true] {
+            let trainer = SurrogateTrainer {
+                params: GbrtParams::quick(),
+                hypertune,
+                grid: grid.clone(),
+                ..SurrogateTrainer::default()
+            };
+            let (_, report) = trainer.train(&workload).expect("training succeeds");
+            println!(
+                "queries={queries:>7} hypertune={hypertune:>5} -> {:.3} s (RMSE {:.1})",
+                report.training_time.as_secs_f64(),
+                report.holdout_rmse
+            );
+            table.push(vec![
+                queries.to_string(),
+                hypertune.to_string(),
+                format!("{:.3}", report.training_time.as_secs_f64()),
+                format!("{:.1}", report.holdout_rmse),
+            ]);
+            rows_out.push(Row {
+                queries,
+                hypertuning: hypertune,
+                training_seconds: report.training_time.as_secs_f64(),
+                holdout_rmse: report.holdout_rmse,
+                combinations: report.combinations_evaluated,
+            });
+        }
+    }
+
+    print_table(
+        "Training overhead (log-scale in the paper's plot)",
+        &["queries", "hypertuning", "time (s)", "holdout RMSE"],
+        &table,
+    );
+    println!(
+        "\nExpected shape (paper): both curves grow with the number of queries; the hyper-tuned \
+         curve sits 1–2 orders of magnitude above the fixed-parameter curve."
+    );
+    write_artifact("fig6_training_overhead", &rows_out);
+}

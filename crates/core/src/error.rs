@@ -1,0 +1,80 @@
+//! Error type for the SuRF pipeline.
+
+use std::fmt;
+
+use surf_data::error::DataError;
+use surf_ml::error::MlError;
+
+/// Errors raised while configuring, training or running SuRF.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SurfError {
+    /// An error bubbled up from the data substrate.
+    Data(DataError),
+    /// An error bubbled up from the learning substrate.
+    Ml(MlError),
+    /// The configuration is inconsistent (the message explains what is wrong).
+    InvalidConfig(String),
+    /// Mining produced no candidate regions (e.g. an unreachable threshold).
+    NoRegionsFound,
+}
+
+impl fmt::Display for SurfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SurfError::Data(e) => write!(f, "data error: {e}"),
+            SurfError::Ml(e) => write!(f, "learning error: {e}"),
+            SurfError::InvalidConfig(message) => write!(f, "invalid configuration: {message}"),
+            SurfError::NoRegionsFound => write!(f, "no regions satisfying the threshold found"),
+        }
+    }
+}
+
+impl std::error::Error for SurfError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SurfError::Data(e) => Some(e),
+            SurfError::Ml(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DataError> for SurfError {
+    fn from(e: DataError) -> Self {
+        SurfError::Data(e)
+    }
+}
+
+impl From<MlError> for SurfError {
+    fn from(e: MlError) -> Self {
+        SurfError::Ml(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let data_error: SurfError = DataError::MissingLabels.into();
+        assert!(matches!(data_error, SurfError::Data(_)));
+        assert!(data_error.to_string().contains("data error"));
+
+        let ml_error: SurfError = MlError::EmptyTrainingSet.into();
+        assert!(matches!(ml_error, SurfError::Ml(_)));
+        assert!(ml_error.to_string().contains("learning error"));
+
+        let config = SurfError::InvalidConfig("bad".into());
+        assert!(config.to_string().contains("bad"));
+        assert!(SurfError::NoRegionsFound.to_string().contains("threshold"));
+    }
+
+    #[test]
+    fn source_is_preserved() {
+        use std::error::Error;
+        let e: SurfError = DataError::MissingLabels.into();
+        assert!(e.source().is_some());
+        assert!(SurfError::NoRegionsFound.source().is_none());
+    }
+}

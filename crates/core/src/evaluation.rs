@@ -1,0 +1,165 @@
+//! Accuracy evaluation of mined regions.
+//!
+//! Two complementary checks are used by the paper:
+//!
+//! * against synthetic **ground truth** — the Intersection-over-Union protocol behind
+//!   Figures 3 and 4 ([`match_regions`]), and
+//! * against the **true function** — the fraction of proposed regions whose *actual*
+//!   statistic satisfies the analyst constraint (the "100 % of the proposed regions comply
+//!   with `f(x, l) > y_R`" statement of the Crimes experiment, Fig. 5)
+//!   ([`validity_fraction`]).
+
+use serde::{Deserialize, Serialize};
+use surf_data::dataset::Dataset;
+use surf_data::error::DataError;
+use surf_data::iou::iou;
+use surf_data::region::Region;
+use surf_data::statistic::Statistic;
+
+use crate::objective::Threshold;
+
+/// The result of matching candidate regions against ground-truth regions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionMatch {
+    /// For every ground-truth region: the best IoU achieved by any candidate.
+    pub per_ground_truth_iou: Vec<f64>,
+    /// For every ground-truth region: the index of the best-matching candidate (None when no
+    /// candidate overlaps it).
+    pub best_candidate: Vec<Option<usize>>,
+    /// Mean of the per-ground-truth best IoUs (the quantity plotted in Fig. 3).
+    pub mean_iou: f64,
+}
+
+/// Matches candidates to ground truth: every ground-truth region is credited with the best
+/// IoU any candidate achieves against it, and the mean of those scores is reported.
+pub fn match_regions(candidates: &[Region], ground_truth: &[Region]) -> RegionMatch {
+    let mut per_ground_truth_iou = Vec::with_capacity(ground_truth.len());
+    let mut best_candidate = Vec::with_capacity(ground_truth.len());
+    for gt in ground_truth {
+        let mut best = 0.0;
+        let mut best_idx = None;
+        for (i, candidate) in candidates.iter().enumerate() {
+            let score = iou(candidate, gt);
+            if score > best {
+                best = score;
+                best_idx = Some(i);
+            }
+        }
+        per_ground_truth_iou.push(best);
+        best_candidate.push(best_idx);
+    }
+    let mean_iou = if per_ground_truth_iou.is_empty() {
+        0.0
+    } else {
+        per_ground_truth_iou.iter().sum::<f64>() / per_ground_truth_iou.len() as f64
+    };
+    RegionMatch {
+        per_ground_truth_iou,
+        best_candidate,
+        mean_iou,
+    }
+}
+
+/// Fraction of the proposed regions whose *true* statistic (evaluated over the data) satisfies
+/// the threshold. Returns 0 for an empty proposal set.
+pub fn validity_fraction(
+    dataset: &Dataset,
+    statistic: Statistic,
+    threshold: &Threshold,
+    regions: &[Region],
+    empty_value: f64,
+) -> Result<f64, DataError> {
+    if regions.is_empty() {
+        return Ok(0.0);
+    }
+    let mut valid = 0usize;
+    for region in regions {
+        let value = statistic.evaluate_or(dataset, region, empty_value)?;
+        if threshold.satisfied(value) {
+            valid += 1;
+        }
+    }
+    Ok(valid as f64 / regions.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use surf_data::synthetic::{SyntheticDataset, SyntheticSpec};
+
+    fn region(center: &[f64], half: &[f64]) -> Region {
+        Region::new(center.to_vec(), half.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn perfect_candidates_score_one() {
+        let gt = vec![region(&[0.2, 0.2], &[0.1, 0.1]), region(&[0.8, 0.8], &[0.1, 0.1])];
+        let result = match_regions(&gt, &gt);
+        assert!((result.mean_iou - 1.0).abs() < 1e-12);
+        assert_eq!(result.best_candidate, vec![Some(0), Some(1)]);
+    }
+
+    #[test]
+    fn unmatched_ground_truth_scores_zero() {
+        let gt = vec![region(&[0.2], &[0.1]), region(&[0.8], &[0.1])];
+        let candidates = vec![region(&[0.2], &[0.1])];
+        let result = match_regions(&candidates, &gt);
+        assert!((result.per_ground_truth_iou[0] - 1.0).abs() < 1e-12);
+        assert_eq!(result.per_ground_truth_iou[1], 0.0);
+        assert_eq!(result.best_candidate[1], None);
+        assert!((result.mean_iou - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let result = match_regions(&[], &[region(&[0.5], &[0.1])]);
+        assert_eq!(result.mean_iou, 0.0);
+        let result = match_regions(&[region(&[0.5], &[0.1])], &[]);
+        assert_eq!(result.mean_iou, 0.0);
+        assert!(result.per_ground_truth_iou.is_empty());
+    }
+
+    #[test]
+    fn validity_fraction_against_the_true_function() {
+        let synthetic = SyntheticDataset::generate(
+            &SyntheticSpec::density(2, 1).with_points(3_000).with_seed(2),
+        );
+        let gt = synthetic.ground_truth[0].clone();
+        let empty_corner = region(&[0.02, 0.02], &[0.01, 0.01]);
+        let threshold = Threshold::above(500.0);
+        let fraction = validity_fraction(
+            &synthetic.dataset,
+            Statistic::Count,
+            &threshold,
+            &[gt, empty_corner],
+            0.0,
+        )
+        .unwrap();
+        assert!((fraction - 0.5).abs() < 1e-12);
+        let empty = validity_fraction(
+            &synthetic.dataset,
+            Statistic::Count,
+            &threshold,
+            &[],
+            0.0,
+        )
+        .unwrap();
+        assert_eq!(empty, 0.0);
+    }
+
+    #[test]
+    fn validity_fraction_propagates_data_errors() {
+        let synthetic = SyntheticDataset::generate(
+            &SyntheticSpec::density(2, 1).with_points(500).with_seed(3),
+        );
+        let wrong_dims = region(&[0.5], &[0.1]);
+        let result = validity_fraction(
+            &synthetic.dataset,
+            Statistic::Count,
+            &Threshold::above(1.0),
+            &[wrong_dims],
+            0.0,
+        );
+        assert!(result.is_err());
+    }
+}

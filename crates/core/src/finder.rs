@@ -1,0 +1,469 @@
+//! The SuRF region-mining engine.
+//!
+//! [`Surf::fit`] pays the one-off costs — generating (or accepting) a past-query workload,
+//! training the gradient-boosted surrogate and fitting the KDE guide — and returns a reusable
+//! engine. [`Surf::mine`] then answers an analyst request (threshold + direction) by running
+//! Glowworm Swarm Optimization over the `2d`-dimensional region space against the surrogate,
+//! never touching the data. The same fitted engine can serve many thresholds and users, which
+//! is exactly the amortization argument of the paper's Table I discussion.
+
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+use surf_data::dataset::Dataset;
+use surf_data::region::Region;
+use surf_data::workload::{Workload, WorkloadSpec};
+use surf_ml::kde::KernelDensity;
+use surf_optim::fitness::{FitnessFunction, SolutionBounds};
+use surf_optim::gso::{GlowwormSwarm, GsoParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::error::SurfError;
+use crate::objective::{Objective, Threshold};
+use crate::pipeline::SurfConfig;
+use crate::surrogate::{GbrtSurrogate, Surrogate, SurrogateTrainer, TrainingReport};
+
+/// The fitness landscape GSO explores: candidate solution vectors `[x, l]` are decoded into
+/// regions, scored by the objective applied to the surrogate's statistic estimate, and
+/// optionally weighted by the KDE mass they capture (Eq. 8).
+pub struct RegionFitness<'a> {
+    surrogate: &'a dyn Surrogate,
+    objective: Objective,
+    threshold: Threshold,
+    domain: Region,
+    kde: Option<&'a KernelDensity>,
+    min_half_lengths: Vec<f64>,
+    max_half_lengths: Vec<f64>,
+}
+
+impl<'a> RegionFitness<'a> {
+    /// Creates the fitness landscape for a mining request.
+    pub fn new(
+        surrogate: &'a dyn Surrogate,
+        objective: Objective,
+        threshold: Threshold,
+        domain: Region,
+        kde: Option<&'a KernelDensity>,
+        min_length_fraction: f64,
+        max_length_fraction: f64,
+    ) -> Self {
+        let d = domain.dimensions();
+        let min_half_lengths: Vec<f64> = (0..d)
+            .map(|dim| {
+                let side = domain.upper_in(dim) - domain.lower_in(dim);
+                (min_length_fraction * side).max(f64::MIN_POSITIVE)
+            })
+            .collect();
+        let max_half_lengths: Vec<f64> = (0..d)
+            .map(|dim| {
+                let side = domain.upper_in(dim) - domain.lower_in(dim);
+                (max_length_fraction * side).max(f64::MIN_POSITIVE)
+            })
+            .collect();
+        Self {
+            surrogate,
+            objective,
+            threshold,
+            domain,
+            kde,
+            min_half_lengths,
+            max_half_lengths,
+        }
+    }
+
+    /// Decodes a solution vector into a region, clamping half side lengths into the allowed
+    /// range.
+    pub fn decode(&self, solution: &[f64]) -> Option<Region> {
+        let d = self.domain.dimensions();
+        if solution.len() != 2 * d {
+            return None;
+        }
+        let mut center = Vec::with_capacity(d);
+        let mut half = Vec::with_capacity(d);
+        for dim in 0..d {
+            let c = solution[dim].clamp(self.domain.lower_in(dim), self.domain.upper_in(dim));
+            let l = solution[d + dim]
+                .abs()
+                .clamp(self.min_half_lengths[dim], self.max_half_lengths[dim]);
+            center.push(c);
+            half.push(l);
+        }
+        Region::new(center, half).ok()
+    }
+}
+
+impl FitnessFunction for RegionFitness<'_> {
+    fn bounds(&self) -> SolutionBounds {
+        let d = self.domain.dimensions();
+        let mut lower = Vec::with_capacity(2 * d);
+        let mut upper = Vec::with_capacity(2 * d);
+        for dim in 0..d {
+            lower.push(self.domain.lower_in(dim));
+            upper.push(self.domain.upper_in(dim));
+        }
+        lower.extend_from_slice(&self.min_half_lengths);
+        upper.extend_from_slice(&self.max_half_lengths);
+        SolutionBounds::new(lower, upper)
+    }
+
+    fn fitness(&self, solution: &[f64]) -> f64 {
+        match self.decode(solution) {
+            Some(region) => {
+                let estimate = self.surrogate.predict(&region);
+                self.objective.evaluate(estimate, &region, &self.threshold)
+            }
+            None => f64::NEG_INFINITY,
+        }
+    }
+
+    fn density_weight(&self, solution: &[f64]) -> f64 {
+        match (self.kde, self.decode(solution)) {
+            (Some(kde), Some(region)) => kde
+                .box_probability(&region.lower(), &region.upper())
+                .unwrap_or(0.0)
+                .max(1e-12),
+            _ => 1.0,
+        }
+    }
+}
+
+/// One mined region together with its predicted statistic and objective value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MinedRegion {
+    /// The region proposed by SuRF.
+    pub region: Region,
+    /// The surrogate's statistic estimate for the region.
+    pub predicted_value: f64,
+    /// The objective value the region achieved.
+    pub objective_value: f64,
+}
+
+/// The outcome of one mining request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MiningOutcome {
+    /// The distinct regions found, sorted by descending objective value.
+    pub regions: Vec<MinedRegion>,
+    /// Fraction of the swarm that converged onto constraint-satisfying candidates (Fig. 1's
+    /// "84 % of the particles").
+    pub swarm_valid_fraction: f64,
+    /// Mean objective of valid glowworms after each GSO iteration (the Fig. 9 traces).
+    pub convergence_trace: Vec<f64>,
+    /// Number of GSO iterations executed.
+    pub iterations_run: usize,
+    /// Whether GSO converged before exhausting its iteration budget.
+    pub converged: bool,
+    /// Number of surrogate evaluations performed during mining.
+    pub surrogate_evaluations: usize,
+    /// Wall-clock time of the mining step (excludes surrogate training).
+    pub mining_time: Duration,
+}
+
+impl MiningOutcome {
+    /// The regions only, without their scores.
+    pub fn region_list(&self) -> Vec<Region> {
+        self.regions.iter().map(|m| m.region.clone()).collect()
+    }
+
+    /// The best (highest objective) region, if any.
+    pub fn best(&self) -> Option<&MinedRegion> {
+        self.regions.first()
+    }
+}
+
+/// Mines regions with GSO against an arbitrary surrogate. This is the engine shared by SuRF
+/// (learned surrogate) and the `f+GlowWorm` baseline (true-function surrogate).
+#[allow(clippy::too_many_arguments)]
+pub fn mine_regions(
+    surrogate: &dyn Surrogate,
+    domain: &Region,
+    objective: Objective,
+    threshold: Threshold,
+    gso: &GsoParams,
+    kde: Option<&KernelDensity>,
+    min_length_fraction: f64,
+    max_length_fraction: f64,
+    cluster_radius_fraction: f64,
+) -> MiningOutcome {
+    let start = Instant::now();
+    let fitness = RegionFitness::new(
+        surrogate,
+        objective,
+        threshold,
+        domain.clone(),
+        kde,
+        min_length_fraction,
+        max_length_fraction,
+    );
+    let result = GlowwormSwarm::new(gso.clone()).run(&fitness);
+    let radius = cluster_radius_fraction * fitness.bounds().diagonal();
+    let representatives = result.cluster_representatives(radius);
+
+    let mut regions: Vec<MinedRegion> = representatives
+        .into_iter()
+        .filter_map(|glowworm| {
+            let region = fitness.decode(&glowworm.position)?;
+            let predicted_value = surrogate.predict(&region);
+            let objective_value = objective.evaluate(predicted_value, &region, &threshold);
+            if objective_value.is_finite() && threshold.satisfied(predicted_value) {
+                Some(MinedRegion {
+                    region,
+                    predicted_value,
+                    objective_value,
+                })
+            } else {
+                None
+            }
+        })
+        .collect();
+    regions.sort_by(|a, b| {
+        b.objective_value
+            .partial_cmp(&a.objective_value)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    MiningOutcome {
+        regions,
+        swarm_valid_fraction: result.valid_fraction(),
+        convergence_trace: result.mean_fitness_history.clone(),
+        iterations_run: result.iterations_run,
+        converged: result.converged,
+        surrogate_evaluations: result.fitness_evaluations,
+        mining_time: start.elapsed(),
+    }
+}
+
+/// A fitted SuRF engine: trained surrogate + KDE guide + domain, ready to serve mining
+/// requests.
+pub struct Surf {
+    config: SurfConfig,
+    domain: Region,
+    surrogate: GbrtSurrogate,
+    kde: Option<KernelDensity>,
+    training_report: TrainingReport,
+    workload_size: usize,
+}
+
+impl Surf {
+    /// Trains a SuRF engine on a dataset: generates the past-query workload, fits the
+    /// surrogate (optionally grid-searched) and the KDE guide.
+    pub fn fit(dataset: &Dataset, config: &SurfConfig) -> Result<Surf, SurfError> {
+        config.validate()?;
+        let workload_spec = WorkloadSpec::default()
+            .with_queries(config.training_queries)
+            .with_coverage(config.workload_coverage.0, config.workload_coverage.1)
+            .with_empty_value(config.empty_value)
+            .with_seed(config.seed);
+        let workload = Workload::generate(dataset, config.statistic, &workload_spec)?;
+        Self::fit_with_workload(dataset, &workload, config)
+    }
+
+    /// Trains a SuRF engine from an existing past-query workload (e.g. queries harvested from
+    /// a production system) instead of generating one.
+    pub fn fit_with_workload(
+        dataset: &Dataset,
+        workload: &Workload,
+        config: &SurfConfig,
+    ) -> Result<Surf, SurfError> {
+        config.validate()?;
+        if workload.dimensions() != dataset.dimensions() {
+            return Err(SurfError::InvalidConfig(format!(
+                "workload dimensionality {} does not match dataset dimensionality {}",
+                workload.dimensions(),
+                dataset.dimensions()
+            )));
+        }
+        let domain = dataset.domain()?;
+
+        let trainer = SurrogateTrainer {
+            params: config.gbrt.clone(),
+            hypertune: config.hypertune,
+            seed: config.seed,
+            ..SurrogateTrainer::default()
+        };
+        let (surrogate, training_report) = trainer.train(workload)?;
+
+        let kde = if config.use_kde_guide {
+            let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5eed_cafe);
+            let sample = dataset.sample(config.kde_sample.max(16), &mut rng)?;
+            let points: Vec<Vec<f64>> = (0..sample.len())
+                .map(|i| sample.row(i).values)
+                .collect();
+            Some(KernelDensity::fit_scott(&points)?)
+        } else {
+            None
+        };
+
+        Ok(Surf {
+            config: config.clone(),
+            domain,
+            surrogate,
+            kde,
+            training_report,
+            workload_size: workload.len(),
+        })
+    }
+
+    /// Mines regions for the threshold given in the configuration.
+    pub fn mine(&self) -> MiningOutcome {
+        self.mine_with(self.config.threshold)
+    }
+
+    /// Mines regions for a different threshold, reusing the already-trained surrogate (no
+    /// retraining — the point of SuRF).
+    pub fn mine_with(&self, threshold: Threshold) -> MiningOutcome {
+        mine_regions(
+            &self.surrogate,
+            &self.domain,
+            self.config.objective,
+            threshold,
+            &self.config.gso,
+            self.kde.as_ref(),
+            self.config.min_length_fraction,
+            self.config.max_length_fraction,
+            self.config.cluster_radius_fraction,
+        )
+    }
+
+    /// The trained surrogate.
+    pub fn surrogate(&self) -> &GbrtSurrogate {
+        &self.surrogate
+    }
+
+    /// The data domain the engine searches.
+    pub fn domain(&self) -> &Region {
+        &self.domain
+    }
+
+    /// Cost and accuracy report of the surrogate training step.
+    pub fn training_report(&self) -> &TrainingReport {
+        &self.training_report
+    }
+
+    /// Number of past region evaluations the surrogate was trained on.
+    pub fn workload_size(&self) -> usize {
+        self.workload_size
+    }
+
+    /// The configuration the engine was fitted with.
+    pub fn config(&self) -> &SurfConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use surf_data::iou::average_best_iou;
+    use surf_data::statistic::Statistic;
+    use surf_data::synthetic::{SyntheticDataset, SyntheticSpec};
+    use crate::surrogate::TrueFunctionSurrogate;
+
+    fn quick_config(threshold: f64) -> SurfConfig {
+        SurfConfig::builder()
+            .statistic(Statistic::Count)
+            .threshold(Threshold::above(threshold))
+            .training_queries(900)
+            .gbrt(surf_ml::gbrt::GbrtParams::quick())
+            .gso(GsoParams::quick().with_iterations(60))
+            .kde_sample(400)
+            .seed(3)
+            .build()
+    }
+
+    fn dense_dataset() -> SyntheticDataset {
+        SyntheticDataset::generate(
+            &SyntheticSpec::density(2, 1)
+                .with_points(4_000)
+                .with_points_per_region(1_200)
+                .with_seed(11),
+        )
+    }
+
+    #[test]
+    fn surf_finds_regions_overlapping_the_ground_truth() {
+        let synthetic = dense_dataset();
+        let config = quick_config(600.0);
+        let surf = Surf::fit(&synthetic.dataset, &config).unwrap();
+        let outcome = surf.mine();
+        assert!(!outcome.regions.is_empty(), "no regions found");
+        assert!(outcome.swarm_valid_fraction > 0.0);
+        let iou = average_best_iou(&outcome.region_list(), &synthetic.ground_truth);
+        assert!(iou > 0.15, "IoU with ground truth too low: {iou}");
+        // Every proposed region must satisfy the constraint under the surrogate.
+        assert!(outcome
+            .regions
+            .iter()
+            .all(|m| m.predicted_value > 600.0 && m.objective_value.is_finite()));
+        // Regions are sorted by objective.
+        for pair in outcome.regions.windows(2) {
+            assert!(pair[0].objective_value >= pair[1].objective_value);
+        }
+        assert!(outcome.best().is_some());
+    }
+
+    #[test]
+    fn mine_with_reuses_the_surrogate_for_new_thresholds() {
+        let synthetic = dense_dataset();
+        let surf = Surf::fit(&synthetic.dataset, &quick_config(400.0)).unwrap();
+        let strict = surf.mine_with(Threshold::above(900.0));
+        let lenient = surf.mine_with(Threshold::above(100.0));
+        // A stricter threshold cannot admit more of the swarm than a lenient one.
+        assert!(lenient.swarm_valid_fraction >= strict.swarm_valid_fraction);
+        assert_eq!(surf.workload_size(), 900);
+        assert!(surf.training_report().training_examples > 0);
+        assert_eq!(surf.domain().dimensions(), 2);
+        assert_eq!(surf.config().seed, 3);
+    }
+
+    #[test]
+    fn region_fitness_rejects_malformed_solutions() {
+        let synthetic = dense_dataset();
+        let surrogate =
+            TrueFunctionSurrogate::new(&synthetic.dataset, Statistic::Count, 0.0);
+        let fitness = RegionFitness::new(
+            &surrogate,
+            Objective::paper_default(),
+            Threshold::above(500.0),
+            synthetic.dataset.domain().unwrap(),
+            None,
+            0.005,
+            0.5,
+        );
+        // Wrong width.
+        assert!(fitness.fitness(&[0.5, 0.5, 0.1]).is_infinite());
+        assert!(fitness.decode(&[0.5, 0.5, 0.1]).is_none());
+        // A solution over the dense region is valid and finite.
+        let gt = &synthetic.ground_truth[0];
+        let solution = gt.to_solution_vector();
+        assert!(fitness.fitness(&solution).is_finite());
+        // Bounds have 2d entries.
+        assert_eq!(fitness.bounds().dimensions(), 4);
+        // Without a KDE the density weight defaults to 1.
+        assert_eq!(fitness.density_weight(&solution), 1.0);
+    }
+
+    #[test]
+    fn fit_with_workload_validates_dimensions() {
+        let synthetic = dense_dataset();
+        let other = SyntheticDataset::generate(
+            &SyntheticSpec::density(3, 1).with_points(1_000).with_seed(1),
+        );
+        let workload = surf_data::workload::Workload::generate(
+            &other.dataset,
+            Statistic::Count,
+            &surf_data::workload::WorkloadSpec::default().with_queries(50),
+        )
+        .unwrap();
+        let config = quick_config(100.0);
+        assert!(Surf::fit_with_workload(&synthetic.dataset, &workload, &config).is_err());
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_at_fit_time() {
+        let synthetic = dense_dataset();
+        let mut config = quick_config(100.0);
+        config.training_queries = 0;
+        assert!(Surf::fit(&synthetic.dataset, &config).is_err());
+    }
+}

@@ -1,0 +1,32 @@
+//! # surf-core
+//!
+//! The SuRF pipeline proper, assembled from the substrates of the workspace:
+//!
+//! * [`objective`] — the size-regularized objective functions of the paper (Eq. 2 and the
+//!   logarithmic form of Eq. 4) together with the threshold/direction abstraction.
+//! * [`surrogate`] — the surrogate-model abstraction: the expensive true function `f`
+//!   (touching the data) and the cheap learned approximation `f̂` (a gradient-boosted
+//!   ensemble trained on past region evaluations), plus the trainer that produces it.
+//! * [`finder`] — the [`finder::Surf`] engine: train a surrogate once, then mine all regions
+//!   satisfying an analyst threshold with Glowworm Swarm Optimization.
+//! * [`pipeline`] — the [`pipeline::SurfConfig`] describing a mining task end to end.
+//! * [`evaluation`] — IoU-based accuracy evaluation against ground-truth regions and
+//!   validity checks against the true function.
+//! * [`comparison`] — the four-method comparison harness (SuRF, Naive, f+GlowWorm, PRIM)
+//!   behind the paper's Figures 3–4 and Table I.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod comparison;
+pub mod error;
+pub mod evaluation;
+pub mod finder;
+pub mod objective;
+pub mod pipeline;
+pub mod surrogate;
+
+pub use error::SurfError;
+pub use finder::{MinedRegion, MiningOutcome, Surf};
+pub use objective::{Direction, Objective, Threshold};
+pub use pipeline::SurfConfig;
+pub use surrogate::{GbrtSurrogate, Surrogate, TrueFunctionSurrogate};

@@ -1,0 +1,248 @@
+//! Objective functions for region mining (Section II of the paper).
+//!
+//! Given an analyst threshold `y_R`, a direction (regions whose statistic should be *above*
+//! or *below* the threshold) and a size-regularization strength `c`, two objective shapes are
+//! provided:
+//!
+//! * [`RatioObjective`] — the plain ratio of Eq. 2, `J = Δ / (Π_i l_i)^c`,
+//! * [`LogObjective`] — the logarithmic form of Eq. 4, `𝒥 = log Δ − c Σ_i log l_i`,
+//!
+//! where `Δ = y_R − f(x, l)` for the *below* direction and `Δ = f(x, l) − y_R` for *above*.
+//! The logarithm is undefined for `Δ ≤ 0`, so the log objective *implicitly rejects* regions
+//! violating the constraint (they evaluate to `-inf`) — the property Figure 7 of the paper
+//! demonstrates and the reason SuRF uses it inside GSO.
+
+use serde::{Deserialize, Serialize};
+use surf_data::region::Region;
+
+/// Whether interesting regions lie above or below the threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Direction {
+    /// Seek regions with `f(x, l) > y_R`.
+    Above,
+    /// Seek regions with `f(x, l) < y_R`.
+    Below,
+}
+
+/// An analyst threshold `y_R` with its direction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Threshold {
+    /// The cut-off value `y_R`.
+    pub value: f64,
+    /// Whether interesting regions exceed or stay below the cut-off.
+    pub direction: Direction,
+}
+
+impl Threshold {
+    /// Regions whose statistic exceeds `value` are interesting.
+    pub fn above(value: f64) -> Self {
+        Self {
+            value,
+            direction: Direction::Above,
+        }
+    }
+
+    /// Regions whose statistic is below `value` are interesting.
+    pub fn below(value: f64) -> Self {
+        Self {
+            value,
+            direction: Direction::Below,
+        }
+    }
+
+    /// The signed margin `Δ`: positive exactly when the constraint is satisfied.
+    pub fn margin(&self, statistic: f64) -> f64 {
+        match self.direction {
+            Direction::Above => statistic - self.value,
+            Direction::Below => self.value - statistic,
+        }
+    }
+
+    /// Whether a statistic value satisfies the constraint.
+    pub fn satisfied(&self, statistic: f64) -> bool {
+        self.margin(statistic) > 0.0
+    }
+}
+
+/// The ratio objective of Eq. 2.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RatioObjective {
+    /// Size-regularization exponent `c`.
+    pub c: f64,
+}
+
+impl RatioObjective {
+    /// Evaluates `J = Δ / (Π_i l_i)^c`. Unlike the log form this is defined (and negative)
+    /// for constraint-violating regions, which is why GSO can be misled by it (Fig. 7 bottom).
+    pub fn evaluate(&self, statistic: f64, region: &Region, threshold: &Threshold) -> f64 {
+        let margin = threshold.margin(statistic);
+        let penalty = region.size_penalty().powf(self.c);
+        if penalty <= 0.0 || !penalty.is_finite() {
+            return f64::NEG_INFINITY;
+        }
+        margin / penalty
+    }
+}
+
+/// The logarithmic objective of Eq. 4.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogObjective {
+    /// Size-regularization exponent `c` (the L1 weight on the log side lengths).
+    pub c: f64,
+}
+
+impl LogObjective {
+    /// Evaluates `𝒥 = log Δ − c Σ_i log l_i`, returning `-inf` when `Δ ≤ 0` (the region
+    /// violates the constraint) so optimizers treat it as invalid.
+    pub fn evaluate(&self, statistic: f64, region: &Region, threshold: &Threshold) -> f64 {
+        let margin = threshold.margin(statistic);
+        if margin <= 0.0 || !margin.is_finite() {
+            return f64::NEG_INFINITY;
+        }
+        let log_size: f64 = region.half_lengths().iter().map(|l| l.ln()).sum();
+        margin.ln() - self.c * log_size
+    }
+}
+
+/// Either objective shape, selected by configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Objective {
+    /// The logarithmic objective of Eq. 4 (SuRF's default).
+    Log(LogObjective),
+    /// The ratio objective of Eq. 2.
+    Ratio(RatioObjective),
+}
+
+impl Objective {
+    /// The paper's default: logarithmic objective with `c = 4`.
+    pub fn paper_default() -> Self {
+        Objective::Log(LogObjective { c: 4.0 })
+    }
+
+    /// Logarithmic objective with the given `c`.
+    pub fn log(c: f64) -> Self {
+        Objective::Log(LogObjective { c })
+    }
+
+    /// Ratio objective with the given `c`.
+    pub fn ratio(c: f64) -> Self {
+        Objective::Ratio(RatioObjective { c })
+    }
+
+    /// The regularization strength `c`.
+    pub fn c(&self) -> f64 {
+        match self {
+            Objective::Log(o) => o.c,
+            Objective::Ratio(o) => o.c,
+        }
+    }
+
+    /// Evaluates the objective for a region whose statistic (true or surrogate-predicted) is
+    /// `statistic`. Higher is better; `-inf` marks invalid regions.
+    pub fn evaluate(&self, statistic: f64, region: &Region, threshold: &Threshold) -> f64 {
+        match self {
+            Objective::Log(o) => o.evaluate(statistic, region, threshold),
+            Objective::Ratio(o) => o.evaluate(statistic, region, threshold),
+        }
+    }
+
+    /// Whether the objective rejects constraint-violating regions outright (true for the log
+    /// form).
+    pub fn rejects_invalid(&self) -> bool {
+        matches!(self, Objective::Log(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region(half: &[f64]) -> Region {
+        Region::new(vec![0.5; half.len()], half.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn threshold_margin_and_satisfaction() {
+        let above = Threshold::above(10.0);
+        assert!(above.satisfied(12.0));
+        assert!(!above.satisfied(8.0));
+        assert!((above.margin(12.0) - 2.0).abs() < 1e-12);
+
+        let below = Threshold::below(10.0);
+        assert!(below.satisfied(8.0));
+        assert!(!below.satisfied(12.0));
+        assert!((below.margin(8.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_objective_rejects_constraint_violations() {
+        let objective = Objective::log(4.0);
+        let r = region(&[0.1, 0.1]);
+        let threshold = Threshold::above(100.0);
+        assert!(objective.evaluate(50.0, &r, &threshold).is_infinite());
+        assert!(objective.evaluate(150.0, &r, &threshold).is_finite());
+        assert!(objective.rejects_invalid());
+    }
+
+    #[test]
+    fn ratio_objective_is_defined_for_violations() {
+        let objective = Objective::ratio(4.0);
+        let r = region(&[0.1, 0.1]);
+        let threshold = Threshold::above(100.0);
+        let violating = objective.evaluate(50.0, &r, &threshold);
+        assert!(violating.is_finite() && violating < 0.0);
+        assert!(!objective.rejects_invalid());
+    }
+
+    #[test]
+    fn log_objective_matches_the_formula() {
+        let objective = LogObjective { c: 2.0 };
+        let r = region(&[0.1, 0.2]);
+        let threshold = Threshold::above(10.0);
+        let value = objective.evaluate(15.0, &r, &threshold);
+        let expected = (5.0_f64).ln() - 2.0 * (0.1_f64.ln() + 0.2_f64.ln());
+        assert!((value - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_objective_matches_the_formula() {
+        let objective = RatioObjective { c: 1.0 };
+        let r = region(&[0.1, 0.2]);
+        let threshold = Threshold::below(10.0);
+        let value = objective.evaluate(4.0, &r, &threshold);
+        let expected = 6.0 / (0.1 * 0.2);
+        assert!((value - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn larger_c_penalizes_large_regions_more() {
+        let small = region(&[0.05]);
+        let large = region(&[0.4]);
+        let threshold = Threshold::above(1.0);
+        for c in [1.0, 2.0, 4.0] {
+            let objective = Objective::log(c);
+            let gap = objective.evaluate(2.0, &small, &threshold)
+                - objective.evaluate(2.0, &large, &threshold);
+            // The small region is always preferred, increasingly so as c grows.
+            assert!(gap > 0.0);
+            if c > 1.0 {
+                let previous = Objective::log(c - 1.0);
+                let previous_gap = previous.evaluate(2.0, &small, &threshold)
+                    - previous.evaluate(2.0, &large, &threshold);
+                assert!(gap > previous_gap);
+            }
+        }
+    }
+
+    #[test]
+    fn objective_helpers() {
+        assert_eq!(Objective::paper_default().c(), 4.0);
+        assert_eq!(Objective::ratio(3.0).c(), 3.0);
+        let nan_margin = Objective::log(1.0).evaluate(
+            f64::NAN,
+            &region(&[0.1]),
+            &Threshold::above(1.0),
+        );
+        assert!(nan_margin.is_infinite() && nan_margin < 0.0);
+    }
+}

@@ -1,0 +1,282 @@
+//! End-to-end configuration of a SuRF mining task.
+//!
+//! A [`SurfConfig`] bundles everything the pipeline needs: the statistic of interest, the
+//! analyst threshold, the objective shape and its regularization strength `c`, the past-query
+//! workload used to train the surrogate, the surrogate hyper-parameters (optionally
+//! grid-searched), the GSO parameters and the KDE guidance settings.
+
+use serde::{Deserialize, Serialize};
+use surf_data::statistic::Statistic;
+use surf_ml::gbrt::GbrtParams;
+use surf_optim::gso::GsoParams;
+
+use crate::error::SurfError;
+use crate::objective::{Objective, Threshold};
+
+/// Full configuration of a SuRF mining run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SurfConfig {
+    /// The statistic of interest `y = f(x, l)`.
+    pub statistic: Statistic,
+    /// The analyst threshold `y_R` and its direction.
+    pub threshold: Threshold,
+    /// The objective shape and regularization strength `c`.
+    pub objective: Objective,
+    /// Number of past region evaluations generated to train the surrogate.
+    pub training_queries: usize,
+    /// Coverage range (fractions of the domain side) of the training regions (paper: 1–15 %).
+    pub workload_coverage: (f64, f64),
+    /// Value recorded for regions where the statistic is undefined (empty regions).
+    pub empty_value: f64,
+    /// Hyper-parameters of the gradient-boosted surrogate.
+    pub gbrt: GbrtParams,
+    /// Run the paper's grid search with cross-validation before the final surrogate fit.
+    pub hypertune: bool,
+    /// Glowworm Swarm Optimization parameters.
+    pub gso: GsoParams,
+    /// Guide glowworm movement with a KDE over (a sample of) the data (Eq. 8).
+    pub use_kde_guide: bool,
+    /// Number of data points sampled to fit the KDE.
+    pub kde_sample: usize,
+    /// Smallest allowed half side length, as a fraction of the domain side.
+    pub min_length_fraction: f64,
+    /// Largest allowed half side length, as a fraction of the domain side.
+    pub max_length_fraction: f64,
+    /// Radius (as a fraction of the solution-space diagonal) used to cluster converged
+    /// glowworms into distinct regions.
+    pub cluster_radius_fraction: f64,
+    /// Master seed for workload generation, KDE sampling and GSO.
+    pub seed: u64,
+}
+
+impl Default for SurfConfig {
+    fn default() -> Self {
+        Self {
+            statistic: Statistic::Count,
+            threshold: Threshold::above(0.0),
+            objective: Objective::paper_default(),
+            training_queries: 2_000,
+            workload_coverage: (0.01, 0.15),
+            empty_value: 0.0,
+            gbrt: GbrtParams::paper_default(),
+            hypertune: false,
+            gso: GsoParams::paper_default(),
+            use_kde_guide: true,
+            kde_sample: 2_000,
+            min_length_fraction: 0.005,
+            max_length_fraction: 0.5,
+            cluster_radius_fraction: 0.15,
+            seed: 7,
+        }
+    }
+}
+
+impl SurfConfig {
+    /// Starts a builder pre-populated with the paper's defaults.
+    pub fn builder() -> SurfConfigBuilder {
+        SurfConfigBuilder {
+            config: SurfConfig::default(),
+        }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), SurfError> {
+        if self.training_queries == 0 {
+            return Err(SurfError::InvalidConfig(
+                "training_queries must be positive".into(),
+            ));
+        }
+        if !(self.workload_coverage.0 > 0.0
+            && self.workload_coverage.0 <= self.workload_coverage.1)
+        {
+            return Err(SurfError::InvalidConfig(format!(
+                "workload coverage range {:?} is not ordered and positive",
+                self.workload_coverage
+            )));
+        }
+        if !(self.min_length_fraction > 0.0
+            && self.min_length_fraction < self.max_length_fraction
+            && self.max_length_fraction <= 1.0)
+        {
+            return Err(SurfError::InvalidConfig(format!(
+                "length fractions ({}, {}) must satisfy 0 < min < max <= 1",
+                self.min_length_fraction, self.max_length_fraction
+            )));
+        }
+        if !(self.cluster_radius_fraction > 0.0 && self.cluster_radius_fraction <= 1.0) {
+            return Err(SurfError::InvalidConfig(
+                "cluster_radius_fraction must be in (0, 1]".into(),
+            ));
+        }
+        if !self.objective.c().is_finite() || self.objective.c() < 0.0 {
+            return Err(SurfError::InvalidConfig(
+                "objective parameter c must be finite and non-negative".into(),
+            ));
+        }
+        self.gbrt.validate().map_err(SurfError::from)?;
+        Ok(())
+    }
+}
+
+/// Builder for [`SurfConfig`].
+#[derive(Debug, Clone)]
+pub struct SurfConfigBuilder {
+    config: SurfConfig,
+}
+
+impl SurfConfigBuilder {
+    /// Sets the statistic of interest.
+    pub fn statistic(mut self, statistic: Statistic) -> Self {
+        self.config.statistic = statistic;
+        self
+    }
+
+    /// Sets the analyst threshold.
+    pub fn threshold(mut self, threshold: Threshold) -> Self {
+        self.config.threshold = threshold;
+        self
+    }
+
+    /// Sets the objective (shape and `c`).
+    pub fn objective(mut self, objective: Objective) -> Self {
+        self.config.objective = objective;
+        self
+    }
+
+    /// Sets the number of past region evaluations used for surrogate training.
+    pub fn training_queries(mut self, queries: usize) -> Self {
+        self.config.training_queries = queries;
+        self
+    }
+
+    /// Sets the training-region coverage range.
+    pub fn workload_coverage(mut self, min: f64, max: f64) -> Self {
+        self.config.workload_coverage = (min, max);
+        self
+    }
+
+    /// Sets the GBRT hyper-parameters of the surrogate.
+    pub fn gbrt(mut self, params: GbrtParams) -> Self {
+        self.config.gbrt = params;
+        self
+    }
+
+    /// Enables or disables grid-search hyper-tuning.
+    pub fn hypertune(mut self, hypertune: bool) -> Self {
+        self.config.hypertune = hypertune;
+        self
+    }
+
+    /// Sets the GSO parameters.
+    pub fn gso(mut self, params: GsoParams) -> Self {
+        self.config.gso = params;
+        self
+    }
+
+    /// Enables or disables the KDE movement guide (Eq. 8).
+    pub fn kde_guide(mut self, enabled: bool) -> Self {
+        self.config.use_kde_guide = enabled;
+        self
+    }
+
+    /// Sets the KDE sample size.
+    pub fn kde_sample(mut self, sample: usize) -> Self {
+        self.config.kde_sample = sample;
+        self
+    }
+
+    /// Sets the allowed half-side-length range (fractions of the domain side).
+    pub fn length_fractions(mut self, min: f64, max: f64) -> Self {
+        self.config.min_length_fraction = min;
+        self.config.max_length_fraction = max;
+        self
+    }
+
+    /// Sets the value recorded for empty regions.
+    pub fn empty_value(mut self, value: f64) -> Self {
+        self.config.empty_value = value;
+        self
+    }
+
+    /// Sets the glowworm clustering radius (fraction of the solution-space diagonal).
+    pub fn cluster_radius(mut self, fraction: f64) -> Self {
+        self.config.cluster_radius_fraction = fraction;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> SurfConfig {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use surf_optim::gso::GsoParams;
+
+    #[test]
+    fn builder_overrides_defaults() {
+        let config = SurfConfig::builder()
+            .statistic(Statistic::Count)
+            .threshold(Threshold::above(100.0))
+            .objective(Objective::log(2.0))
+            .training_queries(500)
+            .workload_coverage(0.02, 0.2)
+            .hypertune(true)
+            .gso(GsoParams::quick())
+            .kde_guide(false)
+            .kde_sample(100)
+            .length_fractions(0.01, 0.4)
+            .empty_value(-1.0)
+            .cluster_radius(0.1)
+            .seed(99)
+            .build();
+        assert_eq!(config.threshold, Threshold::above(100.0));
+        assert_eq!(config.training_queries, 500);
+        assert!(config.hypertune);
+        assert!(!config.use_kde_guide);
+        assert_eq!(config.seed, 99);
+        assert_eq!(config.objective.c(), 2.0);
+        assert!(config.validate().is_ok());
+    }
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(SurfConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut config = SurfConfig::default();
+        config.training_queries = 0;
+        assert!(config.validate().is_err());
+
+        let mut config = SurfConfig::default();
+        config.workload_coverage = (0.3, 0.1);
+        assert!(config.validate().is_err());
+
+        let mut config = SurfConfig::default();
+        config.min_length_fraction = 0.9;
+        config.max_length_fraction = 0.5;
+        assert!(config.validate().is_err());
+
+        let mut config = SurfConfig::default();
+        config.cluster_radius_fraction = 0.0;
+        assert!(config.validate().is_err());
+
+        let mut config = SurfConfig::default();
+        config.objective = Objective::log(f64::NAN);
+        assert!(config.validate().is_err());
+
+        let mut config = SurfConfig::default();
+        config.gbrt = config.gbrt.with_n_estimators(0);
+        assert!(config.validate().is_err());
+    }
+}

@@ -1,0 +1,238 @@
+//! Simulator standing in for the Chicago Crimes dataset (Section V-C, Fig. 5).
+//!
+//! The paper's qualitative experiment plots crime-incident density over normalized X–Y spatial
+//! coordinates and asks SuRF for regions whose density exceeds the third quartile of a random
+//! region sample. The public dataset is not redistributable here, so this module generates a
+//! spatial point process with the same structure: a uniform background of incidents plus a
+//! number of Gaussian *hot-spots* of much higher intensity (city centres, nightlife districts,
+//! ...). The density statistic over such data exhibits exactly the multi-modal structure the
+//! experiment needs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+use crate::random::{truncated_normal, weighted_index};
+use crate::region::Region;
+use crate::schema::Schema;
+use crate::statistic::Statistic;
+
+/// Specification of the synthetic crime-incident generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrimesSpec {
+    /// Number of recorded incidents.
+    pub incidents: usize,
+    /// Number of Gaussian hot-spots.
+    pub hotspots: usize,
+    /// Fraction of incidents drawn from the uniform background (the rest belong to hot-spots).
+    pub background_fraction: f64,
+    /// Standard deviation of each hot-spot.
+    pub hotspot_std: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CrimesSpec {
+    fn default() -> Self {
+        Self {
+            incidents: 50_000,
+            hotspots: 4,
+            background_fraction: 0.35,
+            hotspot_std: 0.05,
+            seed: 2020,
+        }
+    }
+}
+
+impl CrimesSpec {
+    /// Spec with an explicit number of incidents.
+    pub fn with_incidents(mut self, incidents: usize) -> Self {
+        self.incidents = incidents;
+        self
+    }
+
+    /// Spec with an explicit number of hot-spots.
+    pub fn with_hotspots(mut self, hotspots: usize) -> Self {
+        self.hotspots = hotspots;
+        self
+    }
+
+    /// Spec with an explicit seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// The generated crime-incident dataset together with its hot-spot ground truth.
+#[derive(Debug, Clone)]
+pub struct CrimesDataset {
+    /// 2-D incident locations (columns `x`, `y` in `[0, 1]`).
+    pub dataset: Dataset,
+    /// Centres of the planted hot-spots.
+    pub hotspot_centers: Vec<Vec<f64>>,
+    /// Hot-spot neighbourhoods expressed as regions (±2σ around each centre), usable as
+    /// approximate ground truth in tests.
+    pub hotspot_regions: Vec<Region>,
+    /// The spec the dataset was generated from.
+    pub spec: CrimesSpec,
+}
+
+impl CrimesDataset {
+    /// Generates the dataset.
+    pub fn generate(spec: &CrimesSpec) -> Self {
+        assert!(spec.incidents >= 100, "at least 100 incidents");
+        assert!(spec.hotspots >= 1, "at least one hot-spot");
+        assert!(
+            (0.0..1.0).contains(&spec.background_fraction),
+            "background fraction must be in [0, 1)"
+        );
+
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        // Hot-spot centres stay away from the border so their mass remains inside the city.
+        let centers: Vec<Vec<f64>> = (0..spec.hotspots)
+            .map(|_| {
+                vec![
+                    rng.random_range(0.15..0.85),
+                    rng.random_range(0.15..0.85),
+                ]
+            })
+            .collect();
+        // Hot-spot intensities differ so the density landscape is multi-modal with peaks of
+        // different heights, like a real city.
+        let intensities: Vec<f64> = (0..spec.hotspots)
+            .map(|_| rng.random_range(0.5..1.5))
+            .collect();
+
+        let mut xs = Vec::with_capacity(spec.incidents);
+        let mut ys = Vec::with_capacity(spec.incidents);
+        for _ in 0..spec.incidents {
+            if rng.random::<f64>() < spec.background_fraction {
+                xs.push(rng.random::<f64>());
+                ys.push(rng.random::<f64>());
+            } else {
+                let h = weighted_index(&mut rng, &intensities).expect("non-empty intensities");
+                xs.push(truncated_normal(
+                    &mut rng,
+                    centers[h][0],
+                    spec.hotspot_std,
+                    0.0,
+                    1.0,
+                ));
+                ys.push(truncated_normal(
+                    &mut rng,
+                    centers[h][1],
+                    spec.hotspot_std,
+                    0.0,
+                    1.0,
+                ));
+            }
+        }
+
+        let dataset = Dataset::from_columns(vec![xs, ys])
+            .expect("two equal-length columns")
+            .with_schema(Schema::named(vec!["x_coordinate", "y_coordinate"]))
+            .expect("schema dimensionality matches");
+        let hotspot_regions = centers
+            .iter()
+            .map(|c| {
+                Region::new(c.clone(), vec![2.0 * spec.hotspot_std; 2])
+                    .expect("positive half lengths")
+            })
+            .collect();
+        CrimesDataset {
+            dataset,
+            hotspot_centers: centers,
+            hotspot_regions,
+            spec: spec.clone(),
+        }
+    }
+
+    /// The statistic used by the paper's Crimes experiment: incident count (density).
+    pub fn statistic(&self) -> Statistic {
+        Statistic::Count
+    }
+
+    /// Empirical third quartile of the statistic over `samples` random regions of the given
+    /// half side length — the paper sets `y_R = Q3` of a random set of regions.
+    pub fn third_quartile_threshold(&self, samples: usize, half_length: f64, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut values: Vec<f64> = (0..samples.max(4))
+            .map(|_| {
+                let center = vec![
+                    rng.random_range(half_length..(1.0 - half_length)),
+                    rng.random_range(half_length..(1.0 - half_length)),
+                ];
+                let region = Region::new(center, vec![half_length; 2]).expect("valid region");
+                self.dataset.count_in(&region).unwrap_or(0) as f64
+            })
+            .collect();
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let idx = ((values.len() as f64) * 0.75).floor() as usize;
+        values[idx.min(values.len() - 1)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_number_of_incidents_in_unit_square() {
+        let crimes = CrimesDataset::generate(&CrimesSpec::default().with_incidents(5_000));
+        assert_eq!(crimes.dataset.len(), 5_000);
+        assert_eq!(crimes.dataset.dimensions(), 2);
+        let domain = crimes.dataset.domain().unwrap();
+        assert!(Region::unit_cube(2).contains_region(&domain));
+    }
+
+    #[test]
+    fn hotspots_are_denser_than_background() {
+        let crimes = CrimesDataset::generate(
+            &CrimesSpec::default().with_incidents(20_000).with_seed(7),
+        );
+        let hotspot = &crimes.hotspot_regions[0];
+        let hotspot_count = crimes.dataset.count_in(hotspot).unwrap();
+        // A same-sized box in the corner far away from any hot-spot centre.
+        let corner =
+            Region::new(vec![0.03, 0.03], vec![2.0 * crimes.spec.hotspot_std; 2]).unwrap();
+        let corner_count = crimes.dataset.count_in(&corner).unwrap();
+        assert!(
+            hotspot_count > 5 * corner_count.max(1),
+            "hotspot {hotspot_count} vs corner {corner_count}"
+        );
+    }
+
+    #[test]
+    fn third_quartile_threshold_orders_random_regions() {
+        let crimes =
+            CrimesDataset::generate(&CrimesSpec::default().with_incidents(8_000).with_seed(3));
+        let q3 = crimes.third_quartile_threshold(200, 0.05, 9);
+        assert!(q3 > 0.0);
+        // Q3 must be below the densest hot-spot count for the mining task to be feasible.
+        let best = crimes
+            .hotspot_regions
+            .iter()
+            .map(|r| crimes.dataset.count_in(r).unwrap())
+            .max()
+            .unwrap();
+        assert!((best as f64) > q3);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let spec = CrimesSpec::default().with_incidents(1_000).with_seed(5);
+        let a = CrimesDataset::generate(&spec);
+        let b = CrimesDataset::generate(&spec);
+        assert_eq!(a.dataset, b.dataset);
+        assert_eq!(a.hotspot_centers, b.hotspot_centers);
+    }
+
+    #[test]
+    fn schema_names_spatial_columns() {
+        let crimes = CrimesDataset::generate(&CrimesSpec::default().with_incidents(500));
+        assert_eq!(crimes.dataset.schema().dimension_name(0).unwrap(), "x_coordinate");
+        assert_eq!(crimes.statistic(), Statistic::Count);
+    }
+}

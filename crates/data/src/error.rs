@@ -1,0 +1,108 @@
+//! Error type shared by the data substrate.
+
+use std::fmt;
+
+/// Errors raised by dataset construction, region algebra and the statistics engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataError {
+    /// A region or vector was supplied with a dimensionality different from the dataset's.
+    DimensionMismatch {
+        /// Dimensionality expected by the receiver.
+        expected: usize,
+        /// Dimensionality that was supplied.
+        actual: usize,
+    },
+    /// Columns of unequal length were supplied when building a columnar dataset.
+    RaggedColumns {
+        /// Length of the first column.
+        first: usize,
+        /// Index of the offending column.
+        column: usize,
+        /// Length of the offending column.
+        len: usize,
+    },
+    /// A region was built with a non-positive or non-finite side length.
+    InvalidSideLength {
+        /// Dimension index of the offending side length.
+        dimension: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A statistic referenced a dimension that does not exist.
+    UnknownDimension {
+        /// The requested dimension.
+        dimension: usize,
+        /// Number of dimensions available.
+        dimensions: usize,
+    },
+    /// A statistic required labels but the dataset carries none.
+    MissingLabels,
+    /// An empty dataset (or empty selection) was used where at least one row is required.
+    Empty(&'static str),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            DataError::RaggedColumns { first, column, len } => write!(
+                f,
+                "ragged columns: column 0 has {first} rows but column {column} has {len}"
+            ),
+            DataError::InvalidSideLength { dimension, value } => {
+                write!(f, "invalid side length {value} in dimension {dimension}")
+            }
+            DataError::UnknownDimension {
+                dimension,
+                dimensions,
+            } => write!(
+                f,
+                "unknown dimension {dimension}: dataset has {dimensions} dimensions"
+            ),
+            DataError::MissingLabels => write!(f, "statistic requires labels but none are set"),
+            DataError::Empty(what) => write!(f, "{what} must not be empty"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = DataError::DimensionMismatch {
+            expected: 3,
+            actual: 2,
+        };
+        assert!(e.to_string().contains("expected 3"));
+        let e = DataError::RaggedColumns {
+            first: 10,
+            column: 2,
+            len: 9,
+        };
+        assert!(e.to_string().contains("column 2"));
+        let e = DataError::InvalidSideLength {
+            dimension: 1,
+            value: -0.5,
+        };
+        assert!(e.to_string().contains("dimension 1"));
+        let e = DataError::UnknownDimension {
+            dimension: 7,
+            dimensions: 3,
+        };
+        assert!(e.to_string().contains("unknown dimension 7"));
+        assert!(DataError::MissingLabels.to_string().contains("labels"));
+        assert!(DataError::Empty("dataset").to_string().contains("dataset"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: std::error::Error>(_: &E) {}
+        assert_error(&DataError::MissingLabels);
+    }
+}

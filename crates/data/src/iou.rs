@@ -1,0 +1,136 @@
+//! Intersection-over-Union (Jaccard index) of hyper-rectangles (Eq. 10 of the paper).
+//!
+//! The IoU between a mined region and a ground-truth region is the accuracy metric of the
+//! paper's synthetic-data experiments (Figures 3 and 4).
+
+use crate::region::Region;
+
+/// Volume of the intersection of two regions (0 when disjoint or of mismatched dimension).
+pub fn intersection_volume(a: &Region, b: &Region) -> f64 {
+    match a.intersection(b) {
+        Some(i) => i.volume(),
+        None => 0.0,
+    }
+}
+
+/// Volume of the union of two regions by inclusion–exclusion.
+pub fn union_volume(a: &Region, b: &Region) -> f64 {
+    a.volume() + b.volume() - intersection_volume(a, b)
+}
+
+/// Intersection over Union of two hyper-rectangles: `|A ∩ B| / |A ∪ B| ∈ [0, 1]`.
+///
+/// Returns 0 for regions of mismatched dimensionality.
+pub fn iou(a: &Region, b: &Region) -> f64 {
+    if a.dimensions() != b.dimensions() {
+        return 0.0;
+    }
+    let inter = intersection_volume(a, b);
+    if inter <= 0.0 {
+        return 0.0;
+    }
+    let union = a.volume() + b.volume() - inter;
+    if union <= 0.0 {
+        0.0
+    } else {
+        (inter / union).clamp(0.0, 1.0)
+    }
+}
+
+/// IoU of each candidate against its best-matching ground-truth region, averaged over the
+/// ground-truth regions (the evaluation protocol behind Fig. 3: "for k = 3 the IoU is obtained
+/// by averaging IoUs for the 3 GT regions").
+///
+/// For every ground-truth region the best IoU attained by any candidate is taken; the result
+/// is the mean of those per-GT bests. Returns 0 when either set is empty.
+pub fn average_best_iou(candidates: &[Region], ground_truth: &[Region]) -> f64 {
+    if candidates.is_empty() || ground_truth.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = ground_truth
+        .iter()
+        .map(|gt| {
+            candidates
+                .iter()
+                .map(|c| iou(c, gt))
+                .fold(0.0_f64, f64::max)
+        })
+        .sum();
+    total / ground_truth.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region(center: &[f64], half: &[f64]) -> Region {
+        Region::new(center.to_vec(), half.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn identical_regions_have_iou_one() {
+        let r = region(&[0.5, 0.5], &[0.2, 0.3]);
+        assert!((iou(&r, &r) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_regions_have_iou_zero() {
+        let a = region(&[0.2], &[0.1]);
+        let b = region(&[0.8], &[0.1]);
+        assert_eq!(iou(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn half_overlap_in_one_dimension() {
+        // [0,1] vs [0.5,1.5]: intersection 0.5, union 1.5 -> IoU = 1/3.
+        let a = region(&[0.5], &[0.5]);
+        let b = region(&[1.0], &[0.5]);
+        assert!((iou(&a, &b) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nested_regions() {
+        let outer = region(&[0.5, 0.5], &[0.5, 0.5]);
+        let inner = region(&[0.5, 0.5], &[0.25, 0.25]);
+        // inner volume 0.25, outer volume 1.0 -> IoU = 0.25.
+        assert!((iou(&outer, &inner) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iou_is_symmetric() {
+        let a = region(&[0.4, 0.4], &[0.2, 0.3]);
+        let b = region(&[0.5, 0.6], &[0.3, 0.1]);
+        assert!((iou(&a, &b) - iou(&b, &a)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn mismatched_dimensions_give_zero() {
+        let a = region(&[0.5], &[0.5]);
+        let b = region(&[0.5, 0.5], &[0.5, 0.5]);
+        assert_eq!(iou(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn union_and_intersection_volumes() {
+        let a = region(&[0.5], &[0.5]);
+        let b = region(&[1.0], &[0.5]);
+        assert!((intersection_volume(&a, &b) - 0.5).abs() < 1e-12);
+        assert!((union_volume(&a, &b) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_best_iou_matches_each_gt_to_best_candidate() {
+        let gt1 = region(&[0.2, 0.2], &[0.1, 0.1]);
+        let gt2 = region(&[0.8, 0.8], &[0.1, 0.1]);
+        let candidates = vec![gt1.clone(), region(&[0.79, 0.8], &[0.1, 0.1])];
+        let score = average_best_iou(&candidates, &[gt1, gt2]);
+        assert!(score > 0.8, "score {score}");
+    }
+
+    #[test]
+    fn average_best_iou_empty_inputs() {
+        let r = region(&[0.5], &[0.1]);
+        assert_eq!(average_best_iou(&[], &[r.clone()]), 0.0);
+        assert_eq!(average_best_iou(&[r], &[]), 0.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Small random-sampling helpers shared by the generators.
+//!
+//! The workspace only depends on `rand` (no `rand_distr`), so Gaussian and categorical
+//! sampling are implemented here. All helpers take a caller-provided RNG so callers stay in
+//! control of seeding and reproducibility.
+
+use rand::Rng;
+
+/// Draws a sample from a standard normal distribution using the Box–Muller transform.
+///
+/// The second value produced by the transform is intentionally discarded to keep the helper
+/// stateless; generators in this crate are not throughput-critical.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Guard against u1 == 0.0 which would make ln(0) = -inf.
+    let u1: f64 = loop {
+        let u: f64 = rng.random();
+        if u > f64::EPSILON {
+            break u;
+        }
+    };
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Draws a sample from a normal distribution with the given mean and standard deviation.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    mean + std_dev * standard_normal(rng)
+}
+
+/// Draws a normal sample truncated (by rejection) to `[lo, hi]`.
+///
+/// Falls back to clamping after 64 rejections so that pathological parameters cannot loop
+/// forever.
+pub fn truncated_normal<R: Rng + ?Sized>(
+    rng: &mut R,
+    mean: f64,
+    std_dev: f64,
+    lo: f64,
+    hi: f64,
+) -> f64 {
+    debug_assert!(lo <= hi, "truncation interval must be ordered");
+    for _ in 0..64 {
+        let x = normal(rng, mean, std_dev);
+        if x >= lo && x <= hi {
+            return x;
+        }
+    }
+    normal(rng, mean, std_dev).clamp(lo, hi)
+}
+
+/// Samples an index according to the (non-negative, not necessarily normalized) weights.
+///
+/// Returns `None` when the weights are empty or sum to zero.
+pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> Option<usize> {
+    let total: f64 = weights.iter().filter(|w| w.is_finite() && **w > 0.0).sum();
+    if weights.is_empty() || total <= 0.0 {
+        return None;
+    }
+    let mut target = rng.random::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        if !(w.is_finite() && w > 0.0) {
+            continue;
+        }
+        if target < w {
+            return Some(i);
+        }
+        target -= w;
+    }
+    // Floating point round-off can leave a tiny positive remainder; return the last positive
+    // weight in that case.
+    weights
+        .iter()
+        .rposition(|w| w.is_finite() && *w > 0.0)
+}
+
+/// Fisher–Yates shuffle of indices `0..n`, returned as a vector.
+pub fn shuffled_indices<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        idx.swap(i, j);
+    }
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_normal_has_roughly_zero_mean_unit_variance() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.1, "variance {var} too far from 1");
+    }
+
+    #[test]
+    fn normal_respects_mean_and_std() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 3.0, 0.5)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn truncated_normal_stays_in_interval() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..2_000 {
+            let x = truncated_normal(&mut rng, 0.5, 2.0, 0.0, 1.0);
+            assert!((0.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let weights = [0.0, 10.0, 0.0, 1.0];
+        let mut counts = [0usize; 4];
+        for _ in 0..10_000 {
+            counts[weighted_index(&mut rng, &weights).unwrap()] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        assert_eq!(counts[2], 0);
+        assert!(counts[1] > 8 * counts[3]);
+    }
+
+    #[test]
+    fn weighted_index_handles_degenerate_inputs() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(weighted_index(&mut rng, &[]), None);
+        assert_eq!(weighted_index(&mut rng, &[0.0, 0.0]), None);
+        assert_eq!(weighted_index(&mut rng, &[f64::NAN, 2.0]), Some(1));
+    }
+
+    #[test]
+    fn shuffled_indices_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut idx = shuffled_indices(&mut rng, 100);
+        idx.sort_unstable();
+        assert_eq!(idx, (0..100).collect::<Vec<_>>());
+    }
+}

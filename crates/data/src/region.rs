@@ -1,0 +1,357 @@
+//! Hyper-rectangular statistic regions (Definition 2 of the paper).
+//!
+//! A region is defined by its center `x ∈ R^d` and per-dimension half side lengths
+//! `l ∈ R^d_+`: a data vector `a` belongs to the region when `x_i − l_i ≤ a_i ≤ x_i + l_i`
+//! for every dimension `i`. Regions double as points of the `2d`-dimensional solution space
+//! explored by the optimizers, via [`Region::to_solution_vector`] /
+//! [`Region::from_solution_vector`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::DataError;
+
+/// A hyper-rectangle in center / half-length form.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Region {
+    center: Vec<f64>,
+    half_lengths: Vec<f64>,
+}
+
+impl Region {
+    /// Creates a region from a center point and strictly positive half side lengths.
+    pub fn new(center: Vec<f64>, half_lengths: Vec<f64>) -> Result<Self, DataError> {
+        if center.len() != half_lengths.len() {
+            return Err(DataError::DimensionMismatch {
+                expected: center.len(),
+                actual: half_lengths.len(),
+            });
+        }
+        if center.is_empty() {
+            return Err(DataError::Empty("region"));
+        }
+        for (i, &l) in half_lengths.iter().enumerate() {
+            if !(l.is_finite() && l > 0.0) {
+                return Err(DataError::InvalidSideLength {
+                    dimension: i,
+                    value: l,
+                });
+            }
+        }
+        Ok(Self {
+            center,
+            half_lengths,
+        })
+    }
+
+    /// Creates a region from per-dimension `[lower, upper]` bounds.
+    pub fn from_bounds(lower: &[f64], upper: &[f64]) -> Result<Self, DataError> {
+        if lower.len() != upper.len() {
+            return Err(DataError::DimensionMismatch {
+                expected: lower.len(),
+                actual: upper.len(),
+            });
+        }
+        let center: Vec<f64> = lower
+            .iter()
+            .zip(upper)
+            .map(|(lo, hi)| 0.5 * (lo + hi))
+            .collect();
+        let half: Vec<f64> = lower
+            .iter()
+            .zip(upper)
+            .map(|(lo, hi)| 0.5 * (hi - lo))
+            .collect();
+        Region::new(center, half)
+    }
+
+    /// Creates the unit hyper-cube `[0, 1]^d` (the domain of the synthetic datasets).
+    pub fn unit_cube(dimensions: usize) -> Self {
+        Region {
+            center: vec![0.5; dimensions],
+            half_lengths: vec![0.5; dimensions],
+        }
+    }
+
+    /// Dimensionality `d` of the region.
+    pub fn dimensions(&self) -> usize {
+        self.center.len()
+    }
+
+    /// Center point `x`.
+    pub fn center(&self) -> &[f64] {
+        &self.center
+    }
+
+    /// Half side lengths `l`.
+    pub fn half_lengths(&self) -> &[f64] {
+        &self.half_lengths
+    }
+
+    /// Lower corner `x − l`.
+    pub fn lower(&self) -> Vec<f64> {
+        self.center
+            .iter()
+            .zip(&self.half_lengths)
+            .map(|(x, l)| x - l)
+            .collect()
+    }
+
+    /// Upper corner `x + l`.
+    pub fn upper(&self) -> Vec<f64> {
+        self.center
+            .iter()
+            .zip(&self.half_lengths)
+            .map(|(x, l)| x + l)
+            .collect()
+    }
+
+    /// Lower bound of the region in one dimension.
+    pub fn lower_in(&self, dimension: usize) -> f64 {
+        self.center[dimension] - self.half_lengths[dimension]
+    }
+
+    /// Upper bound of the region in one dimension.
+    pub fn upper_in(&self, dimension: usize) -> f64 {
+        self.center[dimension] + self.half_lengths[dimension]
+    }
+
+    /// Volume of the hyper-rectangle: `Π_i (2 l_i)`.
+    pub fn volume(&self) -> f64 {
+        self.half_lengths.iter().map(|l| 2.0 * l).product()
+    }
+
+    /// Product of the half side lengths `Π_i l_i` (the size penalty used by the objective
+    /// functions, Eq. 2 and Eq. 4 of the paper).
+    pub fn size_penalty(&self) -> f64 {
+        self.half_lengths.iter().product()
+    }
+
+    /// Tests whether a point lies inside the region (inclusive bounds, every dimension).
+    pub fn contains(&self, point: &[f64]) -> bool {
+        point.len() == self.dimensions()
+            && self
+                .center
+                .iter()
+                .zip(&self.half_lengths)
+                .zip(point)
+                .all(|((x, l), a)| (x - l) <= *a && *a <= (x + l))
+    }
+
+    /// Tests whether a point lies inside the region when one dimension is excluded from the
+    /// constraint.
+    ///
+    /// The paper's aggregate statistic (average of dimension `i`) does not constrain dimension
+    /// `i` itself (Definition 2); this predicate implements that variant.
+    pub fn contains_ignoring(&self, point: &[f64], ignored_dimension: usize) -> bool {
+        point.len() == self.dimensions()
+            && self
+                .center
+                .iter()
+                .zip(&self.half_lengths)
+                .zip(point)
+                .enumerate()
+                .all(|(i, ((x, l), a))| {
+                    i == ignored_dimension || ((x - l) <= *a && *a <= (x + l))
+                })
+    }
+
+    /// Tests whether this region fully contains another region.
+    pub fn contains_region(&self, other: &Region) -> bool {
+        self.dimensions() == other.dimensions()
+            && (0..self.dimensions()).all(|i| {
+                self.lower_in(i) <= other.lower_in(i) && other.upper_in(i) <= self.upper_in(i)
+            })
+    }
+
+    /// Intersection of two regions, or `None` when they are disjoint (or dimensionality
+    /// differs).
+    pub fn intersection(&self, other: &Region) -> Option<Region> {
+        if self.dimensions() != other.dimensions() {
+            return None;
+        }
+        let mut lower = Vec::with_capacity(self.dimensions());
+        let mut upper = Vec::with_capacity(self.dimensions());
+        for i in 0..self.dimensions() {
+            let lo = self.lower_in(i).max(other.lower_in(i));
+            let hi = self.upper_in(i).min(other.upper_in(i));
+            if lo >= hi {
+                return None;
+            }
+            lower.push(lo);
+            upper.push(hi);
+        }
+        Region::from_bounds(&lower, &upper).ok()
+    }
+
+    /// Clamps the region to a domain, shrinking the bounds to fit. Returns `None` when the
+    /// region lies entirely outside the domain.
+    pub fn clamp_to(&self, domain: &Region) -> Option<Region> {
+        self.intersection(domain)
+    }
+
+    /// Flattens the region to the `2d`-dimensional solution vector `[x_1..x_d, l_1..l_d]` used
+    /// by the optimizers.
+    pub fn to_solution_vector(&self) -> Vec<f64> {
+        let mut v = Vec::with_capacity(2 * self.dimensions());
+        v.extend_from_slice(&self.center);
+        v.extend_from_slice(&self.half_lengths);
+        v
+    }
+
+    /// Rebuilds a region from a `2d`-dimensional solution vector, clamping half lengths to
+    /// `min_half_length` so that degenerate (zero or negative sized) candidates stay valid.
+    pub fn from_solution_vector(solution: &[f64], min_half_length: f64) -> Result<Self, DataError> {
+        if solution.is_empty() || solution.len() % 2 != 0 {
+            return Err(DataError::Empty("solution vector"));
+        }
+        let d = solution.len() / 2;
+        let center = solution[..d].to_vec();
+        let half_lengths: Vec<f64> = solution[d..]
+            .iter()
+            .map(|l| {
+                if l.is_finite() {
+                    l.abs().max(min_half_length)
+                } else {
+                    min_half_length
+                }
+            })
+            .collect();
+        Region::new(center, half_lengths)
+    }
+
+    /// Expands every half side length by a multiplicative factor.
+    pub fn scaled(&self, factor: f64) -> Result<Region, DataError> {
+        Region::new(
+            self.center.clone(),
+            self.half_lengths.iter().map(|l| l * factor).collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region(center: &[f64], half: &[f64]) -> Region {
+        Region::new(center.to_vec(), half.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn new_validates_inputs() {
+        assert!(Region::new(vec![0.5], vec![0.1]).is_ok());
+        assert!(matches!(
+            Region::new(vec![0.5], vec![0.1, 0.2]),
+            Err(DataError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            Region::new(vec![0.5], vec![0.0]),
+            Err(DataError::InvalidSideLength { .. })
+        ));
+        assert!(matches!(
+            Region::new(vec![0.5], vec![-0.1]),
+            Err(DataError::InvalidSideLength { .. })
+        ));
+        assert!(matches!(
+            Region::new(vec![0.5], vec![f64::NAN]),
+            Err(DataError::InvalidSideLength { .. })
+        ));
+        assert!(matches!(
+            Region::new(vec![], vec![]),
+            Err(DataError::Empty(_))
+        ));
+    }
+
+    #[test]
+    fn bounds_round_trip() {
+        let r = Region::from_bounds(&[0.0, 0.2], &[1.0, 0.6]).unwrap();
+        for (a, b) in r.lower().iter().zip(&[0.0, 0.2]) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        for (a, b) in r.upper().iter().zip(&[1.0, 0.6]) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        assert!((r.center()[0] - 0.5).abs() < 1e-12);
+        assert!((r.half_lengths()[1] - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn volume_and_size_penalty() {
+        let r = region(&[0.5, 0.5], &[0.25, 0.1]);
+        assert!((r.volume() - 0.5 * 0.2).abs() < 1e-12);
+        assert!((r.size_penalty() - 0.025).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unit_cube_covers_unit_domain() {
+        let c = Region::unit_cube(3);
+        assert!(c.contains(&[0.0, 0.5, 1.0]));
+        assert!(!c.contains(&[0.0, 0.5, 1.01]));
+        assert!((c.volume() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contains_checks_all_dimensions() {
+        let r = region(&[0.5, 0.5], &[0.1, 0.1]);
+        assert!(r.contains(&[0.45, 0.55]));
+        assert!(!r.contains(&[0.45, 0.75]));
+        assert!(!r.contains(&[0.45])); // dimension mismatch
+    }
+
+    #[test]
+    fn contains_ignoring_skips_one_dimension() {
+        let r = region(&[0.5, 0.5], &[0.1, 0.1]);
+        assert!(r.contains_ignoring(&[0.45, 0.95], 1));
+        assert!(!r.contains_ignoring(&[0.75, 0.95], 1));
+    }
+
+    #[test]
+    fn contains_region_and_intersection() {
+        let outer = region(&[0.5, 0.5], &[0.5, 0.5]);
+        let inner = region(&[0.5, 0.5], &[0.1, 0.1]);
+        assert!(outer.contains_region(&inner));
+        assert!(!inner.contains_region(&outer));
+
+        let a = region(&[0.3, 0.3], &[0.2, 0.2]);
+        let b = region(&[0.5, 0.5], &[0.2, 0.2]);
+        let i = a.intersection(&b).unwrap();
+        assert!((i.lower()[0] - 0.3).abs() < 1e-12);
+        assert!((i.upper()[0] - 0.5).abs() < 1e-12);
+
+        let far = region(&[2.0, 2.0], &[0.1, 0.1]);
+        assert!(a.intersection(&far).is_none());
+    }
+
+    #[test]
+    fn clamp_to_domain() {
+        let r = region(&[0.95, 0.5], &[0.2, 0.2]);
+        let clamped = r.clamp_to(&Region::unit_cube(2)).unwrap();
+        assert!(clamped.upper()[0] <= 1.0 + 1e-12);
+        assert!(clamped.lower()[0] >= 0.0 - 1e-12);
+    }
+
+    #[test]
+    fn solution_vector_round_trip() {
+        let r = region(&[0.4, 0.6], &[0.05, 0.2]);
+        let v = r.to_solution_vector();
+        assert_eq!(v, vec![0.4, 0.6, 0.05, 0.2]);
+        let back = Region::from_solution_vector(&v, 1e-6).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn solution_vector_sanitizes_degenerate_lengths() {
+        let r = Region::from_solution_vector(&[0.5, 0.5, -0.3, 0.0], 1e-3).unwrap();
+        assert!((r.half_lengths()[0] - 0.3).abs() < 1e-12);
+        assert!((r.half_lengths()[1] - 1e-3).abs() < 1e-12);
+        assert!(Region::from_solution_vector(&[0.5, 0.5, 0.1], 1e-3).is_err());
+        assert!(Region::from_solution_vector(&[], 1e-3).is_err());
+    }
+
+    #[test]
+    fn scaled_grows_the_region() {
+        let r = region(&[0.5], &[0.1]);
+        let s = r.scaled(2.0).unwrap();
+        assert!((s.half_lengths()[0] - 0.2).abs() < 1e-12);
+        assert_eq!(s.center(), r.center());
+    }
+}

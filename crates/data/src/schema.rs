@@ -1,0 +1,85 @@
+//! Dataset schema: named dimensions and the optional label attribute.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::DataError;
+
+/// Describes the columns of a [`crate::dataset::Dataset`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    dimension_names: Vec<String>,
+    label_name: Option<String>,
+}
+
+impl Schema {
+    /// Creates a schema with auto-generated dimension names `a1, ..., ad`.
+    pub fn anonymous(dimensions: usize) -> Self {
+        Self {
+            dimension_names: (1..=dimensions).map(|i| format!("a{i}")).collect(),
+            label_name: None,
+        }
+    }
+
+    /// Creates a schema from explicit dimension names.
+    pub fn named<S: Into<String>>(names: Vec<S>) -> Self {
+        Self {
+            dimension_names: names.into_iter().map(Into::into).collect(),
+            label_name: None,
+        }
+    }
+
+    /// Adds a label attribute to the schema.
+    pub fn with_label<S: Into<String>>(mut self, name: S) -> Self {
+        self.label_name = Some(name.into());
+        self
+    }
+
+    /// Number of numerical dimensions.
+    pub fn dimensions(&self) -> usize {
+        self.dimension_names.len()
+    }
+
+    /// Name of the `i`-th dimension.
+    pub fn dimension_name(&self, dimension: usize) -> Result<&str, DataError> {
+        self.dimension_names
+            .get(dimension)
+            .map(String::as_str)
+            .ok_or(DataError::UnknownDimension {
+                dimension,
+                dimensions: self.dimension_names.len(),
+            })
+    }
+
+    /// Index of the dimension with the given name, if present.
+    pub fn dimension_index(&self, name: &str) -> Option<usize> {
+        self.dimension_names.iter().position(|n| n == name)
+    }
+
+    /// Name of the label attribute, if any.
+    pub fn label_name(&self) -> Option<&str> {
+        self.label_name.as_deref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anonymous_schema_generates_names() {
+        let s = Schema::anonymous(3);
+        assert_eq!(s.dimensions(), 3);
+        assert_eq!(s.dimension_name(0).unwrap(), "a1");
+        assert_eq!(s.dimension_name(2).unwrap(), "a3");
+        assert!(s.dimension_name(3).is_err());
+        assert!(s.label_name().is_none());
+    }
+
+    #[test]
+    fn named_schema_and_lookup() {
+        let s = Schema::named(vec!["x", "y"]).with_label("activity");
+        assert_eq!(s.dimension_index("y"), Some(1));
+        assert_eq!(s.dimension_index("z"), None);
+        assert_eq!(s.label_name(), Some("activity"));
+    }
+}

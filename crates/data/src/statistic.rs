@@ -1,0 +1,354 @@
+//! The statistics engine: maps a (dataset, region) pair to the scalar statistic `y = f(x, l)`
+//! (Definition 2 / Definition 3 of the paper).
+//!
+//! This module is the expensive "true function" `f` that SuRF's surrogate models replace at
+//! mining time. Any statistic — decomposable (COUNT, SUM) or non-decomposable (MEDIAN) — can
+//! be expressed; the paper's experiments use the *density* (point count) and *aggregate*
+//! (average) statistics plus the class-ratio statistic of the Human-Activity use case.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+use crate::error::DataError;
+use crate::region::Region;
+
+/// Which values a value-aggregating statistic operates on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Target {
+    /// One of the `d` data dimensions. Per Definition 2, the targeted dimension is *not*
+    /// constrained by the region when evaluating the statistic.
+    Dimension(usize),
+    /// The dataset's measure column (e.g. a crime index), which never bounds regions.
+    Measure,
+}
+
+/// A statistic of interest `y = f(x, l)` extracted from the data vectors inside a region.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Statistic {
+    /// Number of data vectors inside the region (the paper's *density* statistic).
+    Count,
+    /// Number of data vectors per unit of region volume.
+    CountPerVolume,
+    /// Average of the target values over the region (the paper's *aggregate* statistic).
+    Average(Target),
+    /// Sum of the target values over the region.
+    Sum(Target),
+    /// Minimum of the target values over the region.
+    Min(Target),
+    /// Maximum of the target values over the region.
+    Max(Target),
+    /// Population variance of the target values over the region.
+    Variance(Target),
+    /// Median of the target values over the region (a non-decomposable statistic).
+    Median(Target),
+    /// Fraction of points inside the region carrying the given class label (the Human-Activity
+    /// use case: ratio of `activity = stand`).
+    Ratio {
+        /// The class label whose frequency is measured.
+        label: u32,
+    },
+}
+
+impl Statistic {
+    /// Convenience constructor: average of a data dimension.
+    pub fn average_of_dimension(dimension: usize) -> Self {
+        Statistic::Average(Target::Dimension(dimension))
+    }
+
+    /// Convenience constructor: average of the measure column.
+    pub fn average_of_measure() -> Self {
+        Statistic::Average(Target::Measure)
+    }
+
+    /// Whether this statistic needs the dataset's measure column.
+    pub fn needs_measure(&self) -> bool {
+        matches!(
+            self,
+            Statistic::Average(Target::Measure)
+                | Statistic::Sum(Target::Measure)
+                | Statistic::Min(Target::Measure)
+                | Statistic::Max(Target::Measure)
+                | Statistic::Variance(Target::Measure)
+                | Statistic::Median(Target::Measure)
+        )
+    }
+
+    /// Whether this statistic needs the dataset's label column.
+    pub fn needs_labels(&self) -> bool {
+        matches!(self, Statistic::Ratio { .. })
+    }
+
+    /// Value reported for an empty region. `Some` for statistics with a natural neutral value
+    /// (counts and ratios), `None` for undefined aggregates.
+    pub fn empty_value(&self) -> Option<f64> {
+        match self {
+            Statistic::Count | Statistic::CountPerVolume | Statistic::Ratio { .. } => Some(0.0),
+            _ => None,
+        }
+    }
+
+    /// Evaluates the statistic over the subset of `dataset` covered by `region`.
+    ///
+    /// Returns `Ok(None)` when the region contains no points and the statistic is undefined on
+    /// empty sets (averages, medians, ...). Count-like statistics return `Ok(Some(0.0))`.
+    pub fn evaluate(
+        &self,
+        dataset: &Dataset,
+        region: &Region,
+    ) -> Result<Option<f64>, DataError> {
+        // Region membership: a dimension-targeting statistic leaves its own dimension
+        // unconstrained (Definition 2).
+        let indices = match self.ignored_dimension() {
+            Some(dim) => {
+                if dim >= dataset.dimensions() {
+                    return Err(DataError::UnknownDimension {
+                        dimension: dim,
+                        dimensions: dataset.dimensions(),
+                    });
+                }
+                dataset.indices_in_ignoring(region, dim)?
+            }
+            None => dataset.indices_in(region)?,
+        };
+
+        match self {
+            Statistic::Count => Ok(Some(indices.len() as f64)),
+            Statistic::CountPerVolume => {
+                let volume = region.volume();
+                if volume <= 0.0 {
+                    Ok(Some(0.0))
+                } else {
+                    Ok(Some(indices.len() as f64 / volume))
+                }
+            }
+            Statistic::Ratio { label } => {
+                let labels = dataset.labels().ok_or(DataError::MissingLabels)?;
+                if indices.is_empty() {
+                    return Ok(Some(0.0));
+                }
+                let matching = indices.iter().filter(|&&i| labels[i] == *label).count();
+                Ok(Some(matching as f64 / indices.len() as f64))
+            }
+            Statistic::Average(target)
+            | Statistic::Sum(target)
+            | Statistic::Min(target)
+            | Statistic::Max(target)
+            | Statistic::Variance(target)
+            | Statistic::Median(target) => {
+                if indices.is_empty() {
+                    return Ok(None);
+                }
+                let values = self.target_values(dataset, *target, &indices)?;
+                Ok(Some(self.aggregate(&values)))
+            }
+        }
+    }
+
+    /// Evaluates the statistic, substituting `default` when the statistic is undefined on the
+    /// (empty) region.
+    pub fn evaluate_or(
+        &self,
+        dataset: &Dataset,
+        region: &Region,
+        default: f64,
+    ) -> Result<f64, DataError> {
+        Ok(self.evaluate(dataset, region)?.unwrap_or(default))
+    }
+
+    fn ignored_dimension(&self) -> Option<usize> {
+        match self {
+            Statistic::Average(Target::Dimension(d))
+            | Statistic::Sum(Target::Dimension(d))
+            | Statistic::Min(Target::Dimension(d))
+            | Statistic::Max(Target::Dimension(d))
+            | Statistic::Variance(Target::Dimension(d))
+            | Statistic::Median(Target::Dimension(d)) => Some(*d),
+            _ => None,
+        }
+    }
+
+    fn target_values(
+        &self,
+        dataset: &Dataset,
+        target: Target,
+        indices: &[usize],
+    ) -> Result<Vec<f64>, DataError> {
+        match target {
+            Target::Dimension(d) => {
+                let column = dataset.column(d)?;
+                Ok(indices.iter().map(|&i| column[i]).collect())
+            }
+            Target::Measure => {
+                let measure = dataset.measure().ok_or(DataError::MissingLabels)?;
+                Ok(indices.iter().map(|&i| measure[i]).collect())
+            }
+        }
+    }
+
+    fn aggregate(&self, values: &[f64]) -> f64 {
+        debug_assert!(!values.is_empty());
+        match self {
+            Statistic::Average(_) => values.iter().sum::<f64>() / values.len() as f64,
+            Statistic::Sum(_) => values.iter().sum(),
+            Statistic::Min(_) => values.iter().copied().fold(f64::INFINITY, f64::min),
+            Statistic::Max(_) => values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            Statistic::Variance(_) => {
+                let mean = values.iter().sum::<f64>() / values.len() as f64;
+                values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64
+            }
+            Statistic::Median(_) => {
+                let mut sorted = values.to_vec();
+                sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                let mid = sorted.len() / 2;
+                if sorted.len() % 2 == 1 {
+                    sorted[mid]
+                } else {
+                    0.5 * (sorted[mid - 1] + sorted[mid])
+                }
+            }
+            // Count-like statistics never reach aggregate().
+            _ => unreachable!("aggregate called on a count-like statistic"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset() -> Dataset {
+        // 6 points in [0,1]^2, measure = 10 * x, labels alternate 0/1.
+        let xs = vec![0.1, 0.2, 0.3, 0.6, 0.7, 0.8];
+        let ys = vec![0.1, 0.2, 0.3, 0.6, 0.7, 0.8];
+        let measure: Vec<f64> = xs.iter().map(|x| 10.0 * x).collect();
+        Dataset::from_columns(vec![xs, ys])
+            .unwrap()
+            .with_labels(vec![0, 1, 0, 1, 0, 1])
+            .unwrap()
+            .with_measure("m", measure)
+            .unwrap()
+    }
+
+    fn left_half() -> Region {
+        Region::from_bounds(&[0.0, 0.0], &[0.45, 0.45]).unwrap()
+    }
+
+    #[test]
+    fn count_and_count_per_volume() {
+        let d = dataset();
+        let r = left_half();
+        assert_eq!(Statistic::Count.evaluate(&d, &r).unwrap(), Some(3.0));
+        let cpv = Statistic::CountPerVolume.evaluate(&d, &r).unwrap().unwrap();
+        assert!((cpv - 3.0 / (0.45 * 0.45)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_region_behaviour() {
+        let d = dataset();
+        let empty = Region::from_bounds(&[0.90, 0.90], &[0.95, 0.95]).unwrap();
+        assert_eq!(Statistic::Count.evaluate(&d, &empty).unwrap(), Some(0.0));
+        assert_eq!(
+            Statistic::average_of_measure().evaluate(&d, &empty).unwrap(),
+            None
+        );
+        assert_eq!(
+            Statistic::average_of_measure()
+                .evaluate_or(&d, &empty, -1.0)
+                .unwrap(),
+            -1.0
+        );
+        assert_eq!(
+            Statistic::Ratio { label: 1 }.evaluate(&d, &empty).unwrap(),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn average_sum_min_max_variance_median_of_measure() {
+        let d = dataset();
+        let r = left_half();
+        // Measure values inside: 1.0, 2.0, 3.0.
+        let avg = Statistic::average_of_measure().evaluate(&d, &r).unwrap();
+        assert_eq!(avg, Some(2.0));
+        assert_eq!(
+            Statistic::Sum(Target::Measure).evaluate(&d, &r).unwrap(),
+            Some(6.0)
+        );
+        assert_eq!(
+            Statistic::Min(Target::Measure).evaluate(&d, &r).unwrap(),
+            Some(1.0)
+        );
+        assert_eq!(
+            Statistic::Max(Target::Measure).evaluate(&d, &r).unwrap(),
+            Some(3.0)
+        );
+        let var = Statistic::Variance(Target::Measure)
+            .evaluate(&d, &r)
+            .unwrap()
+            .unwrap();
+        assert!((var - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(
+            Statistic::Median(Target::Measure).evaluate(&d, &r).unwrap(),
+            Some(2.0)
+        );
+    }
+
+    #[test]
+    fn median_of_even_count() {
+        let d = dataset();
+        let r = Region::from_bounds(&[0.0, 0.0], &[0.65, 0.65]).unwrap();
+        // Measure values inside: 1,2,3,6 -> median 2.5.
+        assert_eq!(
+            Statistic::Median(Target::Measure).evaluate(&d, &r).unwrap(),
+            Some(2.5)
+        );
+    }
+
+    #[test]
+    fn dimension_target_ignores_its_own_dimension() {
+        let d = dataset();
+        // Region narrow in y but the statistic averages dimension 1 (y), so membership is only
+        // constrained on x: points x <= 0.45 are 0.1, 0.2, 0.3 with y values 0.1, 0.2, 0.3.
+        let r = Region::from_bounds(&[0.0, 0.0], &[0.45, 0.01]).unwrap();
+        let avg_y = Statistic::average_of_dimension(1).evaluate(&d, &r).unwrap();
+        assert!((avg_y.unwrap() - 0.2).abs() < 1e-12);
+        // With a dimension-0 target instead, dimension 1's narrow bound applies and only the
+        // point (0.1, 0.1) falls inside... none actually because y <= 0.01 excludes it? y=0.1 > 0.01.
+        let avg_x = Statistic::average_of_dimension(0).evaluate(&d, &r).unwrap();
+        assert!(avg_x.is_none());
+    }
+
+    #[test]
+    fn ratio_statistic() {
+        let d = dataset();
+        let r = left_half();
+        // Labels inside: 0, 1, 0 -> ratio of label 1 is 1/3.
+        let ratio = Statistic::Ratio { label: 1 }.evaluate(&d, &r).unwrap();
+        assert!((ratio.unwrap() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_requires_labels_and_measure_requires_measure() {
+        let bare = Dataset::from_columns(vec![vec![0.1, 0.2], vec![0.1, 0.2]]).unwrap();
+        let r = Region::unit_cube(2);
+        assert!(Statistic::Ratio { label: 1 }.evaluate(&bare, &r).is_err());
+        assert!(Statistic::average_of_measure().evaluate(&bare, &r).is_err());
+    }
+
+    #[test]
+    fn unknown_dimension_is_an_error() {
+        let d = dataset();
+        let r = left_half();
+        assert!(Statistic::average_of_dimension(9).evaluate(&d, &r).is_err());
+    }
+
+    #[test]
+    fn needs_flags_and_empty_values() {
+        assert!(Statistic::Ratio { label: 0 }.needs_labels());
+        assert!(!Statistic::Count.needs_labels());
+        assert!(Statistic::average_of_measure().needs_measure());
+        assert!(!Statistic::average_of_dimension(0).needs_measure());
+        assert_eq!(Statistic::Count.empty_value(), Some(0.0));
+        assert_eq!(Statistic::average_of_measure().empty_value(), None);
+    }
+}

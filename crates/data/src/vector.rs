@@ -1,0 +1,119 @@
+//! Multivariate data vectors (Definition 1 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::DataError;
+
+/// A data vector `a = (a_1, ..., a_d) ∈ R^d`, optionally carrying a class label.
+///
+/// Labels are used by ratio statistics (e.g. "fraction of points with activity = stand" in the
+/// Human-Activity use case) and are ignored by purely numerical statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataVector {
+    /// Coordinates of the vector across the `d` data dimensions.
+    pub values: Vec<f64>,
+    /// Optional class label (categorical attribute encoded as an integer).
+    pub label: Option<u32>,
+}
+
+impl DataVector {
+    /// Creates an unlabeled data vector.
+    pub fn new(values: Vec<f64>) -> Self {
+        Self {
+            values,
+            label: None,
+        }
+    }
+
+    /// Creates a labeled data vector.
+    pub fn labeled(values: Vec<f64>, label: u32) -> Self {
+        Self {
+            values,
+            label: Some(label),
+        }
+    }
+
+    /// Dimensionality `d` of the vector.
+    pub fn dimensions(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns the coordinate in the requested dimension.
+    pub fn coordinate(&self, dimension: usize) -> Result<f64, DataError> {
+        self.values
+            .get(dimension)
+            .copied()
+            .ok_or(DataError::UnknownDimension {
+                dimension,
+                dimensions: self.values.len(),
+            })
+    }
+
+    /// Euclidean (L2) distance to another vector of the same dimensionality.
+    pub fn distance(&self, other: &DataVector) -> Result<f64, DataError> {
+        if self.dimensions() != other.dimensions() {
+            return Err(DataError::DimensionMismatch {
+                expected: self.dimensions(),
+                actual: other.dimensions(),
+            });
+        }
+        Ok(self
+            .values
+            .iter()
+            .zip(&other.values)
+            .map(|(a, b)| (a - b).powi(2))
+            .sum::<f64>()
+            .sqrt())
+    }
+}
+
+impl From<Vec<f64>> for DataVector {
+    fn from(values: Vec<f64>) -> Self {
+        DataVector::new(values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimensions_and_coordinates() {
+        let v = DataVector::new(vec![1.0, 2.0, 3.0]);
+        assert_eq!(v.dimensions(), 3);
+        assert_eq!(v.coordinate(1).unwrap(), 2.0);
+        assert!(matches!(
+            v.coordinate(5),
+            Err(DataError::UnknownDimension { dimension: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn labeled_vectors_keep_their_label() {
+        let v = DataVector::labeled(vec![0.1, 0.2], 4);
+        assert_eq!(v.label, Some(4));
+        let u = DataVector::new(vec![0.1, 0.2]);
+        assert_eq!(u.label, None);
+    }
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = DataVector::new(vec![0.0, 0.0]);
+        let b = DataVector::new(vec![3.0, 4.0]);
+        assert!((a.distance(&b).unwrap() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_rejects_dimension_mismatch() {
+        let a = DataVector::new(vec![0.0, 0.0]);
+        let b = DataVector::new(vec![1.0]);
+        assert!(a.distance(&b).is_err());
+    }
+
+    #[test]
+    fn from_vec_builds_unlabeled_vector() {
+        let v: DataVector = vec![1.0, 2.0].into();
+        assert_eq!(v.values, vec![1.0, 2.0]);
+        assert!(v.label.is_none());
+    }
+}

@@ -1,0 +1,323 @@
+//! Past-query workloads: the training sets `Q = {[x_m, l_m, y_m]}` used to fit surrogate
+//! models (Section IV and Section V-A of the paper).
+//!
+//! The paper trains surrogates "using a set of past function evaluations executed across the
+//! data space with centers x selected uniformly at random and region side lengths l set to
+//! cover 1%–15% (uniformly) of the data domain". [`WorkloadSpec`] reproduces exactly that
+//! sampling scheme; the resulting [`Workload`] exposes feature matrices in the `2d`-dimensional
+//! region representation expected by the surrogate models.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+use crate::error::DataError;
+use crate::region::Region;
+use crate::statistic::Statistic;
+
+/// One past region evaluation: a region and the statistic value observed for it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionEvaluation {
+    /// The evaluated region.
+    pub region: Region,
+    /// The observed statistic `y = f(x, l)`.
+    pub value: f64,
+}
+
+/// Sampling scheme for generating past-query workloads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Number of region evaluations to generate.
+    pub queries: usize,
+    /// Minimum fraction of each domain side covered by a query region (paper: 1 %).
+    pub min_coverage: f64,
+    /// Maximum fraction of each domain side covered by a query region (paper: 15 %).
+    pub max_coverage: f64,
+    /// Value recorded when the statistic is undefined on an empty region.
+    pub empty_value: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        Self {
+            queries: 2_000,
+            min_coverage: 0.01,
+            max_coverage: 0.15,
+            empty_value: 0.0,
+            seed: 13,
+        }
+    }
+}
+
+impl WorkloadSpec {
+    /// Spec with an explicit number of queries.
+    pub fn with_queries(mut self, queries: usize) -> Self {
+        self.queries = queries;
+        self
+    }
+
+    /// Spec with an explicit coverage range (fractions of the domain side length).
+    pub fn with_coverage(mut self, min_coverage: f64, max_coverage: f64) -> Self {
+        self.min_coverage = min_coverage;
+        self.max_coverage = max_coverage;
+        self
+    }
+
+    /// Spec with an explicit seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Spec with an explicit value to record for empty regions.
+    pub fn with_empty_value(mut self, empty_value: f64) -> Self {
+        self.empty_value = empty_value;
+        self
+    }
+}
+
+/// A collection of past region evaluations for a fixed (dataset, statistic) pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// The statistic the evaluations were computed with.
+    pub statistic: Statistic,
+    /// The evaluations.
+    pub evaluations: Vec<RegionEvaluation>,
+}
+
+impl Workload {
+    /// Generates a workload by sampling regions per `spec` and evaluating `statistic` over the
+    /// dataset (this is the expensive, data-touching step that is paid once up front).
+    pub fn generate(
+        dataset: &Dataset,
+        statistic: Statistic,
+        spec: &WorkloadSpec,
+    ) -> Result<Workload, DataError> {
+        if spec.queries == 0 {
+            return Err(DataError::Empty("workload"));
+        }
+        if !(spec.min_coverage > 0.0 && spec.min_coverage <= spec.max_coverage) {
+            return Err(DataError::InvalidSideLength {
+                dimension: 0,
+                value: spec.min_coverage,
+            });
+        }
+        let domain = dataset.domain()?;
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let mut evaluations = Vec::with_capacity(spec.queries);
+        for _ in 0..spec.queries {
+            let region = sample_region(&domain, spec, &mut rng);
+            let value = statistic.evaluate_or(dataset, &region, spec.empty_value)?;
+            evaluations.push(RegionEvaluation { region, value });
+        }
+        Ok(Workload {
+            statistic,
+            evaluations,
+        })
+    }
+
+    /// Number of evaluations.
+    pub fn len(&self) -> usize {
+        self.evaluations.len()
+    }
+
+    /// Whether the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.evaluations.is_empty()
+    }
+
+    /// Dimensionality of the underlying regions (0 for an empty workload).
+    pub fn dimensions(&self) -> usize {
+        self.evaluations
+            .first()
+            .map(|e| e.region.dimensions())
+            .unwrap_or(0)
+    }
+
+    /// Feature matrix (each row is the `2d`-dimensional `[x, l]` vector) and target vector.
+    pub fn to_xy(&self) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let features = self
+            .evaluations
+            .iter()
+            .map(|e| e.region.to_solution_vector())
+            .collect();
+        let targets = self.evaluations.iter().map(|e| e.value).collect();
+        (features, targets)
+    }
+
+    /// Splits the workload into a training and a held-out part (`test_fraction` of the
+    /// evaluations, shuffled with `seed`).
+    pub fn train_test_split(&self, test_fraction: f64, seed: u64) -> (Workload, Workload) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut indices = crate::random::shuffled_indices(&mut rng, self.len());
+        let test_size = ((self.len() as f64) * test_fraction.clamp(0.0, 1.0)).round() as usize;
+        let test_indices: Vec<usize> = indices.drain(..test_size.min(self.len())).collect();
+        let pick = |idx: &[usize]| Workload {
+            statistic: self.statistic,
+            evaluations: idx.iter().map(|&i| self.evaluations[i].clone()).collect(),
+        };
+        (pick(&indices), pick(&test_indices))
+    }
+
+    /// Empirical cumulative distribution function of the observed statistic values, evaluated
+    /// at `value` — used to reason about the feasibility of a threshold (Eq. 5 of the paper).
+    pub fn empirical_cdf(&self, value: f64) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let below = self
+            .evaluations
+            .iter()
+            .filter(|e| e.value <= value)
+            .count();
+        below as f64 / self.len() as f64
+    }
+
+    /// Empirical quantile of the observed statistic values (`q ∈ [0, 1]`).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut values: Vec<f64> = self.evaluations.iter().map(|e| e.value).collect();
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let idx = ((values.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        Some(values[idx])
+    }
+}
+
+/// Samples one query region: center uniform inside the domain, half side length per dimension
+/// uniform in `[min_coverage, max_coverage] × domain_side`.
+fn sample_region(domain: &Region, spec: &WorkloadSpec, rng: &mut StdRng) -> Region {
+    let d = domain.dimensions();
+    let mut center = Vec::with_capacity(d);
+    let mut half = Vec::with_capacity(d);
+    for dim in 0..d {
+        let lo = domain.lower_in(dim);
+        let hi = domain.upper_in(dim);
+        let side = hi - lo;
+        center.push(rng.random_range(lo..hi));
+        let coverage = rng.random_range(spec.min_coverage..=spec.max_coverage);
+        half.push((coverage * side).max(f64::MIN_POSITIVE));
+    }
+    Region::new(center, half).expect("sampled half lengths are positive")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{SyntheticDataset, SyntheticSpec};
+
+    fn dataset() -> Dataset {
+        SyntheticDataset::generate(&SyntheticSpec::density(2, 1).with_points(2_000).with_seed(8))
+            .dataset
+    }
+
+    #[test]
+    fn generates_requested_number_of_evaluations() {
+        let d = dataset();
+        let workload =
+            Workload::generate(&d, Statistic::Count, &WorkloadSpec::default().with_queries(300))
+                .unwrap();
+        assert_eq!(workload.len(), 300);
+        assert_eq!(workload.dimensions(), 2);
+        assert!(!workload.is_empty());
+    }
+
+    #[test]
+    fn region_sizes_respect_coverage_bounds() {
+        let d = dataset();
+        let spec = WorkloadSpec::default()
+            .with_queries(200)
+            .with_coverage(0.01, 0.15);
+        let workload = Workload::generate(&d, Statistic::Count, &spec).unwrap();
+        let domain = d.domain().unwrap();
+        for eval in &workload.evaluations {
+            for dim in 0..2 {
+                let side = domain.upper_in(dim) - domain.lower_in(dim);
+                let coverage = eval.region.half_lengths()[dim] / side;
+                assert!(
+                    coverage >= 0.0099 && coverage <= 0.1501,
+                    "coverage {coverage} outside [1%, 15%]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn values_match_direct_evaluation() {
+        let d = dataset();
+        let workload =
+            Workload::generate(&d, Statistic::Count, &WorkloadSpec::default().with_queries(50))
+                .unwrap();
+        for eval in workload.evaluations.iter().take(10) {
+            let direct = Statistic::Count.evaluate_or(&d, &eval.region, 0.0).unwrap();
+            assert_eq!(direct, eval.value);
+        }
+    }
+
+    #[test]
+    fn to_xy_has_2d_features() {
+        let d = dataset();
+        let workload =
+            Workload::generate(&d, Statistic::Count, &WorkloadSpec::default().with_queries(20))
+                .unwrap();
+        let (x, y) = workload.to_xy();
+        assert_eq!(x.len(), 20);
+        assert_eq!(y.len(), 20);
+        assert!(x.iter().all(|row| row.len() == 4));
+    }
+
+    #[test]
+    fn train_test_split_partitions_the_workload() {
+        let d = dataset();
+        let workload =
+            Workload::generate(&d, Statistic::Count, &WorkloadSpec::default().with_queries(100))
+                .unwrap();
+        let (train, test) = workload.train_test_split(0.2, 3);
+        assert_eq!(train.len(), 80);
+        assert_eq!(test.len(), 20);
+        assert_eq!(train.len() + test.len(), workload.len());
+    }
+
+    #[test]
+    fn cdf_and_quantile_are_consistent() {
+        let d = dataset();
+        let workload =
+            Workload::generate(&d, Statistic::Count, &WorkloadSpec::default().with_queries(400))
+                .unwrap();
+        let q3 = workload.quantile(0.75).unwrap();
+        let cdf = workload.empirical_cdf(q3);
+        assert!(cdf >= 0.70 && cdf <= 0.85, "cdf at Q3 is {cdf}");
+        assert_eq!(workload.empirical_cdf(f64::INFINITY), 1.0);
+        assert_eq!(workload.empirical_cdf(-1.0), 0.0);
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        let d = dataset();
+        assert!(Workload::generate(
+            &d,
+            Statistic::Count,
+            &WorkloadSpec::default().with_queries(0)
+        )
+        .is_err());
+        assert!(Workload::generate(
+            &d,
+            Statistic::Count,
+            &WorkloadSpec::default().with_coverage(0.2, 0.1)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let d = dataset();
+        let spec = WorkloadSpec::default().with_queries(50).with_seed(77);
+        let a = Workload::generate(&d, Statistic::Count, &spec).unwrap();
+        let b = Workload::generate(&d, Statistic::Count, &spec).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,169 @@
+//! K-fold cross-validation.
+//!
+//! The paper hyper-tunes its surrogate models "using Grid-Search with K-fold cross validation"
+//! (Section V-A); this module provides the fold construction and a convenience scorer that
+//! reports per-fold out-of-sample RMSE of a [`Gbrt`] configuration.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::{validate_xy, MlError};
+use crate::gbrt::{Gbrt, GbrtParams};
+use crate::metrics::rmse;
+
+/// A deterministic K-fold splitter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KFold {
+    /// Number of folds.
+    pub folds: usize,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl KFold {
+    /// Creates a splitter with the given number of folds.
+    pub fn new(folds: usize, seed: u64) -> Self {
+        Self { folds, seed }
+    }
+
+    /// Produces `(train_indices, test_indices)` pairs covering `examples` rows.
+    ///
+    /// Every row appears in exactly one test fold; fold sizes differ by at most one.
+    pub fn splits(&self, examples: usize) -> Result<Vec<(Vec<usize>, Vec<usize>)>, MlError> {
+        if self.folds < 2 || self.folds > examples {
+            return Err(MlError::InvalidFolds {
+                folds: self.folds,
+                examples,
+            });
+        }
+        let mut indices: Vec<usize> = (0..examples).collect();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        for i in (1..indices.len()).rev() {
+            let j = rng.random_range(0..=i);
+            indices.swap(i, j);
+        }
+        let base = examples / self.folds;
+        let remainder = examples % self.folds;
+        let mut splits = Vec::with_capacity(self.folds);
+        let mut start = 0usize;
+        for fold in 0..self.folds {
+            let size = base + usize::from(fold < remainder);
+            let test: Vec<usize> = indices[start..start + size].to_vec();
+            let train: Vec<usize> = indices[..start]
+                .iter()
+                .chain(&indices[start + size..])
+                .copied()
+                .collect();
+            splits.push((train, test));
+            start += size;
+        }
+        Ok(splits)
+    }
+}
+
+/// The per-fold scores of a cross-validated configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CvScores {
+    /// Out-of-sample RMSE of each fold.
+    pub fold_rmse: Vec<f64>,
+}
+
+impl CvScores {
+    /// Mean RMSE across folds.
+    pub fn mean_rmse(&self) -> f64 {
+        crate::metrics::mean(&self.fold_rmse)
+    }
+
+    /// Standard deviation of the per-fold RMSE.
+    pub fn std_rmse(&self) -> f64 {
+        crate::metrics::std_dev(&self.fold_rmse)
+    }
+}
+
+/// Cross-validates a GBRT configuration and returns the per-fold out-of-sample RMSE.
+pub fn cross_validate_gbrt(
+    features: &[Vec<f64>],
+    targets: &[f64],
+    params: &GbrtParams,
+    kfold: KFold,
+) -> Result<CvScores, MlError> {
+    validate_xy(features, targets)?;
+    let splits = kfold.splits(features.len())?;
+    let mut fold_rmse = Vec::with_capacity(splits.len());
+    for (train_idx, test_idx) in splits {
+        let train_x: Vec<Vec<f64>> = train_idx.iter().map(|&i| features[i].clone()).collect();
+        let train_y: Vec<f64> = train_idx.iter().map(|&i| targets[i]).collect();
+        let test_x: Vec<Vec<f64>> = test_idx.iter().map(|&i| features[i].clone()).collect();
+        let test_y: Vec<f64> = test_idx.iter().map(|&i| targets[i]).collect();
+        let model = Gbrt::fit(&train_x, &train_y, params)?;
+        let predictions = model.predict(&test_x)?;
+        fold_rmse.push(rmse(&test_y, &predictions));
+    }
+    Ok(CvScores { fold_rmse })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn splits_cover_every_example_exactly_once() {
+        let kfold = KFold::new(5, 1);
+        let splits = kfold.splits(103).unwrap();
+        assert_eq!(splits.len(), 5);
+        let mut seen = vec![0usize; 103];
+        for (train, test) in &splits {
+            assert_eq!(train.len() + test.len(), 103);
+            for &i in test {
+                seen[i] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn fold_sizes_differ_by_at_most_one() {
+        let splits = KFold::new(4, 2).splits(10).unwrap();
+        let sizes: Vec<usize> = splits.iter().map(|(_, test)| test.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn invalid_fold_counts_are_rejected() {
+        assert!(KFold::new(1, 0).splits(10).is_err());
+        assert!(KFold::new(11, 0).splits(10).is_err());
+        assert!(KFold::new(2, 0).splits(10).is_ok());
+    }
+
+    #[test]
+    fn splits_are_deterministic_per_seed() {
+        let a = KFold::new(3, 9).splits(30).unwrap();
+        let b = KFold::new(3, 9).splits(30).unwrap();
+        assert_eq!(a, b);
+        let c = KFold::new(3, 10).splits(30).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn cross_validation_scores_a_learnable_problem() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let features: Vec<Vec<f64>> = (0..300)
+            .map(|_| vec![rng.random::<f64>(), rng.random::<f64>()])
+            .collect();
+        let targets: Vec<f64> = features.iter().map(|x| 2.0 * x[0] + x[1]).collect();
+        let scores = cross_validate_gbrt(
+            &features,
+            &targets,
+            &GbrtParams::quick(),
+            KFold::new(4, 7),
+        )
+        .unwrap();
+        assert_eq!(scores.fold_rmse.len(), 4);
+        // Targets span roughly [0, 3]; a useful model should be well below the target spread.
+        assert!(scores.mean_rmse() < 0.5, "mean RMSE {}", scores.mean_rmse());
+        assert!(scores.std_rmse() >= 0.0);
+    }
+}

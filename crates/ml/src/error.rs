@@ -1,0 +1,158 @@
+//! Error type for the statistical-learning substrate.
+
+use std::fmt;
+
+/// Errors raised while fitting or evaluating models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MlError {
+    /// Feature matrix and target vector have different numbers of rows.
+    LengthMismatch {
+        /// Number of feature rows.
+        features: usize,
+        /// Number of targets.
+        targets: usize,
+    },
+    /// The feature matrix has rows of differing width.
+    RaggedFeatures {
+        /// Width of the first row.
+        first: usize,
+        /// Index of the offending row.
+        row: usize,
+        /// Width of the offending row.
+        width: usize,
+    },
+    /// A training set was empty where at least one example is required.
+    EmptyTrainingSet,
+    /// A prediction was requested with the wrong number of features.
+    FeatureWidthMismatch {
+        /// Width the model was trained with.
+        expected: usize,
+        /// Width supplied at prediction time.
+        actual: usize,
+    },
+    /// An invalid hyper-parameter value was supplied.
+    InvalidParameter {
+        /// The parameter's name.
+        name: &'static str,
+        /// The offending value, formatted.
+        value: String,
+    },
+    /// Cross-validation was configured with an unusable number of folds.
+    InvalidFolds {
+        /// The requested number of folds.
+        folds: usize,
+        /// The number of available examples.
+        examples: usize,
+    },
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::LengthMismatch { features, targets } => write!(
+                f,
+                "feature rows ({features}) and targets ({targets}) differ in length"
+            ),
+            MlError::RaggedFeatures { first, row, width } => write!(
+                f,
+                "ragged features: row 0 has width {first} but row {row} has width {width}"
+            ),
+            MlError::EmptyTrainingSet => write!(f, "training set must not be empty"),
+            MlError::FeatureWidthMismatch { expected, actual } => write!(
+                f,
+                "feature width mismatch: model expects {expected}, got {actual}"
+            ),
+            MlError::InvalidParameter { name, value } => {
+                write!(f, "invalid value {value} for parameter {name}")
+            }
+            MlError::InvalidFolds { folds, examples } => write!(
+                f,
+                "cannot run {folds}-fold cross-validation on {examples} examples"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MlError {}
+
+/// Validates that a feature matrix is rectangular and aligned with its targets.
+pub(crate) fn validate_xy(features: &[Vec<f64>], targets: &[f64]) -> Result<usize, MlError> {
+    if features.is_empty() || targets.is_empty() {
+        return Err(MlError::EmptyTrainingSet);
+    }
+    if features.len() != targets.len() {
+        return Err(MlError::LengthMismatch {
+            features: features.len(),
+            targets: targets.len(),
+        });
+    }
+    let width = features[0].len();
+    if width == 0 {
+        return Err(MlError::RaggedFeatures {
+            first: 0,
+            row: 0,
+            width: 0,
+        });
+    }
+    for (i, row) in features.iter().enumerate() {
+        if row.len() != width {
+            return Err(MlError::RaggedFeatures {
+                first: width,
+                row: i,
+                width: row.len(),
+            });
+        }
+    }
+    Ok(width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_xy_accepts_rectangular_input() {
+        let x = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let y = vec![1.0, 2.0];
+        assert_eq!(validate_xy(&x, &y).unwrap(), 2);
+    }
+
+    #[test]
+    fn validate_xy_rejects_bad_input() {
+        assert_eq!(validate_xy(&[], &[]), Err(MlError::EmptyTrainingSet));
+        let x = vec![vec![1.0], vec![2.0]];
+        assert!(matches!(
+            validate_xy(&x, &[1.0]),
+            Err(MlError::LengthMismatch { .. })
+        ));
+        let ragged = vec![vec![1.0, 2.0], vec![3.0]];
+        assert!(matches!(
+            validate_xy(&ragged, &[1.0, 2.0]),
+            Err(MlError::RaggedFeatures { .. })
+        ));
+        let empty_row = vec![vec![], vec![]];
+        assert!(matches!(
+            validate_xy(&empty_row, &[1.0, 2.0]),
+            Err(MlError::RaggedFeatures { .. })
+        ));
+    }
+
+    #[test]
+    fn display_messages() {
+        let e = MlError::FeatureWidthMismatch {
+            expected: 4,
+            actual: 2,
+        };
+        assert!(e.to_string().contains("expects 4"));
+        let e = MlError::InvalidParameter {
+            name: "learning_rate",
+            value: "-1".into(),
+        };
+        assert!(e.to_string().contains("learning_rate"));
+        let e = MlError::InvalidFolds {
+            folds: 10,
+            examples: 3,
+        };
+        assert!(e.to_string().contains("10-fold"));
+    }
+}

@@ -1,0 +1,469 @@
+//! Gradient-Boosted Regression Trees — the "XGB" surrogate model of the paper.
+//!
+//! The ensemble minimizes squared error by stage-wise fitting regression trees to the current
+//! residuals, scaled by a learning rate (shrinkage). The hyper-parameters mirror the ones the
+//! paper tunes with grid search (Section V-E): `learning_rate`, `max_depth`, `n_estimators`
+//! and `reg_lambda`, plus row subsampling and early stopping on a validation split.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{validate_xy, MlError};
+use crate::metrics::rmse;
+use crate::tree::{RegressionTree, TreeParams};
+
+/// Hyper-parameters of the boosted ensemble.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GbrtParams {
+    /// Number of boosting rounds (`n_estimators` in the paper's grid).
+    pub n_estimators: usize,
+    /// Shrinkage applied to every tree's contribution (`learning_rate`).
+    pub learning_rate: f64,
+    /// Maximum depth of each tree (`max_depth`).
+    pub max_depth: usize,
+    /// L2 regularization on leaf values (`reg_lambda`).
+    pub reg_lambda: f64,
+    /// Fraction of rows sampled (without replacement) for each tree; 1.0 disables subsampling.
+    pub subsample: f64,
+    /// Minimum number of examples per leaf.
+    pub min_samples_leaf: usize,
+    /// Stop early when the validation RMSE has not improved for this many rounds (0 disables
+    /// early stopping).
+    pub early_stopping_rounds: usize,
+    /// Fraction of the training data held out as the early-stopping validation split.
+    pub validation_fraction: f64,
+    /// RNG seed for subsampling and the validation split.
+    pub seed: u64,
+}
+
+impl Default for GbrtParams {
+    fn default() -> Self {
+        Self {
+            n_estimators: 100,
+            learning_rate: 0.1,
+            max_depth: 5,
+            reg_lambda: 1.0,
+            subsample: 1.0,
+            min_samples_leaf: 1,
+            early_stopping_rounds: 0,
+            validation_fraction: 0.1,
+            seed: 0,
+        }
+    }
+}
+
+impl GbrtParams {
+    /// Small, fast configuration useful in tests and quick experiments.
+    pub fn quick() -> Self {
+        Self {
+            n_estimators: 40,
+            max_depth: 4,
+            ..Self::default()
+        }
+    }
+
+    /// The configuration the paper reports as its default XGB setup.
+    pub fn paper_default() -> Self {
+        Self {
+            n_estimators: 100,
+            learning_rate: 0.1,
+            max_depth: 7,
+            reg_lambda: 1.0,
+            ..Self::default()
+        }
+    }
+
+    /// Builder-style override of the number of boosting rounds.
+    pub fn with_n_estimators(mut self, n: usize) -> Self {
+        self.n_estimators = n;
+        self
+    }
+
+    /// Builder-style override of the learning rate.
+    pub fn with_learning_rate(mut self, lr: f64) -> Self {
+        self.learning_rate = lr;
+        self
+    }
+
+    /// Builder-style override of the tree depth.
+    pub fn with_max_depth(mut self, depth: usize) -> Self {
+        self.max_depth = depth;
+        self
+    }
+
+    /// Builder-style override of the L2 leaf regularization.
+    pub fn with_reg_lambda(mut self, lambda: f64) -> Self {
+        self.reg_lambda = lambda;
+        self
+    }
+
+    /// Builder-style override of the row-subsampling fraction.
+    pub fn with_subsample(mut self, subsample: f64) -> Self {
+        self.subsample = subsample;
+        self
+    }
+
+    /// Builder-style override of the early-stopping patience.
+    pub fn with_early_stopping(mut self, rounds: usize) -> Self {
+        self.early_stopping_rounds = rounds;
+        self
+    }
+
+    /// Builder-style override of the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates the parameters.
+    pub fn validate(&self) -> Result<(), MlError> {
+        if self.n_estimators == 0 {
+            return Err(MlError::InvalidParameter {
+                name: "n_estimators",
+                value: "0".into(),
+            });
+        }
+        if self.max_depth == 0 {
+            return Err(MlError::InvalidParameter {
+                name: "max_depth",
+                value: "0".into(),
+            });
+        }
+        if !(self.learning_rate.is_finite() && self.learning_rate > 0.0) {
+            return Err(MlError::InvalidParameter {
+                name: "learning_rate",
+                value: format!("{}", self.learning_rate),
+            });
+        }
+        if !(self.subsample > 0.0 && self.subsample <= 1.0) {
+            return Err(MlError::InvalidParameter {
+                name: "subsample",
+                value: format!("{}", self.subsample),
+            });
+        }
+        if !(self.validation_fraction > 0.0 && self.validation_fraction < 1.0) {
+            return Err(MlError::InvalidParameter {
+                name: "validation_fraction",
+                value: format!("{}", self.validation_fraction),
+            });
+        }
+        if !(self.reg_lambda.is_finite() && self.reg_lambda >= 0.0) {
+            return Err(MlError::InvalidParameter {
+                name: "reg_lambda",
+                value: format!("{}", self.reg_lambda),
+            });
+        }
+        self.tree_params().validate()
+    }
+
+    fn tree_params(&self) -> TreeParams {
+        TreeParams {
+            max_depth: self.max_depth.max(1),
+            min_samples_split: 2 * self.min_samples_leaf.max(1),
+            min_samples_leaf: self.min_samples_leaf.max(1),
+            min_gain: 1e-12,
+            leaf_regularization: self.reg_lambda,
+        }
+    }
+}
+
+/// A fitted gradient-boosted ensemble.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Gbrt {
+    base_prediction: f64,
+    trees: Vec<RegressionTree>,
+    learning_rate: f64,
+    features: usize,
+    train_rmse_history: Vec<f64>,
+    validation_rmse_history: Vec<f64>,
+}
+
+impl Gbrt {
+    /// Fits the ensemble.
+    pub fn fit(
+        features: &[Vec<f64>],
+        targets: &[f64],
+        params: &GbrtParams,
+    ) -> Result<Self, MlError> {
+        let width = validate_xy(features, targets)?;
+        params.validate()?;
+
+        let n = features.len();
+        let mut rng = StdRng::seed_from_u64(params.seed);
+
+        // Optional validation split for early stopping.
+        let use_early_stopping = params.early_stopping_rounds > 0 && n >= 20;
+        let (train_idx, valid_idx) = if use_early_stopping {
+            let mut idx: Vec<usize> = (0..n).collect();
+            shuffle(&mut idx, &mut rng);
+            let valid_size = ((n as f64) * params.validation_fraction).ceil() as usize;
+            let valid_size = valid_size.clamp(1, n - 1);
+            let valid: Vec<usize> = idx[..valid_size].to_vec();
+            let train: Vec<usize> = idx[valid_size..].to_vec();
+            (train, valid)
+        } else {
+            ((0..n).collect(), Vec::new())
+        };
+
+        let base_prediction =
+            train_idx.iter().map(|&i| targets[i]).sum::<f64>() / train_idx.len() as f64;
+        let mut predictions = vec![base_prediction; n];
+        let tree_params = params.tree_params();
+
+        let mut trees = Vec::with_capacity(params.n_estimators);
+        let mut train_rmse_history = Vec::with_capacity(params.n_estimators);
+        let mut validation_rmse_history = Vec::new();
+        let mut best_validation = f64::INFINITY;
+        let mut best_round = 0usize;
+
+        for round in 0..params.n_estimators {
+            // Residuals of the squared-error loss are simply y − ŷ.
+            let residuals: Vec<f64> = (0..n).map(|i| targets[i] - predictions[i]).collect();
+
+            // Row subsampling (stochastic gradient boosting).
+            let sample: Vec<usize> = if params.subsample < 1.0 {
+                let take = ((train_idx.len() as f64) * params.subsample).ceil() as usize;
+                let mut idx = train_idx.clone();
+                shuffle(&mut idx, &mut rng);
+                idx.truncate(take.max(1));
+                idx
+            } else {
+                train_idx.clone()
+            };
+
+            let tree = RegressionTree::fit_on(features, &residuals, &sample, &tree_params)?;
+            for (i, prediction) in predictions.iter_mut().enumerate() {
+                *prediction += params.learning_rate * tree.predict_one(&features[i])?;
+            }
+            trees.push(tree);
+
+            let train_truth: Vec<f64> = train_idx.iter().map(|&i| targets[i]).collect();
+            let train_pred: Vec<f64> = train_idx.iter().map(|&i| predictions[i]).collect();
+            train_rmse_history.push(rmse(&train_truth, &train_pred));
+
+            if use_early_stopping {
+                let valid_truth: Vec<f64> = valid_idx.iter().map(|&i| targets[i]).collect();
+                let valid_pred: Vec<f64> = valid_idx.iter().map(|&i| predictions[i]).collect();
+                let validation_rmse = rmse(&valid_truth, &valid_pred);
+                validation_rmse_history.push(validation_rmse);
+                if validation_rmse < best_validation - 1e-12 {
+                    best_validation = validation_rmse;
+                    best_round = round;
+                } else if round - best_round >= params.early_stopping_rounds {
+                    trees.truncate(best_round + 1);
+                    break;
+                }
+            }
+        }
+
+        Ok(Gbrt {
+            base_prediction,
+            trees,
+            learning_rate: params.learning_rate,
+            features: width,
+            train_rmse_history,
+            validation_rmse_history,
+        })
+    }
+
+    /// Number of trees in the fitted ensemble (may be fewer than `n_estimators` when early
+    /// stopping triggered).
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Number of input features.
+    pub fn features(&self) -> usize {
+        self.features
+    }
+
+    /// Training RMSE after each boosting round.
+    pub fn train_rmse_history(&self) -> &[f64] {
+        &self.train_rmse_history
+    }
+
+    /// Validation RMSE after each boosting round (empty when early stopping was disabled).
+    pub fn validation_rmse_history(&self) -> &[f64] {
+        &self.validation_rmse_history
+    }
+
+    /// Predicts the target for one example.
+    pub fn predict_one(&self, example: &[f64]) -> Result<f64, MlError> {
+        if example.len() != self.features {
+            return Err(MlError::FeatureWidthMismatch {
+                expected: self.features,
+                actual: example.len(),
+            });
+        }
+        let mut prediction = self.base_prediction;
+        for tree in &self.trees {
+            prediction += self.learning_rate * tree.predict_one(example)?;
+        }
+        Ok(prediction)
+    }
+
+    /// Predicts the targets for a batch of examples.
+    pub fn predict(&self, examples: &[Vec<f64>]) -> Result<Vec<f64>, MlError> {
+        examples.iter().map(|e| self.predict_one(e)).collect()
+    }
+
+    /// Prediction using only the first `rounds` trees (staged prediction, useful for learning
+    /// curves).
+    pub fn predict_staged(&self, example: &[f64], rounds: usize) -> Result<f64, MlError> {
+        if example.len() != self.features {
+            return Err(MlError::FeatureWidthMismatch {
+                expected: self.features,
+                actual: example.len(),
+            });
+        }
+        let mut prediction = self.base_prediction;
+        for tree in self.trees.iter().take(rounds) {
+            prediction += self.learning_rate * tree.predict_one(example)?;
+        }
+        Ok(prediction)
+    }
+
+    /// Total split gain per feature, summed over all trees.
+    pub fn feature_importance(&self) -> Vec<f64> {
+        let mut importance = vec![0.0; self.features];
+        for tree in &self.trees {
+            for (i, g) in tree.feature_importance().into_iter().enumerate() {
+                importance[i] += g;
+            }
+        }
+        importance
+    }
+}
+
+/// Fisher–Yates shuffle used for subsampling and validation splits.
+fn shuffle(indices: &mut [usize], rng: &mut StdRng) {
+    use rand::Rng;
+    for i in (1..indices.len()).rev() {
+        let j = rng.random_range(0..=i);
+        indices.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// Nonlinear target: y = sin(4x0) + x1^2, on a grid.
+    fn nonlinear_data(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let features: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.random::<f64>(), rng.random::<f64>()])
+            .collect();
+        let targets: Vec<f64> = features
+            .iter()
+            .map(|x| (4.0 * x[0]).sin() + x[1] * x[1])
+            .collect();
+        (features, targets)
+    }
+
+    #[test]
+    fn boosting_beats_the_mean_predictor() {
+        let (x, y) = nonlinear_data(600, 1);
+        let model = Gbrt::fit(&x, &y, &GbrtParams::quick()).unwrap();
+        let predictions = model.predict(&x).unwrap();
+        let model_rmse = rmse(&y, &predictions);
+        let mean = y.iter().sum::<f64>() / y.len() as f64;
+        let baseline_rmse = rmse(&y, &vec![mean; y.len()]);
+        assert!(
+            model_rmse < 0.35 * baseline_rmse,
+            "model {model_rmse} vs baseline {baseline_rmse}"
+        );
+    }
+
+    #[test]
+    fn training_rmse_is_monotonically_non_increasing() {
+        let (x, y) = nonlinear_data(300, 2);
+        let model = Gbrt::fit(&x, &y, &GbrtParams::quick()).unwrap();
+        let history = model.train_rmse_history();
+        assert_eq!(history.len(), model.n_trees());
+        for window in history.windows(2) {
+            assert!(window[1] <= window[0] + 1e-9, "history not decreasing");
+        }
+    }
+
+    #[test]
+    fn more_estimators_fit_better_on_train() {
+        let (x, y) = nonlinear_data(400, 3);
+        let small = Gbrt::fit(&x, &y, &GbrtParams::quick().with_n_estimators(5)).unwrap();
+        let large = Gbrt::fit(&x, &y, &GbrtParams::quick().with_n_estimators(80)).unwrap();
+        let rmse_small = rmse(&y, &small.predict(&x).unwrap());
+        let rmse_large = rmse(&y, &large.predict(&x).unwrap());
+        assert!(rmse_large < rmse_small);
+    }
+
+    #[test]
+    fn early_stopping_truncates_the_ensemble() {
+        let (x, y) = nonlinear_data(400, 4);
+        let params = GbrtParams::quick()
+            .with_n_estimators(300)
+            .with_early_stopping(5);
+        let model = Gbrt::fit(&x, &y, &params).unwrap();
+        assert!(model.n_trees() <= 300);
+        assert!(!model.validation_rmse_history().is_empty());
+    }
+
+    #[test]
+    fn staged_prediction_with_all_rounds_matches_predict() {
+        let (x, y) = nonlinear_data(200, 5);
+        let model = Gbrt::fit(&x, &y, &GbrtParams::quick()).unwrap();
+        let full = model.predict_one(&x[0]).unwrap();
+        let staged = model.predict_staged(&x[0], model.n_trees()).unwrap();
+        assert!((full - staged).abs() < 1e-12);
+        let none = model.predict_staged(&x[0], 0).unwrap();
+        assert!((none - y.iter().sum::<f64>() / y.len() as f64).abs() < 0.5);
+    }
+
+    #[test]
+    fn subsampling_still_learns() {
+        let (x, y) = nonlinear_data(500, 6);
+        let model = Gbrt::fit(&x, &y, &GbrtParams::quick().with_subsample(0.5)).unwrap();
+        let predictions = model.predict(&x).unwrap();
+        let mean = y.iter().sum::<f64>() / y.len() as f64;
+        assert!(rmse(&y, &predictions) < rmse(&y, &vec![mean; y.len()]));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = nonlinear_data(200, 7);
+        let a = Gbrt::fit(&x, &y, &GbrtParams::quick().with_seed(9)).unwrap();
+        let b = Gbrt::fit(&x, &y, &GbrtParams::quick().with_seed(9)).unwrap();
+        assert_eq!(a.predict_one(&x[3]).unwrap(), b.predict_one(&x[3]).unwrap());
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        let (x, y) = nonlinear_data(50, 8);
+        assert!(Gbrt::fit(&x, &y, &GbrtParams::quick().with_n_estimators(0)).is_err());
+        assert!(Gbrt::fit(&x, &y, &GbrtParams::quick().with_learning_rate(0.0)).is_err());
+        assert!(Gbrt::fit(&x, &y, &GbrtParams::quick().with_subsample(0.0)).is_err());
+        assert!(Gbrt::fit(&x, &y, &GbrtParams::quick().with_reg_lambda(-1.0)).is_err());
+        assert!(Gbrt::fit(&x, &y, &GbrtParams::quick().with_max_depth(0)).is_err());
+    }
+
+    #[test]
+    fn prediction_rejects_wrong_width() {
+        let (x, y) = nonlinear_data(50, 9);
+        let model = Gbrt::fit(&x, &y, &GbrtParams::quick()).unwrap();
+        assert!(model.predict_one(&[0.5]).is_err());
+    }
+
+    #[test]
+    fn feature_importance_prefers_informative_feature() {
+        // Target depends only on feature 0.
+        let mut rng = StdRng::seed_from_u64(10);
+        let x: Vec<Vec<f64>> = (0..300)
+            .map(|_| vec![rng.random::<f64>(), rng.random::<f64>()])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| 3.0 * r[0]).collect();
+        let model = Gbrt::fit(&x, &y, &GbrtParams::quick()).unwrap();
+        let importance = model.feature_importance();
+        assert!(importance[0] > 10.0 * importance[1].max(1e-9));
+    }
+}

@@ -1,0 +1,35 @@
+//! # surf-ml
+//!
+//! Statistical-learning substrate for the SuRF reproduction. The paper trains its surrogate
+//! models with XGBoost + scikit-learn grid search; mature Rust equivalents for boosted
+//! regression do not exist, so this crate implements the required pieces from scratch:
+//!
+//! * [`tree`] — CART-style regression trees (variance-reduction splitting).
+//! * [`gbrt`] — gradient-boosted regression trees with shrinkage, L2 leaf regularization,
+//!   row subsampling and early stopping (the "XGB" surrogate of the paper).
+//! * [`linear`] — ridge regression (the "alternative ML model" of the paper's footnote 2),
+//!   used by the surrogate-ablation benches.
+//! * [`kde`] — Gaussian kernel density estimation with box-probability queries (used to guide
+//!   glowworm movement, Eq. 8 of the paper).
+//! * [`cv`], [`grid`] — K-fold cross-validation and exhaustive grid search (the paper's
+//!   `GridSearchCV` over 144 hyper-parameter combinations, Fig. 6).
+//! * [`metrics`] — RMSE, MAE, R², Pearson correlation.
+//!
+//! Everything is deterministic given explicit seeds.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cv;
+pub mod error;
+pub mod gbrt;
+pub mod grid;
+pub mod kde;
+pub mod linear;
+pub mod metrics;
+pub mod parallel;
+pub mod tree;
+
+pub use error::MlError;
+pub use gbrt::{Gbrt, GbrtParams};
+pub use kde::KernelDensity;
+pub use linear::{RidgeParams, RidgeRegression};

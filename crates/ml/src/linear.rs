@@ -1,0 +1,300 @@
+//! Ridge (L2-regularized linear) regression.
+//!
+//! The paper restricts its experiments to a single surrogate class (XGBoost) but explicitly
+//! notes that "alternative ML models could be employed" (footnote 2, Section IV). This module
+//! provides the simplest such alternative: a closed-form ridge regressor over (optionally
+//! polynomial-expanded) region features. It is used by the ablation benches to quantify how
+//! much surrogate capacity matters for mining accuracy.
+//!
+//! The normal equations `(XᵀX + λI) w = Xᵀy` are solved with Gaussian elimination with
+//! partial pivoting — the feature dimensionality is `2d (+ interactions)`, small enough that
+//! an O(p³) solve is negligible.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{validate_xy, MlError};
+
+/// Hyper-parameters of the ridge regressor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RidgeParams {
+    /// L2 regularization strength `λ` applied to all weights except the intercept.
+    pub lambda: f64,
+    /// Augment the raw features with pairwise products and squares (degree-2 polynomial
+    /// expansion), letting the linear model capture the count ≈ density × volume interaction.
+    pub polynomial: bool,
+}
+
+impl Default for RidgeParams {
+    fn default() -> Self {
+        Self {
+            lambda: 1.0,
+            polynomial: true,
+        }
+    }
+}
+
+impl RidgeParams {
+    /// Plain linear features without interaction terms.
+    pub fn linear(lambda: f64) -> Self {
+        Self {
+            lambda,
+            polynomial: false,
+        }
+    }
+
+    /// Validates the parameters.
+    pub fn validate(&self) -> Result<(), MlError> {
+        if !(self.lambda.is_finite() && self.lambda >= 0.0) {
+            return Err(MlError::InvalidParameter {
+                name: "lambda",
+                value: format!("{}", self.lambda),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A fitted ridge regression model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RidgeRegression {
+    weights: Vec<f64>,
+    intercept: f64,
+    raw_features: usize,
+    polynomial: bool,
+}
+
+impl RidgeRegression {
+    /// Fits the model on the training set.
+    pub fn fit(
+        features: &[Vec<f64>],
+        targets: &[f64],
+        params: &RidgeParams,
+    ) -> Result<Self, MlError> {
+        let raw_width = validate_xy(features, targets)?;
+        params.validate()?;
+
+        let design: Vec<Vec<f64>> = features
+            .iter()
+            .map(|row| expand(row, params.polynomial))
+            .collect();
+        let p = design[0].len();
+        let n = design.len();
+
+        // Normal equations with an extra intercept column handled via target/feature centering.
+        let feature_means: Vec<f64> = (0..p)
+            .map(|j| design.iter().map(|r| r[j]).sum::<f64>() / n as f64)
+            .collect();
+        let target_mean = targets.iter().sum::<f64>() / n as f64;
+
+        // Build XᵀX + λI and Xᵀy on centered data.
+        let mut gram = vec![vec![0.0; p]; p];
+        let mut moment = vec![0.0; p];
+        for (row, &y) in design.iter().zip(targets) {
+            let centered: Vec<f64> = row
+                .iter()
+                .zip(&feature_means)
+                .map(|(v, m)| v - m)
+                .collect();
+            for j in 0..p {
+                moment[j] += centered[j] * (y - target_mean);
+                for k in j..p {
+                    gram[j][k] += centered[j] * centered[k];
+                }
+            }
+        }
+        for j in 0..p {
+            for k in 0..j {
+                gram[j][k] = gram[k][j];
+            }
+            gram[j][j] += params.lambda;
+        }
+
+        let weights = solve(gram, moment)?;
+        let intercept = target_mean
+            - weights
+                .iter()
+                .zip(&feature_means)
+                .map(|(w, m)| w * m)
+                .sum::<f64>();
+        Ok(Self {
+            weights,
+            intercept,
+            raw_features: raw_width,
+            polynomial: params.polynomial,
+        })
+    }
+
+    /// Number of raw input features the model expects.
+    pub fn features(&self) -> usize {
+        self.raw_features
+    }
+
+    /// The fitted weights over the (possibly expanded) feature vector.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The fitted intercept.
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+
+    /// Predicts the target for one example.
+    pub fn predict_one(&self, example: &[f64]) -> Result<f64, MlError> {
+        if example.len() != self.raw_features {
+            return Err(MlError::FeatureWidthMismatch {
+                expected: self.raw_features,
+                actual: example.len(),
+            });
+        }
+        let expanded = expand(example, self.polynomial);
+        Ok(self.intercept
+            + expanded
+                .iter()
+                .zip(&self.weights)
+                .map(|(x, w)| x * w)
+                .sum::<f64>())
+    }
+
+    /// Predicts the targets for a batch of examples.
+    pub fn predict(&self, examples: &[Vec<f64>]) -> Result<Vec<f64>, MlError> {
+        examples.iter().map(|e| self.predict_one(e)).collect()
+    }
+}
+
+/// Degree-2 polynomial expansion: raw features, squares and pairwise products.
+fn expand(row: &[f64], polynomial: bool) -> Vec<f64> {
+    if !polynomial {
+        return row.to_vec();
+    }
+    let mut out = row.to_vec();
+    for i in 0..row.len() {
+        for j in i..row.len() {
+            out.push(row[i] * row[j]);
+        }
+    }
+    out
+}
+
+/// Solves `A x = b` by Gaussian elimination with partial pivoting.
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>, MlError> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n)
+            .max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .unwrap_or(col);
+        if a[pivot][col].abs() < 1e-12 {
+            return Err(MlError::InvalidParameter {
+                name: "design matrix",
+                value: "singular (increase lambda)".into(),
+            });
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        // Eliminate.
+        for row in (col + 1)..n {
+            let factor = a[row][col] / a[col][col];
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back-substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut sum = b[row];
+        for col in (row + 1)..n {
+            sum -= a[row][col] * x[col];
+        }
+        x[row] = sum / a[row][row];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::rmse;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn linear_data(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.random::<f64>(), rng.random::<f64>()])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| 3.0 * r[0] - 2.0 * r[1] + 0.5).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn recovers_a_linear_relationship() {
+        let (x, y) = linear_data(200, 1);
+        let model = RidgeRegression::fit(&x, &y, &RidgeParams::linear(1e-6)).unwrap();
+        let predictions = model.predict(&x).unwrap();
+        assert!(rmse(&y, &predictions) < 1e-6);
+        assert!((model.predict_one(&[1.0, 0.0]).unwrap() - 3.5).abs() < 1e-4);
+        assert_eq!(model.features(), 2);
+    }
+
+    #[test]
+    fn polynomial_expansion_captures_interactions() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let x: Vec<Vec<f64>> = (0..300)
+            .map(|_| vec![rng.random::<f64>(), rng.random::<f64>()])
+            .collect();
+        // Target is the product of the features — invisible to a plain linear model.
+        let y: Vec<f64> = x.iter().map(|r| 5.0 * r[0] * r[1]).collect();
+        let linear = RidgeRegression::fit(&x, &y, &RidgeParams::linear(1e-6)).unwrap();
+        let poly = RidgeRegression::fit(
+            &x,
+            &y,
+            &RidgeParams {
+                lambda: 1e-6,
+                polynomial: true,
+            },
+        )
+        .unwrap();
+        let linear_rmse = rmse(&y, &linear.predict(&x).unwrap());
+        let poly_rmse = rmse(&y, &poly.predict(&x).unwrap());
+        assert!(poly_rmse < 0.25 * linear_rmse, "{poly_rmse} vs {linear_rmse}");
+    }
+
+    #[test]
+    fn regularization_shrinks_weights() {
+        let (x, y) = linear_data(100, 3);
+        let weak = RidgeRegression::fit(&x, &y, &RidgeParams::linear(1e-6)).unwrap();
+        let strong = RidgeRegression::fit(&x, &y, &RidgeParams::linear(1e3)).unwrap();
+        let norm = |w: &[f64]| w.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!(norm(strong.weights()) < norm(weak.weights()));
+        assert!(strong.intercept().is_finite());
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let (x, y) = linear_data(50, 4);
+        assert!(RidgeRegression::fit(&x, &y, &RidgeParams::linear(f64::NAN)).is_err());
+        assert!(RidgeRegression::fit(&x, &y, &RidgeParams::linear(-1.0)).is_err());
+        assert!(RidgeRegression::fit(&[], &[], &RidgeParams::default()).is_err());
+        let model = RidgeRegression::fit(&x, &y, &RidgeParams::default()).unwrap();
+        assert!(model.predict_one(&[0.5]).is_err());
+    }
+
+    #[test]
+    fn singular_design_is_reported_not_panicked() {
+        // Two identical constant columns with zero regularization -> singular normal equations.
+        let x: Vec<Vec<f64>> = (0..20).map(|_| vec![1.0, 1.0]).collect();
+        let y: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let result = RidgeRegression::fit(&x, &y, &RidgeParams::linear(0.0));
+        assert!(result.is_err());
+        // With regularization the system becomes solvable.
+        assert!(RidgeRegression::fit(&x, &y, &RidgeParams::linear(1.0)).is_ok());
+    }
+}

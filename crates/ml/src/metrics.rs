@@ -1,0 +1,167 @@
+//! Regression quality metrics: RMSE, MAE, R² and Pearson correlation.
+
+/// Root Mean Squared Error between truth and predictions. Returns `NaN` for empty inputs and
+/// panics (via `debug_assert`) when lengths differ in debug builds; in release the shorter
+/// length is used.
+pub fn rmse(truth: &[f64], predictions: &[f64]) -> f64 {
+    debug_assert_eq!(truth.len(), predictions.len());
+    let n = truth.len().min(predictions.len());
+    if n == 0 {
+        return f64::NAN;
+    }
+    let sum: f64 = truth
+        .iter()
+        .zip(predictions)
+        .take(n)
+        .map(|(t, p)| (t - p).powi(2))
+        .sum();
+    (sum / n as f64).sqrt()
+}
+
+/// Mean Absolute Error.
+pub fn mae(truth: &[f64], predictions: &[f64]) -> f64 {
+    debug_assert_eq!(truth.len(), predictions.len());
+    let n = truth.len().min(predictions.len());
+    if n == 0 {
+        return f64::NAN;
+    }
+    let sum: f64 = truth
+        .iter()
+        .zip(predictions)
+        .take(n)
+        .map(|(t, p)| (t - p).abs())
+        .sum();
+    sum / n as f64
+}
+
+/// Coefficient of determination R². 1 is a perfect fit; 0 matches predicting the mean;
+/// negative values are worse than the mean predictor.
+pub fn r2(truth: &[f64], predictions: &[f64]) -> f64 {
+    debug_assert_eq!(truth.len(), predictions.len());
+    let n = truth.len().min(predictions.len());
+    if n == 0 {
+        return f64::NAN;
+    }
+    let mean = truth.iter().take(n).sum::<f64>() / n as f64;
+    let ss_tot: f64 = truth.iter().take(n).map(|t| (t - mean).powi(2)).sum();
+    let ss_res: f64 = truth
+        .iter()
+        .zip(predictions)
+        .take(n)
+        .map(|(t, p)| (t - p).powi(2))
+        .sum();
+    if ss_tot <= f64::EPSILON {
+        if ss_res <= f64::EPSILON {
+            1.0
+        } else {
+            f64::NEG_INFINITY
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+/// Pearson correlation coefficient between two series (used by the paper's Fig. 11 to report
+/// the −0.57 correlation between surrogate RMSE and mining IoU).
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len().min(b.len());
+    if n < 2 {
+        return f64::NAN;
+    }
+    let mean_a = a.iter().take(n).sum::<f64>() / n as f64;
+    let mean_b = b.iter().take(n).sum::<f64>() / n as f64;
+    let mut cov = 0.0;
+    let mut var_a = 0.0;
+    let mut var_b = 0.0;
+    for i in 0..n {
+        let da = a[i] - mean_a;
+        let db = b[i] - mean_b;
+        cov += da * db;
+        var_a += da * da;
+        var_b += db * db;
+    }
+    if var_a <= f64::EPSILON || var_b <= f64::EPSILON {
+        return 0.0;
+    }
+    cov / (var_a.sqrt() * var_b.sqrt())
+}
+
+/// Arithmetic mean, `NaN` for empty slices.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        f64::NAN
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Population standard deviation, `NaN` for empty slices.
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    let m = mean(values);
+    (values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / values.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmse_of_perfect_predictions_is_zero() {
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(rmse(&y, &y), 0.0);
+        assert_eq!(mae(&y, &y), 0.0);
+        assert_eq!(r2(&y, &y), 1.0);
+    }
+
+    #[test]
+    fn rmse_and_mae_known_values() {
+        let truth = [0.0, 0.0, 0.0, 0.0];
+        let pred = [1.0, -1.0, 1.0, -1.0];
+        assert!((rmse(&truth, &pred) - 1.0).abs() < 1e-12);
+        assert!((mae(&truth, &pred) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_of_mean_predictor_is_zero() {
+        let truth = [1.0, 2.0, 3.0, 4.0];
+        let pred = [2.5; 4];
+        assert!(r2(&truth, &pred).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_detects_perfect_and_inverse_correlation() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-12);
+        let c = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&a, &c) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_of_constant_series_is_zero() {
+        let a = [1.0, 1.0, 1.0];
+        let b = [1.0, 2.0, 3.0];
+        assert_eq!(pearson(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn empty_inputs_yield_nan() {
+        assert!(rmse(&[], &[]).is_nan());
+        assert!(mae(&[], &[]).is_nan());
+        assert!(r2(&[], &[]).is_nan());
+        assert!(pearson(&[1.0], &[1.0]).is_nan());
+        assert!(mean(&[]).is_nan());
+        assert!(std_dev(&[]).is_nan());
+    }
+
+    #[test]
+    fn mean_and_std_dev() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&v) - 5.0).abs() < 1e-12);
+        assert!((std_dev(&v) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,92 @@
+//! Minimal data-parallel helper built on crossbeam scoped threads.
+//!
+//! Grid search (144 hyper-parameter combinations in the paper, Fig. 6) and K-fold
+//! cross-validation are embarrassingly parallel; this module provides the small primitive they
+//! need without pulling in a full task runtime.
+
+use std::num::NonZeroUsize;
+
+/// Applies `f` to every item, fanning work out over up to `threads` OS threads, and returns
+/// the results in the original order.
+///
+/// With `threads <= 1` (or a single item) the map runs inline on the calling thread, which
+/// keeps call sites deterministic and easy to debug.
+pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.max(1);
+    if threads == 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let n = items.len();
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    // Split results into per-thread chunks so each thread writes disjoint slices.
+    let chunk = n.div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        let f = &f;
+        for (chunk_index, (item_chunk, result_chunk)) in items
+            .chunks(chunk)
+            .zip(results.chunks_mut(chunk))
+            .enumerate()
+        {
+            let _ = chunk_index;
+            scope.spawn(move |_| {
+                for (item, slot) in item_chunk.iter().zip(result_chunk.iter_mut()) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot written"))
+        .collect()
+}
+
+/// Number of worker threads to use by default: the machine's available parallelism, capped at
+/// `cap`.
+pub fn default_threads(cap: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(cap.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..103).collect();
+        let out = parallel_map(items.clone(), 4, |x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_path_matches_parallel_path() {
+        let items: Vec<u64> = (0..37).collect();
+        let seq = parallel_map(items.clone(), 1, |x| x + 1);
+        let par = parallel_map(items, 8, |x| x + 1);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let out: Vec<u64> = parallel_map(Vec::<u64>::new(), 4, |x| *x);
+        assert!(out.is_empty());
+        let out = parallel_map(vec![9u64], 4, |x| x * x);
+        assert_eq!(out, vec![81]);
+    }
+
+    #[test]
+    fn default_threads_is_at_least_one_and_capped() {
+        assert!(default_threads(4) >= 1);
+        assert!(default_threads(4) <= 4);
+        assert_eq!(default_threads(0), 1);
+    }
+}

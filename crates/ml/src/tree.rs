@@ -1,0 +1,454 @@
+//! CART-style regression trees.
+//!
+//! A single tree greedily partitions the feature space by choosing, at every node, the
+//! (feature, threshold) split that maximizes the reduction in squared error. Leaves predict
+//! the (optionally L2-regularized) mean of their targets, which is exactly the leaf weight of
+//! XGBoost's squared-error objective `w = Σg / (n + λ)`; the boosting machinery of
+//! [`crate::gbrt`] fits these trees to residuals.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{validate_xy, MlError};
+
+/// Hyper-parameters of a regression tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TreeParams {
+    /// Maximum depth of the tree (a depth of 1 yields a single split, i.e. a stump).
+    pub max_depth: usize,
+    /// Minimum number of examples a node must hold to be considered for splitting.
+    pub min_samples_split: usize,
+    /// Minimum number of examples each child of a split must receive.
+    pub min_samples_leaf: usize,
+    /// Minimum squared-error reduction a split must achieve to be applied.
+    pub min_gain: f64,
+    /// L2 regularization added to the leaf denominator (XGBoost's `reg_lambda`).
+    pub leaf_regularization: f64,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        Self {
+            max_depth: 5,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            min_gain: 1e-12,
+            leaf_regularization: 0.0,
+        }
+    }
+}
+
+impl TreeParams {
+    /// Validates the parameters.
+    pub fn validate(&self) -> Result<(), MlError> {
+        if self.max_depth == 0 {
+            return Err(MlError::InvalidParameter {
+                name: "max_depth",
+                value: "0".into(),
+            });
+        }
+        if self.min_samples_leaf == 0 {
+            return Err(MlError::InvalidParameter {
+                name: "min_samples_leaf",
+                value: "0".into(),
+            });
+        }
+        if !(self.leaf_regularization.is_finite() && self.leaf_regularization >= 0.0) {
+            return Err(MlError::InvalidParameter {
+                name: "leaf_regularization",
+                value: format!("{}", self.leaf_regularization),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One node of the tree, stored in a flat arena.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    /// Terminal node carrying the prediction.
+    Leaf {
+        /// Predicted value.
+        value: f64,
+        /// Number of training examples that reached the leaf.
+        samples: usize,
+    },
+    /// Internal split node.
+    Split {
+        /// Feature index tested by the node.
+        feature: usize,
+        /// Threshold: examples with `x[feature] <= threshold` go left.
+        threshold: f64,
+        /// Arena index of the left child.
+        left: usize,
+        /// Arena index of the right child.
+        right: usize,
+        /// Squared-error reduction achieved by the split (used for feature importance).
+        gain: f64,
+    },
+}
+
+/// A fitted regression tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+    features: usize,
+}
+
+/// The best split found for a node, if any.
+struct BestSplit {
+    feature: usize,
+    threshold: f64,
+    gain: f64,
+}
+
+impl RegressionTree {
+    /// Fits a tree on the full training set.
+    pub fn fit(
+        features: &[Vec<f64>],
+        targets: &[f64],
+        params: &TreeParams,
+    ) -> Result<Self, MlError> {
+        let indices: Vec<usize> = (0..features.len()).collect();
+        Self::fit_on(features, targets, &indices, params)
+    }
+
+    /// Fits a tree on the subset of rows given by `indices` (used by boosting with row
+    /// subsampling).
+    pub fn fit_on(
+        features: &[Vec<f64>],
+        targets: &[f64],
+        indices: &[usize],
+        params: &TreeParams,
+    ) -> Result<Self, MlError> {
+        let width = validate_xy(features, targets)?;
+        params.validate()?;
+        if indices.is_empty() {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        let mut tree = RegressionTree {
+            nodes: Vec::new(),
+            features: width,
+        };
+        let mut working = indices.to_vec();
+        tree.build(features, targets, &mut working, params, 0);
+        Ok(tree)
+    }
+
+    /// Number of features the tree was trained with.
+    pub fn features(&self) -> usize {
+        self.features
+    }
+
+    /// Number of nodes (splits + leaves).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Leaf { .. }))
+            .count()
+    }
+
+    /// Depth of the tree (0 for a single leaf).
+    pub fn depth(&self) -> usize {
+        self.depth_of(0)
+    }
+
+    fn depth_of(&self, node: usize) -> usize {
+        match &self.nodes[node] {
+            Node::Leaf { .. } => 0,
+            Node::Split { left, right, .. } => 1 + self.depth_of(*left).max(self.depth_of(*right)),
+        }
+    }
+
+    /// Predicts the target for one example.
+    pub fn predict_one(&self, example: &[f64]) -> Result<f64, MlError> {
+        if example.len() != self.features {
+            return Err(MlError::FeatureWidthMismatch {
+                expected: self.features,
+                actual: example.len(),
+            });
+        }
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { value, .. } => return Ok(*value),
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                    ..
+                } => {
+                    node = if example[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Predicts the targets for a batch of examples.
+    pub fn predict(&self, examples: &[Vec<f64>]) -> Result<Vec<f64>, MlError> {
+        examples.iter().map(|e| self.predict_one(e)).collect()
+    }
+
+    /// Total split gain attributed to each feature (an importance measure).
+    pub fn feature_importance(&self) -> Vec<f64> {
+        let mut importance = vec![0.0; self.features];
+        for node in &self.nodes {
+            if let Node::Split { feature, gain, .. } = node {
+                importance[*feature] += *gain;
+            }
+        }
+        importance
+    }
+
+    /// Recursively grows the tree; returns the arena index of the created node.
+    fn build(
+        &mut self,
+        features: &[Vec<f64>],
+        targets: &[f64],
+        indices: &mut [usize],
+        params: &TreeParams,
+        depth: usize,
+    ) -> usize {
+        let (sum, count) = indices
+            .iter()
+            .fold((0.0, 0usize), |(s, c), &i| (s + targets[i], c + 1));
+        let leaf_value = sum / (count as f64 + params.leaf_regularization);
+
+        let should_split = depth < params.max_depth
+            && count >= params.min_samples_split
+            && count >= 2 * params.min_samples_leaf;
+        let best = if should_split {
+            self.best_split(features, targets, indices, params)
+        } else {
+            None
+        };
+
+        match best {
+            None => {
+                self.nodes.push(Node::Leaf {
+                    value: leaf_value,
+                    samples: count,
+                });
+                self.nodes.len() - 1
+            }
+            Some(split) => {
+                // Partition indices in place: left part holds x[feature] <= threshold.
+                let mut left_len = 0usize;
+                for i in 0..indices.len() {
+                    if features[indices[i]][split.feature] <= split.threshold {
+                        indices.swap(i, left_len);
+                        left_len += 1;
+                    }
+                }
+                // Reserve the slot for this split node before recursing so the root stays at
+                // index 0.
+                let node_index = self.nodes.len();
+                self.nodes.push(Node::Leaf {
+                    value: leaf_value,
+                    samples: count,
+                });
+                let (left_indices, right_indices) = indices.split_at_mut(left_len);
+                let left = self.build(features, targets, left_indices, params, depth + 1);
+                let right = self.build(features, targets, right_indices, params, depth + 1);
+                self.nodes[node_index] = Node::Split {
+                    feature: split.feature,
+                    threshold: split.threshold,
+                    left,
+                    right,
+                    gain: split.gain,
+                };
+                node_index
+            }
+        }
+    }
+
+    /// Finds the squared-error-optimal split over all features, if one satisfying the
+    /// constraints exists.
+    fn best_split(
+        &self,
+        features: &[Vec<f64>],
+        targets: &[f64],
+        indices: &[usize],
+        params: &TreeParams,
+    ) -> Option<BestSplit> {
+        let n = indices.len();
+        let total_sum: f64 = indices.iter().map(|&i| targets[i]).sum();
+        let total_sq: f64 = indices.iter().map(|&i| targets[i] * targets[i]).sum();
+        let parent_sse = total_sq - total_sum * total_sum / n as f64;
+
+        let mut best: Option<BestSplit> = None;
+        let mut sortable: Vec<(f64, f64)> = Vec::with_capacity(n);
+        for feature in 0..self.features {
+            sortable.clear();
+            sortable.extend(indices.iter().map(|&i| (features[i][feature], targets[i])));
+            sortable.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+
+            let mut left_sum = 0.0;
+            let mut left_sq = 0.0;
+            for split_at in 1..n {
+                let (value, target) = sortable[split_at - 1];
+                left_sum += target;
+                left_sq += target * target;
+                let next_value = sortable[split_at].0;
+                // Can't split between identical feature values.
+                if next_value <= value {
+                    continue;
+                }
+                let left_n = split_at;
+                let right_n = n - split_at;
+                if left_n < params.min_samples_leaf || right_n < params.min_samples_leaf {
+                    continue;
+                }
+                let right_sum = total_sum - left_sum;
+                let right_sq = total_sq - left_sq;
+                let left_sse = left_sq - left_sum * left_sum / left_n as f64;
+                let right_sse = right_sq - right_sum * right_sum / right_n as f64;
+                let gain = parent_sse - left_sse - right_sse;
+                if gain > params.min_gain
+                    && best.as_ref().map(|b| gain > b.gain).unwrap_or(true)
+                {
+                    best = Some(BestSplit {
+                        feature,
+                        threshold: 0.5 * (value + next_value),
+                        gain,
+                    });
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// y = 1 for x < 0.5, y = 5 otherwise: a single split recovers it exactly.
+    fn step_data() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let features: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 100.0]).collect();
+        let targets: Vec<f64> = features
+            .iter()
+            .map(|x| if x[0] < 0.5 { 1.0 } else { 5.0 })
+            .collect();
+        (features, targets)
+    }
+
+    #[test]
+    fn fits_a_step_function_exactly() {
+        let (x, y) = step_data();
+        let tree = RegressionTree::fit(&x, &y, &TreeParams::default()).unwrap();
+        assert!((tree.predict_one(&[0.1]).unwrap() - 1.0).abs() < 1e-9);
+        assert!((tree.predict_one(&[0.9]).unwrap() - 5.0).abs() < 1e-9);
+        assert!(tree.depth() >= 1);
+    }
+
+    #[test]
+    fn depth_zero_is_rejected_and_depth_limit_respected() {
+        let (x, y) = step_data();
+        let mut params = TreeParams::default();
+        params.max_depth = 0;
+        assert!(RegressionTree::fit(&x, &y, &params).is_err());
+        params.max_depth = 2;
+        let tree = RegressionTree::fit(&x, &y, &params).unwrap();
+        assert!(tree.depth() <= 2);
+    }
+
+    #[test]
+    fn constant_targets_yield_single_leaf() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y = vec![3.0; 20];
+        let tree = RegressionTree::fit(&x, &y, &TreeParams::default()).unwrap();
+        assert_eq!(tree.leaf_count(), 1);
+        assert_eq!(tree.node_count(), 1);
+        assert!((tree.predict_one(&[7.0]).unwrap() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_samples_leaf_is_respected() {
+        let (x, y) = step_data();
+        let params = TreeParams {
+            min_samples_leaf: 40,
+            ..TreeParams::default()
+        };
+        let tree = RegressionTree::fit(&x, &y, &params).unwrap();
+        // With 100 points and a 40-sample minimum, at most one split is possible.
+        assert!(tree.leaf_count() <= 2);
+    }
+
+    #[test]
+    fn leaf_regularization_shrinks_predictions() {
+        let x = vec![vec![0.0], vec![1.0]];
+        let y = vec![10.0, 10.0];
+        let plain = RegressionTree::fit(&x, &y, &TreeParams::default()).unwrap();
+        let reg = RegressionTree::fit(
+            &x,
+            &y,
+            &TreeParams {
+                leaf_regularization: 2.0,
+                ..TreeParams::default()
+            },
+        )
+        .unwrap();
+        assert!((plain.predict_one(&[0.5]).unwrap() - 10.0).abs() < 1e-12);
+        assert!((reg.predict_one(&[0.5]).unwrap() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_feature_split_picks_the_informative_feature() {
+        // Feature 0 is noise, feature 1 carries the signal.
+        let features: Vec<Vec<f64>> = (0..200)
+            .map(|i| vec![(i % 7) as f64, (i / 2) as f64 / 100.0])
+            .collect();
+        let targets: Vec<f64> = features
+            .iter()
+            .map(|x| if x[1] < 0.5 { -2.0 } else { 2.0 })
+            .collect();
+        let tree = RegressionTree::fit(&features, &targets, &TreeParams::default()).unwrap();
+        let importance = tree.feature_importance();
+        assert!(importance[1] > importance[0]);
+        assert!((tree.predict_one(&[3.0, 0.9]).unwrap() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prediction_rejects_wrong_width() {
+        let (x, y) = step_data();
+        let tree = RegressionTree::fit(&x, &y, &TreeParams::default()).unwrap();
+        assert!(matches!(
+            tree.predict_one(&[0.1, 0.2]),
+            Err(MlError::FeatureWidthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn fit_on_subset_only_uses_requested_rows() {
+        let (x, y) = step_data();
+        // Train only on the left half: the tree should predict ~1 everywhere.
+        let indices: Vec<usize> = (0..50).collect();
+        let tree = RegressionTree::fit_on(&x, &y, &indices, &TreeParams::default()).unwrap();
+        assert!((tree.predict_one(&[0.9]).unwrap() - 1.0).abs() < 1e-9);
+        assert!(RegressionTree::fit_on(&x, &y, &[], &TreeParams::default()).is_err());
+    }
+
+    #[test]
+    fn prediction_is_piecewise_constant_mean() {
+        // Two clusters of targets; leaf predictions must equal cluster means.
+        let x = vec![vec![0.0], vec![0.1], vec![0.9], vec![1.0]];
+        let y = vec![1.0, 3.0, 7.0, 9.0];
+        let params = TreeParams {
+            max_depth: 1,
+            ..TreeParams::default()
+        };
+        let tree = RegressionTree::fit(&x, &y, &params).unwrap();
+        assert!((tree.predict_one(&[0.05]).unwrap() - 2.0).abs() < 1e-9);
+        assert!((tree.predict_one(&[0.95]).unwrap() - 8.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,502 @@
+//! PRIM — the Patient Rule Induction Method of Friedman & Fisher ("bump hunting in
+//! high-dimensional data", 1999), the strongest baseline in the paper's accuracy comparison.
+//!
+//! PRIM greedily *peels* a small fraction `α` of the points off one face of the current box,
+//! choosing at each step the peel that maximizes the mean response of the points that remain,
+//! and stops when the box support would fall below the user threshold `β_0`. A subsequent
+//! *pasting* phase re-expands faces while the mean keeps improving. Multiple boxes are found
+//! with the covering strategy: the points of a found box are removed and the procedure is
+//! repeated.
+//!
+//! As the paper observes (Section V-B), PRIM maximizes the mean of a response attribute and
+//! neither takes the box volume into account nor supports a density response directly — which
+//! is why it shines on the aggregate statistic with a single region and struggles on the
+//! density statistic. This implementation reproduces that behaviour.
+
+use serde::{Deserialize, Serialize};
+use surf_data::region::Region;
+
+/// Hyper-parameters of PRIM.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrimParams {
+    /// Fraction of the current box's points peeled per step (`α`, typically 0.05).
+    pub peel_alpha: f64,
+    /// Fraction of points considered when re-expanding a face during pasting.
+    pub paste_alpha: f64,
+    /// Minimum support `β_0` as a fraction of the full dataset (paper: 0.01).
+    pub min_support: f64,
+    /// Maximum number of boxes to return (covering iterations).
+    pub max_boxes: usize,
+    /// Optional response threshold: covering stops once a box's mean response falls below it.
+    pub response_threshold: Option<f64>,
+}
+
+impl Default for PrimParams {
+    fn default() -> Self {
+        Self {
+            peel_alpha: 0.05,
+            paste_alpha: 0.05,
+            min_support: 0.01,
+            max_boxes: 4,
+            response_threshold: None,
+        }
+    }
+}
+
+impl PrimParams {
+    /// The configuration used in the paper's experiments: minimum support 0.01 and, for
+    /// aggregate statistics, a response threshold of 2.
+    pub fn paper_default() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style override of the minimum support.
+    pub fn with_min_support(mut self, min_support: f64) -> Self {
+        self.min_support = min_support;
+        self
+    }
+
+    /// Builder-style override of the peeling fraction.
+    pub fn with_peel_alpha(mut self, alpha: f64) -> Self {
+        self.peel_alpha = alpha;
+        self
+    }
+
+    /// Builder-style override of the maximum number of boxes.
+    pub fn with_max_boxes(mut self, max_boxes: usize) -> Self {
+        self.max_boxes = max_boxes.max(1);
+        self
+    }
+
+    /// Builder-style override of the response threshold.
+    pub fn with_response_threshold(mut self, threshold: f64) -> Self {
+        self.response_threshold = Some(threshold);
+        self
+    }
+}
+
+/// One box found by PRIM.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrimBox {
+    /// The box as a hyper-rectangular region.
+    pub region: Region,
+    /// Mean response of the points inside the box.
+    pub mean_response: f64,
+    /// Number of points inside the box (its support).
+    pub support: usize,
+    /// Support as a fraction of the full dataset.
+    pub support_fraction: f64,
+}
+
+/// The PRIM bump hunter.
+pub struct Prim {
+    params: PrimParams,
+}
+
+impl Prim {
+    /// Creates a PRIM instance with the given parameters.
+    pub fn new(params: PrimParams) -> Self {
+        Self { params }
+    }
+
+    /// Finds up to `max_boxes` boxes maximizing the mean of `response` over `points`
+    /// (row-major feature matrix). Returns an empty vector when the inputs are degenerate.
+    pub fn fit(&self, points: &[Vec<f64>], response: &[f64]) -> Vec<PrimBox> {
+        if points.is_empty() || points.len() != response.len() || points[0].is_empty() {
+            return Vec::new();
+        }
+        let total = points.len();
+        let min_support_points =
+            ((total as f64 * self.params.min_support).ceil() as usize).max(2);
+
+        let mut remaining: Vec<usize> = (0..total).collect();
+        let mut boxes = Vec::new();
+        for _ in 0..self.params.max_boxes {
+            if remaining.len() < min_support_points {
+                break;
+            }
+            let Some(found) = self.find_one_box(points, response, &remaining, min_support_points, total)
+            else {
+                break;
+            };
+            if let Some(threshold) = self.params.response_threshold {
+                if found.mean_response < threshold {
+                    break;
+                }
+            }
+            // Covering: drop the points the box captured before looking for the next box.
+            let bounds = found.region.clone();
+            remaining.retain(|&i| !bounds.contains(&points[i]));
+            boxes.push(found);
+        }
+        boxes
+    }
+
+    /// Peels and pastes one box over the points indexed by `candidates`.
+    fn find_one_box(
+        &self,
+        points: &[Vec<f64>],
+        response: &[f64],
+        candidates: &[usize],
+        min_support_points: usize,
+        total: usize,
+    ) -> Option<PrimBox> {
+        let d = points[0].len();
+        let mut inside: Vec<usize> = candidates.to_vec();
+        if inside.len() < min_support_points {
+            return None;
+        }
+        // Start with the bounding box of the candidate points.
+        let mut lower = vec![f64::INFINITY; d];
+        let mut upper = vec![f64::NEG_INFINITY; d];
+        for &i in &inside {
+            for dim in 0..d {
+                lower[dim] = lower[dim].min(points[i][dim]);
+                upper[dim] = upper[dim].max(points[i][dim]);
+            }
+        }
+
+        // Peeling: repeatedly remove the α-fraction face whose removal yields the highest mean
+        // of the remaining points, until the support floor is reached. Peels are applied even
+        // when they do not improve the mean immediately, as in Friedman & Fisher's original
+        // procedure; the whole peeling trajectory is recorded and a box is selected from it
+        // afterwards (largest support within 5 % of the best mean), which counteracts the
+        // well-known over-shrinking of pure greedy peeling.
+        let mut trajectory: Vec<(Vec<f64>, Vec<f64>, usize, f64)> = vec![(
+            lower.clone(),
+            upper.clone(),
+            inside.len(),
+            mean_of(response, &inside),
+        )];
+        loop {
+            if inside.len() <= min_support_points {
+                break;
+            }
+            let max_peel = inside.len() - min_support_points;
+            let peel_count = ((inside.len() as f64 * self.params.peel_alpha).ceil() as usize)
+                .clamp(1, max_peel);
+
+            // Evaluate peeling the lower or upper face of every dimension.
+            let mut best: Option<(usize, bool, f64, f64)> = None; // (dim, peel_lower, new_bound, new_mean)
+            for dim in 0..d {
+                let mut values: Vec<f64> = inside.iter().map(|&i| points[i][dim]).collect();
+                values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                // Peel from the lower face: new lower bound just above the alpha-quantile.
+                let low_bound = values[peel_count.min(values.len() - 1)];
+                let keep_low: Vec<usize> = inside
+                    .iter()
+                    .copied()
+                    .filter(|&i| points[i][dim] >= low_bound)
+                    .collect();
+                if keep_low.len() >= min_support_points && keep_low.len() < inside.len() {
+                    let m = mean_of(response, &keep_low);
+                    if best.map(|b| m > b.3).unwrap_or(true) {
+                        best = Some((dim, true, low_bound, m));
+                    }
+                }
+                // Peel from the upper face.
+                let high_bound = values[values.len() - 1 - peel_count.min(values.len() - 1)];
+                let keep_high: Vec<usize> = inside
+                    .iter()
+                    .copied()
+                    .filter(|&i| points[i][dim] <= high_bound)
+                    .collect();
+                if keep_high.len() >= min_support_points && keep_high.len() < inside.len() {
+                    let m = mean_of(response, &keep_high);
+                    if best.map(|b| m > b.3).unwrap_or(true) {
+                        best = Some((dim, false, high_bound, m));
+                    }
+                }
+            }
+
+            match best {
+                Some((dim, peel_lower, bound, _new_mean)) => {
+                    if peel_lower {
+                        lower[dim] = bound;
+                        inside.retain(|&i| points[i][dim] >= bound);
+                    } else {
+                        upper[dim] = bound;
+                        inside.retain(|&i| points[i][dim] <= bound);
+                    }
+                    trajectory.push((
+                        lower.clone(),
+                        upper.clone(),
+                        inside.len(),
+                        mean_of(response, &inside),
+                    ));
+                }
+                None => break,
+            }
+        }
+        // Box selection from the trajectory: among boxes whose mean is within 5 % of the best
+        // mean observed, prefer the one with the largest support.
+        let best_mean = trajectory
+            .iter()
+            .map(|t| t.3)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let tolerance = 0.05 * best_mean.abs().max(f64::MIN_POSITIVE);
+        let chosen = trajectory
+            .iter()
+            .filter(|t| t.3 >= best_mean - tolerance)
+            .max_by_key(|t| t.2)
+            .expect("trajectory is never empty");
+        lower = chosen.0.clone();
+        upper = chosen.1.clone();
+        inside = candidates
+            .iter()
+            .copied()
+            .filter(|&i| (0..d).all(|k| points[i][k] >= lower[k] && points[i][k] <= upper[k]))
+            .collect();
+
+        // Pasting: try to re-expand each face slightly while the mean improves.
+        let paste_step = |values: &mut Vec<f64>| {
+            values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        };
+        let mut improved = true;
+        while improved {
+            improved = false;
+            let current_mean = mean_of(response, &inside);
+            for dim in 0..d {
+                // Candidate points just outside the lower face.
+                let mut below: Vec<f64> = candidates
+                    .iter()
+                    .filter(|&&i| {
+                        points[i][dim] < lower[dim]
+                            && (0..d).all(|k| {
+                                k == dim
+                                    || (points[i][k] >= lower[k] && points[i][k] <= upper[k])
+                            })
+                    })
+                    .map(|&i| points[i][dim])
+                    .collect();
+                if !below.is_empty() {
+                    paste_step(&mut below);
+                    let take = ((inside.len() as f64 * self.params.paste_alpha).ceil() as usize)
+                        .clamp(1, below.len());
+                    let new_bound = below[below.len() - take];
+                    let expanded: Vec<usize> = candidates
+                        .iter()
+                        .copied()
+                        .filter(|&i| {
+                            (0..d).all(|k| {
+                                let lo = if k == dim { new_bound } else { lower[k] };
+                                points[i][k] >= lo && points[i][k] <= upper[k]
+                            })
+                        })
+                        .collect();
+                    if mean_of(response, &expanded) > current_mean {
+                        lower[dim] = new_bound;
+                        inside = expanded;
+                        improved = true;
+                        continue;
+                    }
+                }
+                // Candidate points just outside the upper face.
+                let mut above: Vec<f64> = candidates
+                    .iter()
+                    .filter(|&&i| {
+                        points[i][dim] > upper[dim]
+                            && (0..d).all(|k| {
+                                k == dim
+                                    || (points[i][k] >= lower[k] && points[i][k] <= upper[k])
+                            })
+                    })
+                    .map(|&i| points[i][dim])
+                    .collect();
+                if !above.is_empty() {
+                    paste_step(&mut above);
+                    let take = ((inside.len() as f64 * self.params.paste_alpha).ceil() as usize)
+                        .clamp(1, above.len());
+                    let new_bound = above[take - 1];
+                    let expanded: Vec<usize> = candidates
+                        .iter()
+                        .copied()
+                        .filter(|&i| {
+                            (0..d).all(|k| {
+                                let hi = if k == dim { new_bound } else { upper[k] };
+                                points[i][k] >= lower[k] && points[i][k] <= hi
+                            })
+                        })
+                        .collect();
+                    if mean_of(response, &expanded) > current_mean {
+                        upper[dim] = new_bound;
+                        inside = expanded;
+                        improved = true;
+                    }
+                }
+            }
+        }
+
+        if inside.is_empty() {
+            return None;
+        }
+        // Guard against degenerate (zero-width) boxes before building the region.
+        for dim in 0..d {
+            if upper[dim] - lower[dim] < 1e-9 {
+                let pad = 5e-10;
+                lower[dim] -= pad;
+                upper[dim] += pad;
+            }
+        }
+        let region = Region::from_bounds(&lower, &upper).ok()?;
+        Some(PrimBox {
+            mean_response: mean_of(response, &inside),
+            support: inside.len(),
+            support_fraction: inside.len() as f64 / total as f64,
+            region,
+        })
+    }
+}
+
+fn mean_of(response: &[f64], indices: &[usize]) -> f64 {
+    if indices.is_empty() {
+        return f64::NEG_INFINITY;
+    }
+    indices.iter().map(|&i| response[i]).sum::<f64>() / indices.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Points uniform on [0,1]^2 with response high inside a target box.
+    fn bump_data(
+        n: usize,
+        target_low: [f64; 2],
+        target_high: [f64; 2],
+        seed: u64,
+    ) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let points: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.random::<f64>(), rng.random::<f64>()])
+            .collect();
+        let response: Vec<f64> = points
+            .iter()
+            .map(|p| {
+                let inside = (0..2).all(|d| p[d] >= target_low[d] && p[d] <= target_high[d]);
+                if inside {
+                    3.0 + 0.3 * rng.random::<f64>()
+                } else {
+                    0.3 * rng.random::<f64>()
+                }
+            })
+            .collect();
+        (points, response)
+    }
+
+    #[test]
+    fn prim_recovers_a_single_bump() {
+        let (points, response) = bump_data(4_000, [0.3, 0.3], [0.5, 0.5], 1);
+        let boxes = Prim::new(PrimParams::default().with_max_boxes(1)).fit(&points, &response);
+        assert_eq!(boxes.len(), 1);
+        let found = &boxes[0];
+        assert!(found.mean_response > 2.0, "mean {}", found.mean_response);
+        // The recovered box should overlap the target box substantially.
+        let target = Region::from_bounds(&[0.3, 0.3], &[0.5, 0.5]).unwrap();
+        let overlap = surf_data::iou::iou(&found.region, &target);
+        assert!(overlap > 0.3, "IoU with target = {overlap}");
+    }
+
+    #[test]
+    fn covering_finds_multiple_bumps() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let points: Vec<Vec<f64>> = (0..6_000)
+            .map(|_| vec![rng.random::<f64>(), rng.random::<f64>()])
+            .collect();
+        let in_box = |p: &[f64], lo: [f64; 2], hi: [f64; 2]| {
+            (0..2).all(|d| p[d] >= lo[d] && p[d] <= hi[d])
+        };
+        let response: Vec<f64> = points
+            .iter()
+            .map(|p| {
+                if in_box(p, [0.1, 0.1], [0.3, 0.3]) || in_box(p, [0.7, 0.7], [0.9, 0.9]) {
+                    4.0
+                } else {
+                    0.1
+                }
+            })
+            .collect();
+        let boxes = Prim::new(
+            PrimParams::default()
+                .with_max_boxes(3)
+                .with_response_threshold(2.0),
+        )
+        .fit(&points, &response);
+        assert!(boxes.len() >= 2, "found {} boxes", boxes.len());
+        // The two found boxes cover different bumps.
+        let first = boxes[0].region.center().to_vec();
+        let second = boxes[1].region.center().to_vec();
+        let dist: f64 = first
+            .iter()
+            .zip(&second)
+            .map(|(a, b)| (a - b).powi(2))
+            .sum::<f64>()
+            .sqrt();
+        assert!(dist > 0.3, "boxes are too close: {dist}");
+    }
+
+    #[test]
+    fn min_support_limits_the_box_size() {
+        let (points, response) = bump_data(2_000, [0.4, 0.4], [0.45, 0.45], 2);
+        let boxes = Prim::new(
+            PrimParams::default()
+                .with_min_support(0.25)
+                .with_max_boxes(1),
+        )
+        .fit(&points, &response);
+        assert_eq!(boxes.len(), 1);
+        assert!(boxes[0].support_fraction >= 0.24, "support too small");
+    }
+
+    #[test]
+    fn degenerate_inputs_return_no_boxes() {
+        let prim = Prim::new(PrimParams::default());
+        assert!(prim.fit(&[], &[]).is_empty());
+        let points = vec![vec![0.1, 0.2]];
+        assert!(prim.fit(&points, &[1.0, 2.0]).is_empty());
+        let empty_row: Vec<Vec<f64>> = vec![vec![]];
+        assert!(prim.fit(&empty_row, &[1.0]).is_empty());
+    }
+
+    #[test]
+    fn response_threshold_stops_covering() {
+        let (points, response) = bump_data(3_000, [0.2, 0.2], [0.4, 0.4], 3);
+        let boxes = Prim::new(
+            PrimParams::default()
+                .with_max_boxes(4)
+                .with_response_threshold(2.5),
+        )
+        .fit(&points, &response);
+        // Only boxes over the genuine bump clear the threshold; covering stops before the
+        // box budget is exhausted because the background cannot reach a mean of 2.5.
+        assert!(!boxes.is_empty());
+        assert!(boxes.len() < 4, "covering did not stop: {}", boxes.len());
+        assert!(boxes.iter().all(|b| b.mean_response >= 2.5));
+    }
+
+    #[test]
+    fn prim_struggles_when_density_is_the_signal() {
+        // Uniform response of 1.0 everywhere: the mean is flat, so PRIM has no gradient to
+        // follow even though the point density varies — the failure mode the paper describes.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut points: Vec<Vec<f64>> = (0..1_000)
+            .map(|_| vec![rng.random::<f64>(), rng.random::<f64>()])
+            .collect();
+        for _ in 0..1_000 {
+            points.push(vec![
+                0.5 + 0.05 * (rng.random::<f64>() - 0.5),
+                0.5 + 0.05 * (rng.random::<f64>() - 0.5),
+            ]);
+        }
+        let response = vec![1.0; points.len()];
+        let boxes = Prim::new(PrimParams::default().with_max_boxes(1)).fit(&points, &response);
+        if let Some(found) = boxes.first() {
+            let dense_target =
+                Region::from_bounds(&[0.475, 0.475], &[0.525, 0.525]).unwrap();
+            let overlap = surf_data::iou::iou(&found.region, &dense_target);
+            assert!(overlap < 0.5, "PRIM unexpectedly found the dense region");
+        }
+    }
+}

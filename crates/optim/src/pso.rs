@@ -1,0 +1,236 @@
+//! Global-best Particle Swarm Optimization (Kennedy & Eberhart).
+//!
+//! The paper motivates GSO as "a multimodal variant of the well-known Particle Swarm
+//! Optimization" — PSO converges to a *single* global optimum, so it cannot return the
+//! multiple regions SuRF needs, but it is a useful unimodal reference and is exercised by the
+//! ablation benches.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::fitness::FitnessFunction;
+
+/// Hyper-parameters of the particle swarm.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PsoParams {
+    /// Number of particles.
+    pub particles: usize,
+    /// Number of iterations.
+    pub iterations: usize,
+    /// Inertia weight `w`.
+    pub inertia: f64,
+    /// Cognitive acceleration `c1` (pull toward the particle's personal best).
+    pub cognitive: f64,
+    /// Social acceleration `c2` (pull toward the global best).
+    pub social: f64,
+    /// Maximum velocity as a fraction of each variable's extent.
+    pub max_velocity_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PsoParams {
+    fn default() -> Self {
+        Self {
+            particles: 60,
+            iterations: 100,
+            inertia: 0.72,
+            cognitive: 1.49,
+            social: 1.49,
+            max_velocity_fraction: 0.2,
+            seed: 0,
+        }
+    }
+}
+
+impl PsoParams {
+    /// A small, fast configuration for tests.
+    pub fn quick() -> Self {
+        Self {
+            particles: 30,
+            iterations: 60,
+            ..Self::default()
+        }
+    }
+
+    /// Builder-style override of the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style override of the iteration budget.
+    pub fn with_iterations(mut self, iterations: usize) -> Self {
+        self.iterations = iterations;
+        self
+    }
+}
+
+/// The outcome of a PSO run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PsoResult {
+    /// Best position found by the swarm.
+    pub best_position: Vec<f64>,
+    /// Fitness at the best position.
+    pub best_fitness: f64,
+    /// Best fitness after each iteration.
+    pub best_fitness_history: Vec<f64>,
+    /// Number of fitness evaluations performed.
+    pub fitness_evaluations: usize,
+}
+
+/// The particle swarm optimizer.
+pub struct ParticleSwarm {
+    params: PsoParams,
+}
+
+impl ParticleSwarm {
+    /// Creates an optimizer with the given parameters.
+    pub fn new(params: PsoParams) -> Self {
+        Self { params }
+    }
+
+    /// Runs PSO and returns the best solution found.
+    pub fn run<F: FitnessFunction + ?Sized>(&self, fitness: &F) -> PsoResult {
+        let params = &self.params;
+        let bounds = fitness.bounds();
+        let dims = bounds.dimensions();
+        let extents = bounds.extents();
+        let mut rng = StdRng::seed_from_u64(params.seed);
+
+        let mut positions: Vec<Vec<f64>> = (0..params.particles)
+            .map(|_| {
+                (0..dims)
+                    .map(|d| rng.random_range(bounds.lower[d]..=bounds.upper[d]))
+                    .collect()
+            })
+            .collect();
+        let mut velocities: Vec<Vec<f64>> = (0..params.particles)
+            .map(|_| {
+                (0..dims)
+                    .map(|d| {
+                        let v_max = params.max_velocity_fraction * extents[d];
+                        rng.random_range(-v_max..=v_max)
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut personal_best = positions.clone();
+        let mut personal_best_fitness: Vec<f64> = positions
+            .iter()
+            .map(|p| finite_or_neg_inf(fitness.fitness(p)))
+            .collect();
+        let mut evaluations = params.particles;
+
+        let (mut global_best_index, _) = personal_best_fitness.iter().enumerate().fold(
+            (0, f64::NEG_INFINITY),
+            |acc, (i, &f)| if f > acc.1 { (i, f) } else { acc },
+        );
+        let mut global_best = personal_best[global_best_index].clone();
+        let mut global_best_fitness = personal_best_fitness[global_best_index];
+        let mut history = Vec::with_capacity(params.iterations);
+
+        for _ in 0..params.iterations {
+            for i in 0..params.particles {
+                for d in 0..dims {
+                    let r1: f64 = rng.random();
+                    let r2: f64 = rng.random();
+                    let v_max = params.max_velocity_fraction * extents[d];
+                    let mut velocity = params.inertia * velocities[i][d]
+                        + params.cognitive * r1 * (personal_best[i][d] - positions[i][d])
+                        + params.social * r2 * (global_best[d] - positions[i][d]);
+                    velocity = velocity.clamp(-v_max, v_max);
+                    velocities[i][d] = velocity;
+                    positions[i][d] += velocity;
+                }
+                bounds.clamp(&mut positions[i]);
+
+                let value = finite_or_neg_inf(fitness.fitness(&positions[i]));
+                evaluations += 1;
+                if value > personal_best_fitness[i] {
+                    personal_best_fitness[i] = value;
+                    personal_best[i] = positions[i].clone();
+                    if value > global_best_fitness {
+                        global_best_fitness = value;
+                        global_best_index = i;
+                        global_best = positions[i].clone();
+                    }
+                }
+            }
+            let _ = global_best_index;
+            history.push(global_best_fitness);
+        }
+
+        PsoResult {
+            best_position: global_best,
+            best_fitness: global_best_fitness,
+            best_fitness_history: history,
+            fitness_evaluations: evaluations,
+        }
+    }
+}
+
+fn finite_or_neg_inf(value: f64) -> f64 {
+    if value.is_finite() {
+        value
+    } else {
+        f64::NEG_INFINITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fitness::{MultiPeak, SolutionBounds};
+
+    /// A simple unimodal bowl with maximum at (0.6, 0.4).
+    struct Bowl;
+    impl FitnessFunction for Bowl {
+        fn bounds(&self) -> SolutionBounds {
+            SolutionBounds::unit(2)
+        }
+        fn fitness(&self, s: &[f64]) -> f64 {
+            -((s[0] - 0.6).powi(2) + (s[1] - 0.4).powi(2))
+        }
+    }
+
+    #[test]
+    fn pso_finds_the_unimodal_optimum() {
+        let result = ParticleSwarm::new(PsoParams::quick().with_seed(1)).run(&Bowl);
+        assert!((result.best_position[0] - 0.6).abs() < 0.05);
+        assert!((result.best_position[1] - 0.4).abs() < 0.05);
+        assert!(result.best_fitness > -0.01);
+    }
+
+    #[test]
+    fn best_fitness_history_is_monotone() {
+        let result = ParticleSwarm::new(PsoParams::quick().with_seed(2)).run(&Bowl);
+        for window in result.best_fitness_history.windows(2) {
+            assert!(window[1] >= window[0]);
+        }
+        assert!(result.fitness_evaluations > 0);
+    }
+
+    #[test]
+    fn pso_converges_to_a_single_peak_of_a_multimodal_landscape() {
+        // This is exactly why the paper needs GSO instead: PSO collapses onto one optimum.
+        let landscape = MultiPeak::two_peaks();
+        let result = ParticleSwarm::new(PsoParams::default().with_seed(3)).run(&landscape);
+        let d1 = ((result.best_position[0] - 0.25).powi(2)
+            + (result.best_position[1] - 0.25).powi(2))
+        .sqrt();
+        let d2 = ((result.best_position[0] - 0.75).powi(2)
+            + (result.best_position[1] - 0.75).powi(2))
+        .sqrt();
+        assert!(d1.min(d2) < 0.1, "did not reach either peak");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = ParticleSwarm::new(PsoParams::quick().with_seed(9)).run(&Bowl);
+        let b = ParticleSwarm::new(PsoParams::quick().with_seed(9)).run(&Bowl);
+        assert_eq!(a.best_position, b.best_position);
+    }
+}

@@ -1,0 +1,91 @@
+//! Activity-pattern discovery — the paper's Human-Activity use case (Section V-C).
+//!
+//! ```bash
+//! cargo run --release --example activity_patterns
+//! ```
+//!
+//! Tri-axial accelerometer readings are simulated with per-activity signatures. The analyst
+//! asks for accelerometer regions where the ratio of the activity *standing* exceeds 0.3 — a
+//! rare event (the paper reports an empirical exceedance probability of just 0.0035). The
+//! mined regions demarcate interpretable classification boundaries in sensor space.
+
+use surf::prelude::*;
+
+fn main() {
+    // 1. Simulated activity tracker stream.
+    let activity = ActivityDataset::generate(&ActivitySpec::default().with_samples(30_000).with_seed(3));
+    let labels = activity.dataset.labels().expect("activity labels present");
+    let stand_fraction = labels
+        .iter()
+        .filter(|&&l| l == Activity::Standing.label())
+        .count() as f64
+        / labels.len() as f64;
+    println!(
+        "activity dataset: {} samples over (accel_x, accel_y, accel_z); standing makes up {:.1}% of samples",
+        activity.dataset.len(),
+        100.0 * stand_fraction
+    );
+
+    // 2. How hard is the request? Empirical probability that a random region reaches the
+    //    requested ratio (the paper reports 1 − F̂_Y(0.3) = 0.0035).
+    let threshold = 0.3;
+    let exceedance = activity.exceedance_probability(Activity::Standing, threshold, 2_000, 0.1, 5);
+    println!(
+        "P(ratio of standing > {threshold}) over random regions ≈ {exceedance:.4} — a rare event"
+    );
+
+    // 3. Train SuRF on the ratio statistic and mine.
+    let statistic = activity.ratio_statistic(Activity::Standing);
+    let config = SurfConfig::builder()
+        .statistic(statistic)
+        .threshold(Threshold::above(threshold))
+        .objective(Objective::log(2.0))
+        .training_queries(2_500)
+        .workload_coverage(0.03, 0.2)
+        .gbrt(GbrtParams::quick())
+        .gso(GsoParams::dimension_adaptive(6).with_seed(3))
+        .kde_sample(1_000)
+        .seed(3)
+        .build();
+    let surf = Surf::fit(&activity.dataset, &config).expect("training succeeds");
+    let outcome = surf.mine();
+    println!(
+        "SuRF proposed {} regions in {:.2?} (swarm valid fraction {:.0}%)",
+        outcome.regions.len(),
+        outcome.mining_time,
+        100.0 * outcome.swarm_valid_fraction
+    );
+
+    // 4. Inspect the proposals: their true stand ratio and the classification boundary they
+    //    suggest.
+    let mut confirmed = 0usize;
+    for (i, mined) in outcome.regions.iter().take(8).enumerate() {
+        let true_ratio = statistic
+            .evaluate_or(&activity.dataset, &mined.region, 0.0)
+            .expect("region has the dataset's dimensionality");
+        if true_ratio > threshold {
+            confirmed += 1;
+        }
+        let lower = mined.region.lower();
+        let upper = mined.region.upper();
+        println!(
+            "  region {}: accel_x in [{:.2}, {:.2}], accel_y in [{:.2}, {:.2}], accel_z in [{:.2}, {:.2}] — predicted ratio {:.2}, true ratio {:.2}",
+            i + 1,
+            lower[0], upper[0], lower[1], upper[1], lower[2], upper[2],
+            mined.predicted_value,
+            true_ratio
+        );
+    }
+    if !outcome.regions.is_empty() {
+        println!(
+            "{}/{} inspected regions exceed the requested ratio under the true data",
+            confirmed,
+            outcome.regions.len().min(8)
+        );
+    } else {
+        println!("no regions found — try lowering the threshold or enlarging the workload");
+    }
+
+    // 5. The standing signature the generator planted, for reference.
+    println!("\n(planted standing signature is centred near accel = (0.80, 0.20, 0.75))");
+}

@@ -1,0 +1,185 @@
+//! End-to-end integration tests of the SuRF pipeline across all workspace crates.
+
+use surf::prelude::*;
+
+fn quick_config(statistic: Statistic, threshold: Threshold, seed: u64) -> SurfConfig {
+    SurfConfig::builder()
+        .statistic(statistic)
+        .threshold(threshold)
+        .training_queries(1_500)
+        .gbrt(GbrtParams::quick())
+        .gso(GsoParams::paper_default().with_seed(seed))
+        .kde_sample(400)
+        .seed(seed)
+        .build()
+}
+
+#[test]
+fn surf_recovers_a_dense_ground_truth_region() {
+    let synthetic = SyntheticDataset::generate(
+        &SyntheticSpec::density(2, 1)
+            .with_points(5_000)
+            .with_points_per_region(1_300)
+            .with_seed(101),
+    );
+    let config = quick_config(Statistic::Count, Threshold::above(700.0), 101);
+    let surf = Surf::fit(&synthetic.dataset, &config).unwrap();
+    let outcome = surf.mine();
+    assert!(!outcome.regions.is_empty());
+    let matched = match_regions(&outcome.region_list(), &synthetic.ground_truth);
+    assert!(
+        matched.mean_iou > 0.15,
+        "IoU too low: {}",
+        matched.mean_iou
+    );
+}
+
+#[test]
+fn surf_proposals_are_valid_under_the_true_function() {
+    let synthetic = SyntheticDataset::generate(
+        &SyntheticSpec::density(2, 1)
+            .with_points(5_000)
+            .with_points_per_region(1_300)
+            .with_seed(55),
+    );
+    let threshold = Threshold::above(500.0);
+    let config = quick_config(Statistic::Count, threshold, 55);
+    let surf = Surf::fit(&synthetic.dataset, &config).unwrap();
+    let outcome = surf.mine();
+    assert!(!outcome.regions.is_empty());
+    // The surrogate and the true function must agree on the constraint for the large majority
+    // of proposals (the paper reports 100 % on the Crimes experiment).
+    let validity = validity_fraction(
+        &synthetic.dataset,
+        Statistic::Count,
+        &threshold,
+        &outcome.region_list(),
+        0.0,
+    )
+    .unwrap();
+    assert!(validity >= 0.5, "validity fraction {validity}");
+}
+
+#[test]
+fn surf_handles_the_aggregate_statistic() {
+    let synthetic = SyntheticDataset::generate(
+        &SyntheticSpec::aggregate(2, 1).with_points(5_000).with_seed(77),
+    );
+    // An average statistic is scale-free, so the size-regularized objective pushes toward the
+    // smallest allowed boxes (the paper makes the same observation about the global optimum
+    // being an infinitesimal box). Bounding the half side lengths from below — an analyst
+    // choice the paper's `c` discussion motivates — keeps the proposals comparable to the
+    // ground truth in size.
+    let config = SurfConfig::builder()
+        .statistic(Statistic::average_of_measure())
+        .threshold(Threshold::above(2.0))
+        .training_queries(1_500)
+        .gbrt(GbrtParams::quick())
+        .gso(GsoParams::paper_default().with_seed(77))
+        .length_fractions(0.08, 0.4)
+        .kde_sample(400)
+        .seed(77)
+        .build();
+    let surf = Surf::fit(&synthetic.dataset, &config).unwrap();
+    let outcome = surf.mine();
+    assert!(!outcome.regions.is_empty(), "no aggregate regions found");
+    let matched = match_regions(&outcome.region_list(), &synthetic.ground_truth);
+    assert!(matched.mean_iou > 0.1, "IoU {}", matched.mean_iou);
+}
+
+#[test]
+fn below_direction_finds_sparse_regions() {
+    // Seek regions with FEWER than 5 points: the empty corners of a dataset whose mass is
+    // concentrated in the centre.
+    let synthetic = SyntheticDataset::generate(
+        &SyntheticSpec::density(2, 1)
+            .with_points(3_000)
+            .with_points_per_region(2_500)
+            .with_seed(13),
+    );
+    let config = SurfConfig::builder()
+        .statistic(Statistic::Count)
+        .threshold(Threshold::below(5.0))
+        .training_queries(1_000)
+        .gbrt(GbrtParams::quick())
+        .gso(GsoParams::quick().with_seed(13))
+        .kde_guide(false)
+        .seed(13)
+        .build();
+    let surf = Surf::fit(&synthetic.dataset, &config).unwrap();
+    let outcome = surf.mine();
+    // Sparse regions exist (most of the domain is nearly empty), so something must be found.
+    assert!(!outcome.regions.is_empty());
+    for mined in &outcome.regions {
+        assert!(mined.predicted_value < 5.0);
+    }
+}
+
+#[test]
+fn mined_regions_stay_inside_the_data_domain() {
+    let crimes = CrimesDataset::generate(&CrimesSpec::default().with_incidents(8_000).with_seed(21));
+    let q3 = crimes.third_quartile_threshold(200, 0.06, 3);
+    let config = quick_config(Statistic::Count, Threshold::above(q3), 21);
+    let surf = Surf::fit(&crimes.dataset, &config).unwrap();
+    let outcome = surf.mine();
+    let domain = surf.domain().scaled(1.6).unwrap();
+    for mined in &outcome.regions {
+        assert!(
+            domain.contains(&mined.region.center().to_vec()),
+            "region centre escaped the domain"
+        );
+    }
+}
+
+#[test]
+fn training_once_serves_multiple_thresholds() {
+    let synthetic = SyntheticDataset::generate(
+        &SyntheticSpec::density(2, 3)
+            .with_points(6_000)
+            .with_points_per_region(1_300)
+            .with_seed(31),
+    );
+    let config = quick_config(Statistic::Count, Threshold::above(400.0), 31);
+    let surf = Surf::fit(&synthetic.dataset, &config).unwrap();
+    let loose = surf.mine_with(Threshold::above(200.0));
+    let tight = surf.mine_with(Threshold::above(1_000.0));
+    // Both requests are served without retraining; the loose one admits at least as much of
+    // the swarm.
+    assert!(loose.swarm_valid_fraction >= tight.swarm_valid_fraction);
+}
+
+#[test]
+fn ratio_statistic_pipeline_on_activity_data() {
+    let activity =
+        ActivityDataset::generate(&ActivitySpec::default().with_samples(25_000).with_seed(3));
+    let statistic = activity.ratio_statistic(Activity::Standing);
+    let config = SurfConfig::builder()
+        .statistic(statistic)
+        .threshold(Threshold::above(0.2))
+        .training_queries(3_000)
+        .workload_coverage(0.05, 0.3)
+        .gbrt(GbrtParams::quick())
+        .gso(GsoParams::paper_default().with_seed(3))
+        .length_fractions(0.08, 0.4)
+        .kde_sample(400)
+        .seed(3)
+        .build();
+    let surf = Surf::fit(&activity.dataset, &config).unwrap();
+    let outcome = surf.mine();
+    // Regions of high standing ratio exist around the planted signature; SuRF should find at
+    // least one candidate whose true ratio is clearly elevated relative to the ~8 % base rate.
+    assert!(!outcome.regions.is_empty(), "no ratio regions proposed");
+    let best_true_ratio = outcome
+        .regions
+        .iter()
+        .map(|mined| {
+            statistic
+                .evaluate_or(&activity.dataset, &mined.region, 0.0)
+                .unwrap()
+        })
+        .fold(0.0_f64, f64::max);
+    assert!(
+        best_true_ratio > 0.15,
+        "no proposed region has an elevated true stand ratio (best {best_true_ratio})"
+    );
+}

@@ -1,0 +1,164 @@
+//! Cross-crate property-based tests (proptest) on the invariants the SuRF pipeline relies on.
+
+use proptest::prelude::*;
+use surf::prelude::*;
+use surf::core::objective::Direction;
+
+/// Strategy: a valid region in [0, 1]^d with d in 1..=4.
+fn region_strategy() -> impl Strategy<Value = Region> {
+    (1usize..=4)
+        .prop_flat_map(|d| {
+            (
+                prop::collection::vec(0.0f64..1.0, d),
+                prop::collection::vec(0.01f64..0.4, d),
+            )
+        })
+        .prop_map(|(center, half)| Region::new(center, half).expect("valid region"))
+}
+
+/// Strategy: two regions with the same dimensionality.
+fn region_pair_strategy() -> impl Strategy<Value = (Region, Region)> {
+    (1usize..=4).prop_flat_map(|d| {
+        let one = (
+            prop::collection::vec(0.0f64..1.0, d),
+            prop::collection::vec(0.01f64..0.4, d),
+        )
+            .prop_map(|(c, h)| Region::new(c, h).expect("valid region"));
+        let other = (
+            prop::collection::vec(0.0f64..1.0, d),
+            prop::collection::vec(0.01f64..0.4, d),
+        )
+            .prop_map(|(c, h)| Region::new(c, h).expect("valid region"));
+        (one, other)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// IoU is a proper similarity: bounded, symmetric, and 1 exactly on identical regions.
+    #[test]
+    fn iou_is_bounded_symmetric_and_reflexive((a, b) in region_pair_strategy()) {
+        let ab = iou(&a, &b);
+        let ba = iou(&b, &a);
+        prop_assert!((0.0..=1.0).contains(&ab));
+        prop_assert!((ab - ba).abs() < 1e-12);
+        prop_assert!((iou(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    /// Growing a region can only gain points: COUNT is monotone under region containment.
+    #[test]
+    fn count_is_monotone_under_containment(region in region_strategy(), seed in 0u64..1_000) {
+        let d = region.dimensions();
+        let spec = SyntheticSpec::density(d, 1).with_points(800).with_seed(seed);
+        let synthetic = SyntheticDataset::generate(&spec);
+        let grown = region.scaled(1.5).unwrap();
+        let small = Statistic::Count
+            .evaluate_or(&synthetic.dataset, &region, 0.0)
+            .unwrap();
+        let large = Statistic::Count
+            .evaluate_or(&synthetic.dataset, &grown, 0.0)
+            .unwrap();
+        prop_assert!(large >= small);
+    }
+
+    /// The solution-vector round trip preserves regions exactly.
+    #[test]
+    fn solution_vector_round_trip(region in region_strategy()) {
+        let vector = region.to_solution_vector();
+        prop_assert_eq!(vector.len(), 2 * region.dimensions());
+        let back = Region::from_solution_vector(&vector, 1e-9).unwrap();
+        prop_assert_eq!(back, region);
+    }
+
+    /// The log objective is finite exactly when the constraint is satisfied.
+    #[test]
+    fn log_objective_finite_iff_constraint_satisfied(
+        region in region_strategy(),
+        statistic in -100.0f64..100.0,
+        threshold_value in -50.0f64..50.0,
+        above in proptest::bool::ANY,
+    ) {
+        let threshold = if above {
+            Threshold::above(threshold_value)
+        } else {
+            Threshold::below(threshold_value)
+        };
+        let objective = Objective::log(2.0);
+        let value = objective.evaluate(statistic, &region, &threshold);
+        prop_assert_eq!(value.is_finite(), threshold.satisfied(statistic));
+    }
+
+    /// The ratio objective's sign tracks the constraint margin.
+    #[test]
+    fn ratio_objective_sign_tracks_margin(
+        region in region_strategy(),
+        statistic in -100.0f64..100.0,
+        threshold_value in -50.0f64..50.0,
+    ) {
+        let threshold = Threshold::above(threshold_value);
+        let value = Objective::ratio(1.0).evaluate(statistic, &region, &threshold);
+        if threshold.margin(statistic) > 0.0 {
+            prop_assert!(value > 0.0);
+        } else {
+            prop_assert!(value <= 0.0);
+        }
+    }
+
+    /// Threshold direction semantics: above and below are mirror images.
+    #[test]
+    fn threshold_directions_are_mirrored(value in -100.0f64..100.0, statistic in -100.0f64..100.0) {
+        let above = Threshold { value, direction: Direction::Above };
+        let below = Threshold { value, direction: Direction::Below };
+        prop_assert!((above.margin(statistic) + below.margin(statistic)).abs() < 1e-12);
+        if (statistic - value).abs() > 1e-9 {
+            prop_assert_ne!(above.satisfied(statistic), below.satisfied(statistic));
+        }
+    }
+
+    /// GBRT predictions stay within the range of the training targets (each tree predicts
+    /// means of residual subsets, so the ensemble cannot extrapolate beyond the data range).
+    #[test]
+    fn gbrt_predictions_stay_in_target_range(seed in 0u64..500) {
+        let mut targets = Vec::new();
+        let mut features = Vec::new();
+        // A deterministic pseudo-random training set derived from the seed.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        for _ in 0..80 {
+            let x = vec![next(), next()];
+            targets.push(3.0 * x[0] - x[1]);
+            features.push(x);
+        }
+        let model = Gbrt::fit(&features, &targets, &GbrtParams::quick().with_n_estimators(20)).unwrap();
+        let lo = targets.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = targets.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for probe in [[0.0, 0.0], [1.0, 1.0], [0.5, 0.5], [0.0, 1.0]] {
+            let prediction = model.predict_one(&probe).unwrap();
+            prop_assert!(prediction >= lo - 1e-6 && prediction <= hi + 1e-6,
+                "prediction {} outside [{}, {}]", prediction, lo, hi);
+        }
+    }
+
+    /// Workload-generated regions always respect the requested coverage bounds.
+    #[test]
+    fn workload_regions_respect_coverage(seed in 0u64..200) {
+        let synthetic = SyntheticDataset::generate(
+            &SyntheticSpec::density(2, 1).with_points(500).with_seed(seed),
+        );
+        let spec = WorkloadSpec::default().with_queries(30).with_coverage(0.05, 0.2).with_seed(seed);
+        let workload = Workload::generate(&synthetic.dataset, Statistic::Count, &spec).unwrap();
+        let domain = synthetic.dataset.domain().unwrap();
+        for eval in &workload.evaluations {
+            for dim in 0..2 {
+                let side = domain.upper_in(dim) - domain.lower_in(dim);
+                let coverage = eval.region.half_lengths()[dim] / side;
+                prop_assert!(coverage >= 0.049 && coverage <= 0.201);
+            }
+            prop_assert!(eval.value >= 0.0);
+        }
+    }
+}
