@@ -22,7 +22,9 @@ struct Setup {
 
 fn setup() -> Setup {
     let synthetic = SyntheticDataset::generate(
-        &SyntheticSpec::density(2, 1).with_points(20_000).with_seed(5),
+        &SyntheticSpec::density(2, 1)
+            .with_points(20_000)
+            .with_seed(5),
     );
     let workload = Workload::generate(
         &synthetic.dataset,
@@ -31,7 +33,9 @@ fn setup() -> Setup {
     )
     .unwrap();
     let (surrogate, _) = SurrogateTrainer::quick().train(&workload).unwrap();
-    let points: Vec<Vec<f64>> = (0..1_000).map(|i| synthetic.dataset.row(i).values).collect();
+    let points: Vec<Vec<f64>> = (0..1_000)
+        .map(|i| synthetic.dataset.row(i).values)
+        .collect();
     Setup {
         surrogate,
         domain: synthetic.dataset.domain().unwrap(),

@@ -35,7 +35,9 @@ fn bench_surrogate_vs_true(c: &mut Criterion) {
 
     // The learned surrogate: evaluation cost does not depend on N at all.
     let synthetic = SyntheticDataset::generate(
-        &SyntheticSpec::density(2, 1).with_points(50_000).with_seed(3),
+        &SyntheticSpec::density(2, 1)
+            .with_points(50_000)
+            .with_seed(3),
     );
     let workload = Workload::generate(
         &synthetic.dataset,

@@ -34,9 +34,8 @@ fn bench_count_statistic(c: &mut Criterion) {
 fn bench_average_statistic(c: &mut Criterion) {
     let mut group = c.benchmark_group("true_statistic_average");
     for &n in &[10_000usize, 100_000] {
-        let synthetic = SyntheticDataset::generate(
-            &SyntheticSpec::aggregate(3, 1).with_points(n).with_seed(2),
-        );
+        let synthetic =
+            SyntheticDataset::generate(&SyntheticSpec::aggregate(3, 1).with_points(n).with_seed(2));
         let region = Region::new(vec![0.5, 0.5, 0.5], vec![0.15, 0.15, 0.15]).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {

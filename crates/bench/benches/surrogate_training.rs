@@ -11,7 +11,9 @@ use surf_data::workload::{Workload, WorkloadSpec};
 
 fn bench_training(c: &mut Criterion) {
     let synthetic = SyntheticDataset::generate(
-        &SyntheticSpec::density(2, 1).with_points(20_000).with_seed(4),
+        &SyntheticSpec::density(2, 1)
+            .with_points(20_000)
+            .with_seed(4),
     );
     let mut group = c.benchmark_group("surrogate_training");
     group.sample_size(10);
@@ -23,7 +25,13 @@ fn bench_training(c: &mut Criterion) {
         )
         .unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(queries), &queries, |b, _| {
-            b.iter(|| black_box(SurrogateTrainer::quick().train(black_box(&workload)).unwrap()))
+            b.iter(|| {
+                black_box(
+                    SurrogateTrainer::quick()
+                        .train(black_box(&workload))
+                        .unwrap(),
+                )
+            })
         });
     }
     group.finish();

@@ -160,9 +160,7 @@ pub fn std_iou_where<F: Fn(&AccuracyCell) -> bool>(cells: &[AccuracyCell], f: F)
         return None;
     }
     let mean = selected.iter().sum::<f64>() / selected.len() as f64;
-    Some(
-        (selected.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / selected.len() as f64).sqrt(),
-    )
+    Some((selected.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / selected.len() as f64).sqrt())
 }
 
 #[cfg(test)]

@@ -48,10 +48,16 @@ fn main() {
     println!("# Figure 10 — GSO mining time vs dimensionality for varying L and T");
 
     let dims: Vec<usize> = scale.pick(vec![1, 2, 3], vec![1, 2, 3, 4, 5], vec![1, 2, 3, 4, 5]);
-    let glowworm_counts: Vec<usize> =
-        scale.pick(vec![50, 100], vec![100, 200, 300, 400, 500], vec![100, 200, 300, 400, 500]);
-    let iteration_counts: Vec<usize> =
-        scale.pick(vec![50, 100], vec![100, 200, 300, 400], vec![100, 200, 300, 400]);
+    let glowworm_counts: Vec<usize> = scale.pick(
+        vec![50, 100],
+        vec![100, 200, 300, 400, 500],
+        vec![100, 200, 300, 400, 500],
+    );
+    let iteration_counts: Vec<usize> = scale.pick(
+        vec![50, 100],
+        vec![100, 200, 300, 400],
+        vec![100, 200, 300, 400],
+    );
 
     let mut rows = Vec::new();
     let mut left_table = Vec::new();

@@ -10,7 +10,7 @@ use surf_core::surrogate::GbrtSurrogate;
 use surf_data::iou::average_best_iou;
 use surf_data::synthetic::{SyntheticDataset, SyntheticSpec};
 use surf_data::workload::{Workload, WorkloadSpec};
-use surf_ml::cv::{cross_validate_gbrt, KFold};
+use surf_ml::cv::{cross_validate_gbrt_threaded, KFold};
 use surf_ml::gbrt::{Gbrt, GbrtParams};
 use surf_ml::metrics::rmse;
 use surf_optim::gso::GsoParams;
@@ -45,7 +45,11 @@ fn main() {
     .expect("workload generation succeeds");
     let (features, targets) = workload.to_xy();
 
-    let depths: Vec<usize> = scale.pick(vec![2, 5, 9], vec![2, 3, 5, 7, 9, 12, 15], vec![2, 3, 5, 7, 9, 12, 15]);
+    let depths: Vec<usize> = scale.pick(
+        vec![2, 5, 9],
+        vec![2, 3, 5, 7, 9, 12, 15],
+        vec![2, 3, 5, 7, 9, 12, 15],
+    );
     let mut rows = Vec::new();
     let mut table = Vec::new();
     for &depth in &depths {
@@ -53,8 +57,8 @@ fn main() {
         // Training RMSE on the full workload.
         let model = Gbrt::fit(&features, &targets, &params).expect("fit succeeds");
         let train_rmse = rmse(&targets, &model.predict(&features).expect("predict"));
-        // Cross-validated RMSE.
-        let cv = cross_validate_gbrt(&features, &targets, &params, KFold::new(3, 12))
+        // Cross-validated RMSE, folds fanned out over the available cores.
+        let cv = cross_validate_gbrt_threaded(&features, &targets, &params, KFold::new(3, 12), 0)
             .expect("cross-validation succeeds");
         // Mining IoU with this surrogate.
         let surrogate =

@@ -3,6 +3,7 @@
 //! with the fraction of the swarm that converged onto constraint-satisfying regions (the
 //! paper reports 84 % for `y_R = 1080`).
 
+use serde::Serialize;
 use surf_bench::report::{print_table, write_artifact};
 use surf_bench::Scale;
 use surf_core::finder::RegionFitness;
@@ -12,7 +13,6 @@ use surf_data::statistic::Statistic;
 use surf_data::synthetic::{SyntheticDataset, SyntheticSpec};
 use surf_data::workload::{Workload, WorkloadSpec};
 use surf_optim::gso::{GlowwormSwarm, GsoParams};
-use serde::Serialize;
 
 #[derive(Serialize)]
 struct ParticleRow {

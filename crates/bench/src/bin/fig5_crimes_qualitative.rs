@@ -7,9 +7,9 @@ use serde::Serialize;
 use surf_bench::report::{print_table, write_artifact};
 use surf_bench::Scale;
 use surf_core::evaluation::validity_fraction;
+use surf_core::finder::Surf;
 use surf_core::objective::{Objective, Threshold};
 use surf_core::pipeline::SurfConfig;
-use surf_core::finder::Surf;
 use surf_core::surrogate::Surrogate;
 use surf_data::crimes::{CrimesDataset, CrimesSpec};
 use surf_data::region::Region;

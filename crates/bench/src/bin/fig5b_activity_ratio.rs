@@ -5,9 +5,9 @@
 use serde::Serialize;
 use surf_bench::report::{print_table, write_artifact};
 use surf_bench::Scale;
+use surf_core::finder::Surf;
 use surf_core::objective::{Objective, Threshold};
 use surf_core::pipeline::SurfConfig;
-use surf_core::finder::Surf;
 use surf_data::activity::{Activity, ActivityDataset, ActivitySpec};
 use surf_ml::gbrt::GbrtParams;
 use surf_optim::gso::GsoParams;
@@ -78,7 +78,13 @@ fn main() {
     }
     print_table(
         "Proposed accelerometer regions (classification-boundary candidates)",
-        &["accel_x", "accel_y", "accel_z", "predicted ratio", "true ratio"],
+        &[
+            "accel_x",
+            "accel_y",
+            "accel_z",
+            "predicted ratio",
+            "true ratio",
+        ],
         &rows,
     );
     println!(

@@ -71,8 +71,16 @@ fn main() {
                 result.converged.to_string(),
                 format!(
                     "{:.2} -> {:.2}",
-                    result.mean_fitness_history.first().copied().unwrap_or(f64::NAN),
-                    result.mean_fitness_history.last().copied().unwrap_or(f64::NAN)
+                    result
+                        .mean_fitness_history
+                        .first()
+                        .copied()
+                        .unwrap_or(f64::NAN),
+                    result
+                        .mean_fitness_history
+                        .last()
+                        .copied()
+                        .unwrap_or(f64::NAN)
                 ),
             ]);
             traces.push(Trace {
@@ -88,7 +96,13 @@ fn main() {
 
     print_table(
         "Convergence per setting",
-        &["k", "solution dims", "iterations to convergence", "converged", "E[J] first -> last"],
+        &[
+            "k",
+            "solution dims",
+            "iterations to convergence",
+            "converged",
+            "E[J] first -> last",
+        ],
         &rows,
     );
     let mean_iterations: f64 =

@@ -40,7 +40,8 @@ fn main() {
         Scale::Default => vec![100_000, 1_000_000],
         Scale::Full => vec![100_000, 1_000_000, 10_000_000],
     };
-    let dimensions: Vec<usize> = scale.pick(vec![1, 2, 3], vec![1, 2, 3, 4, 5], vec![1, 2, 3, 4, 5]);
+    let dimensions: Vec<usize> =
+        scale.pick(vec![1, 2, 3], vec![1, 2, 3, 4, 5], vec![1, 2, 3, 4, 5]);
     // Per-method budget standing in for the paper's 3,000 s limit.
     let budget = Duration::from_secs(scale.pick(5, 30, 3_000));
     println!(
@@ -60,7 +61,9 @@ fn main() {
 
             let config = ComparisonConfig {
                 gso: GsoParams::paper_default().with_seed(1),
-                naive: NaiveParams::default().with_grid(6, 6).with_time_limit(budget),
+                naive: NaiveParams::default()
+                    .with_grid(6, 6)
+                    .with_time_limit(budget),
                 training_queries: scale.pick(500, 1_500, 3_000),
                 gbrt: GbrtParams::quick(),
                 seed: 1,
@@ -72,8 +75,7 @@ fn main() {
                 // f+GlowWorm at the largest N x d combinations exceeds any reasonable budget
                 // (the paper itself reports a timeout at N = 10^7, d = 5); skip it above the
                 // threshold where a single run would take longer than the budget.
-                if method == Method::FGlowworm && n >= 1_000_000 && d >= 4 && scale != Scale::Full
-                {
+                if method == Method::FGlowworm && n >= 1_000_000 && d >= 4 && scale != Scale::Full {
                     cells.push(Cell {
                         method: method.name().into(),
                         dimensions: d,
@@ -125,7 +127,11 @@ fn main() {
             .chain(data_sizes.iter().map(|n| format!("N={n}")))
             .collect();
         let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
-        print_table(&format!("Method: {} — time (s)", method.name()), &header_refs, &rows);
+        print_table(
+            &format!("Method: {} — time (s)", method.name()),
+            &header_refs,
+            &rows,
+        );
     }
 
     // SuRF's one-off training cost, reported separately as in the paper's discussion.

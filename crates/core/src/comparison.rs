@@ -354,7 +354,9 @@ mod tests {
 
     fn aggregate_synthetic() -> SyntheticDataset {
         SyntheticDataset::generate(
-            &SyntheticSpec::aggregate(2, 1).with_points(3_000).with_seed(33),
+            &SyntheticSpec::aggregate(2, 1)
+                .with_points(3_000)
+                .with_seed(33),
         )
     }
 

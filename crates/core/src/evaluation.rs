@@ -69,13 +69,30 @@ pub fn validity_fraction(
     regions: &[Region],
     empty_value: f64,
 ) -> Result<f64, DataError> {
+    validity_fraction_threaded(dataset, statistic, threshold, regions, empty_value, 1)
+}
+
+/// Like [`validity_fraction`], fanning the (expensive, data-touching) per-region statistic
+/// evaluations out over up to `threads` OS threads (`0` = automatic). Each evaluation is
+/// independent, so the fraction is identical to the sequential one.
+pub fn validity_fraction_threaded(
+    dataset: &Dataset,
+    statistic: Statistic,
+    threshold: &Threshold,
+    regions: &[Region],
+    empty_value: f64,
+    threads: usize,
+) -> Result<f64, DataError> {
     if regions.is_empty() {
         return Ok(0.0);
     }
+    let threads = surf_ml::parallel::resolve_threads(threads);
+    let values = surf_ml::parallel::parallel_map(regions.iter().collect(), threads, |region| {
+        statistic.evaluate_or(dataset, region, empty_value)
+    });
     let mut valid = 0usize;
-    for region in regions {
-        let value = statistic.evaluate_or(dataset, region, empty_value)?;
-        if threshold.satisfied(value) {
+    for value in values {
+        if threshold.satisfied(value?) {
             valid += 1;
         }
     }
@@ -93,7 +110,10 @@ mod tests {
 
     #[test]
     fn perfect_candidates_score_one() {
-        let gt = vec![region(&[0.2, 0.2], &[0.1, 0.1]), region(&[0.8, 0.8], &[0.1, 0.1])];
+        let gt = vec![
+            region(&[0.2, 0.2], &[0.1, 0.1]),
+            region(&[0.8, 0.8], &[0.1, 0.1]),
+        ];
         let result = match_regions(&gt, &gt);
         assert!((result.mean_iou - 1.0).abs() < 1e-12);
         assert_eq!(result.best_candidate, vec![Some(0), Some(1)]);
@@ -136,22 +156,15 @@ mod tests {
         )
         .unwrap();
         assert!((fraction - 0.5).abs() < 1e-12);
-        let empty = validity_fraction(
-            &synthetic.dataset,
-            Statistic::Count,
-            &threshold,
-            &[],
-            0.0,
-        )
-        .unwrap();
+        let empty =
+            validity_fraction(&synthetic.dataset, Statistic::Count, &threshold, &[], 0.0).unwrap();
         assert_eq!(empty, 0.0);
     }
 
     #[test]
     fn validity_fraction_propagates_data_errors() {
-        let synthetic = SyntheticDataset::generate(
-            &SyntheticSpec::density(2, 1).with_points(500).with_seed(3),
-        );
+        let synthetic =
+            SyntheticDataset::generate(&SyntheticSpec::density(2, 1).with_points(500).with_seed(3));
         let wrong_dims = region(&[0.5], &[0.1]);
         let result = validity_fraction(
             &synthetic.dataset,

@@ -9,6 +9,8 @@
 
 use std::time::{Duration, Instant};
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use surf_data::dataset::Dataset;
 use surf_data::region::Region;
@@ -16,8 +18,6 @@ use surf_data::workload::{Workload, WorkloadSpec};
 use surf_ml::kde::KernelDensity;
 use surf_optim::fitness::{FitnessFunction, SolutionBounds};
 use surf_optim::gso::{GlowwormSwarm, GsoParams};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 use crate::error::SurfError;
 use crate::objective::{Objective, Threshold};
@@ -247,6 +247,11 @@ pub struct Surf {
 impl Surf {
     /// Trains a SuRF engine on a dataset: generates the past-query workload, fits the
     /// surrogate (optionally grid-searched) and the KDE guide.
+    ///
+    /// The workload evaluation — `training_queries` full scans of the dataset, by far the
+    /// dominant training cost (the paper's Fig. 6) — fans out over
+    /// [`SurfConfig::threads`] OS threads; the resulting workload is identical to the
+    /// sequential one for every thread count.
     pub fn fit(dataset: &Dataset, config: &SurfConfig) -> Result<Surf, SurfError> {
         config.validate()?;
         let workload_spec = WorkloadSpec::default()
@@ -254,7 +259,23 @@ impl Surf {
             .with_coverage(config.workload_coverage.0, config.workload_coverage.1)
             .with_empty_value(config.empty_value)
             .with_seed(config.seed);
-        let workload = Workload::generate(dataset, config.statistic, &workload_spec)?;
+        let domain = dataset.domain()?;
+        let regions = Workload::sample_query_regions(&domain, &workload_spec)?;
+        let threads = surf_ml::parallel::resolve_threads(config.threads);
+        let values = surf_ml::parallel::parallel_map(regions, threads, |region| {
+            let value = config
+                .statistic
+                .evaluate_or(dataset, region, config.empty_value)?;
+            Ok::<_, surf_data::error::DataError>(surf_data::workload::RegionEvaluation {
+                region: region.clone(),
+                value,
+            })
+        });
+        let mut evaluations = Vec::with_capacity(values.len());
+        for evaluation in values {
+            evaluations.push(evaluation?);
+        }
+        let workload = Workload::from_evaluations(config.statistic, evaluations);
         Self::fit_with_workload(dataset, &workload, config)
     }
 
@@ -278,6 +299,7 @@ impl Surf {
         let trainer = SurrogateTrainer {
             params: config.gbrt.clone(),
             hypertune: config.hypertune,
+            threads: config.threads,
             seed: config.seed,
             ..SurrogateTrainer::default()
         };
@@ -286,9 +308,7 @@ impl Surf {
         let kde = if config.use_kde_guide {
             let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5eed_cafe);
             let sample = dataset.sample(config.kde_sample.max(16), &mut rng)?;
-            let points: Vec<Vec<f64>> = (0..sample.len())
-                .map(|i| sample.row(i).values)
-                .collect();
+            let points: Vec<Vec<f64>> = (0..sample.len()).map(|i| sample.row(i).values).collect();
             Some(KernelDensity::fit_scott(&points)?)
         } else {
             None
@@ -312,17 +332,60 @@ impl Surf {
     /// Mines regions for a different threshold, reusing the already-trained surrogate (no
     /// retraining — the point of SuRF).
     pub fn mine_with(&self, threshold: Threshold) -> MiningOutcome {
-        mine_regions(
-            &self.surrogate,
-            &self.domain,
-            self.config.objective,
-            threshold,
-            &self.config.gso,
-            self.kde.as_ref(),
-            self.config.min_length_fraction,
-            self.config.max_length_fraction,
-            self.config.cluster_radius_fraction,
-        )
+        // The surrogate has only seen training regions inside the workload coverage range;
+        // outside it the gradient-boosted trees extrapolate (flatly), which GSO happily
+        // exploits — e.g. slivers far below the trained sizes that the surrogate still
+        // scores above the threshold. Keep the search inside the trained support where it
+        // overlaps the configured length range.
+        let (cov_min, cov_max) = self.config.workload_coverage;
+        let mut min_fraction = self.config.min_length_fraction.max(cov_min);
+        let mut max_fraction = self.config.max_length_fraction.min(cov_max);
+        if min_fraction >= max_fraction {
+            // Disjoint ranges: the analyst explicitly asked for sizes the surrogate was not
+            // trained on; honour the configuration rather than searching an empty range.
+            min_fraction = self.config.min_length_fraction;
+            max_fraction = self.config.max_length_fraction;
+        }
+
+        // Mine against a conservative threshold first: shifting the cut-off by a fraction of
+        // the surrogate's held-out RMSE keeps GSO away from the error band at the constraint
+        // boundary, where the objective's size penalty would otherwise park every glowworm on
+        // regions the true function rejects.
+        let shift = if self.training_report.holdout_rmse.is_finite() {
+            self.config.mining_margin_rmse * self.training_report.holdout_rmse
+        } else {
+            0.0
+        };
+        let margined = match threshold.direction {
+            crate::objective::Direction::Above => Threshold::above(threshold.value + shift),
+            crate::objective::Direction::Below => Threshold::below(threshold.value - shift),
+        };
+        // GSO fitness evaluation inherits the pipeline's thread knob when left automatic
+        // (an explicit thread count on the GSO parameters themselves wins).
+        let mut gso = self.config.gso.clone();
+        if gso.threads == 0 {
+            gso.threads = surf_ml::parallel::resolve_threads(self.config.threads);
+        }
+        let mine = |threshold: Threshold| {
+            mine_regions(
+                &self.surrogate,
+                &self.domain,
+                self.config.objective,
+                threshold,
+                &gso,
+                self.kde.as_ref(),
+                min_fraction,
+                max_fraction,
+                self.config.cluster_radius_fraction,
+            )
+        };
+        let outcome = mine(margined);
+        if outcome.regions.is_empty() && shift > 0.0 {
+            // The conservative constraint is infeasible under the surrogate (e.g. a small
+            // "below" threshold with a large RMSE); honour the analyst's raw threshold.
+            return mine(threshold);
+        }
+        outcome
     }
 
     /// The trained surrogate.
@@ -354,10 +417,10 @@ impl Surf {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::surrogate::TrueFunctionSurrogate;
     use surf_data::iou::average_best_iou;
     use surf_data::statistic::Statistic;
     use surf_data::synthetic::{SyntheticDataset, SyntheticSpec};
-    use crate::surrogate::TrueFunctionSurrogate;
 
     fn quick_config(threshold: f64) -> SurfConfig {
         SurfConfig::builder()
@@ -419,8 +482,7 @@ mod tests {
     #[test]
     fn region_fitness_rejects_malformed_solutions() {
         let synthetic = dense_dataset();
-        let surrogate =
-            TrueFunctionSurrogate::new(&synthetic.dataset, Statistic::Count, 0.0);
+        let surrogate = TrueFunctionSurrogate::new(&synthetic.dataset, Statistic::Count, 0.0);
         let fitness = RegionFitness::new(
             &surrogate,
             Objective::paper_default(),

@@ -238,11 +238,8 @@ mod tests {
     fn objective_helpers() {
         assert_eq!(Objective::paper_default().c(), 4.0);
         assert_eq!(Objective::ratio(3.0).c(), 3.0);
-        let nan_margin = Objective::log(1.0).evaluate(
-            f64::NAN,
-            &region(&[0.1]),
-            &Threshold::above(1.0),
-        );
+        let nan_margin =
+            Objective::log(1.0).evaluate(f64::NAN, &region(&[0.1]), &Threshold::above(1.0));
         assert!(nan_margin.is_infinite() && nan_margin < 0.0);
     }
 }

@@ -45,6 +45,17 @@ pub struct SurfConfig {
     /// Radius (as a fraction of the solution-space diagonal) used to cluster converged
     /// glowworms into distinct regions.
     pub cluster_radius_fraction: f64,
+    /// OS threads used by the pipeline's data-parallel stages — workload evaluation,
+    /// grid-search/cross-validation during hyper-tuning, and GSO fitness evaluation during
+    /// mining. `0` = automatic (available parallelism, capped at 8), `1` = fully sequential.
+    /// Results are identical for every thread count.
+    pub threads: usize,
+    /// Confidence margin applied to the threshold during mining, in units of the surrogate's
+    /// held-out RMSE. GSO otherwise converges onto the surrogate's error band at the
+    /// constraint boundary (the smallest region the surrogate barely scores as valid), which
+    /// yields regions the true function rejects. If the margined constraint is infeasible
+    /// under the surrogate, mining falls back to the raw threshold.
+    pub mining_margin_rmse: f64,
     /// Master seed for workload generation, KDE sampling and GSO.
     pub seed: u64,
 }
@@ -66,6 +77,8 @@ impl Default for SurfConfig {
             min_length_fraction: 0.005,
             max_length_fraction: 0.5,
             cluster_radius_fraction: 0.15,
+            threads: 0,
+            mining_margin_rmse: 0.5,
             seed: 7,
         }
     }
@@ -86,8 +99,7 @@ impl SurfConfig {
                 "training_queries must be positive".into(),
             ));
         }
-        if !(self.workload_coverage.0 > 0.0
-            && self.workload_coverage.0 <= self.workload_coverage.1)
+        if !(self.workload_coverage.0 > 0.0 && self.workload_coverage.0 <= self.workload_coverage.1)
         {
             return Err(SurfError::InvalidConfig(format!(
                 "workload coverage range {:?} is not ordered and positive",
@@ -106,6 +118,11 @@ impl SurfConfig {
         if !(self.cluster_radius_fraction > 0.0 && self.cluster_radius_fraction <= 1.0) {
             return Err(SurfError::InvalidConfig(
                 "cluster_radius_fraction must be in (0, 1]".into(),
+            ));
+        }
+        if !(self.mining_margin_rmse.is_finite() && self.mining_margin_rmse >= 0.0) {
+            return Err(SurfError::InvalidConfig(
+                "mining_margin_rmse must be finite and non-negative".into(),
             ));
         }
         if !self.objective.c().is_finite() || self.objective.c() < 0.0 {
@@ -204,6 +221,20 @@ impl SurfConfigBuilder {
         self
     }
 
+    /// Sets the confidence margin used while mining, in units of the surrogate's held-out
+    /// RMSE (0 disables the margin).
+    pub fn mining_margin(mut self, margin: f64) -> Self {
+        self.config.mining_margin_rmse = margin;
+        self
+    }
+
+    /// Sets the thread count of the pipeline's data-parallel stages (`0` = automatic,
+    /// `1` = sequential).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
     /// Sets the master seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.config.seed = seed;
@@ -254,29 +285,47 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        let mut config = SurfConfig::default();
-        config.training_queries = 0;
+        let config = SurfConfig {
+            training_queries: 0,
+            ..SurfConfig::default()
+        };
         assert!(config.validate().is_err());
 
-        let mut config = SurfConfig::default();
-        config.workload_coverage = (0.3, 0.1);
+        let config = SurfConfig {
+            workload_coverage: (0.3, 0.1),
+            ..SurfConfig::default()
+        };
         assert!(config.validate().is_err());
 
-        let mut config = SurfConfig::default();
-        config.min_length_fraction = 0.9;
-        config.max_length_fraction = 0.5;
+        let config = SurfConfig {
+            min_length_fraction: 0.9,
+            max_length_fraction: 0.5,
+            ..SurfConfig::default()
+        };
         assert!(config.validate().is_err());
 
-        let mut config = SurfConfig::default();
-        config.cluster_radius_fraction = 0.0;
+        let config = SurfConfig {
+            cluster_radius_fraction: 0.0,
+            ..SurfConfig::default()
+        };
         assert!(config.validate().is_err());
 
-        let mut config = SurfConfig::default();
-        config.objective = Objective::log(f64::NAN);
+        let config = SurfConfig {
+            objective: Objective::log(f64::NAN),
+            ..SurfConfig::default()
+        };
         assert!(config.validate().is_err());
 
-        let mut config = SurfConfig::default();
-        config.gbrt = config.gbrt.with_n_estimators(0);
+        let config = SurfConfig {
+            mining_margin_rmse: -1.0,
+            ..SurfConfig::default()
+        };
+        assert!(config.validate().is_err());
+
+        let config = SurfConfig {
+            gbrt: GbrtParams::paper_default().with_n_estimators(0),
+            ..SurfConfig::default()
+        };
         assert!(config.validate().is_err());
     }
 }

@@ -195,6 +195,9 @@ pub struct SurrogateTrainer {
     pub folds: usize,
     /// Fraction of the workload held out to report the out-of-sample RMSE.
     pub holdout_fraction: f64,
+    /// OS threads the grid search fans candidates out over when hyper-tuning (`0` =
+    /// automatic, `1` = sequential).
+    pub threads: usize,
     /// Seed for splits.
     pub seed: u64,
 }
@@ -207,6 +210,7 @@ impl Default for SurrogateTrainer {
             grid: GbrtGrid::paper_grid(),
             folds: 3,
             holdout_fraction: 0.2,
+            threads: 0,
             seed: 17,
         }
     }
@@ -245,11 +249,14 @@ impl SurrogateTrainer {
         self
     }
 
+    /// Overrides the grid-search thread count (`0` = automatic).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// Trains a surrogate on the workload and reports training cost and held-out accuracy.
-    pub fn train(
-        &self,
-        workload: &Workload,
-    ) -> Result<(GbrtSurrogate, TrainingReport), SurfError> {
+    pub fn train(&self, workload: &Workload) -> Result<(GbrtSurrogate, TrainingReport), SurfError> {
         if workload.is_empty() {
             return Err(SurfError::InvalidConfig(
                 "cannot train a surrogate on an empty workload".into(),
@@ -264,7 +271,8 @@ impl SurrogateTrainer {
         let (params, combinations) = if self.hypertune {
             let folds = self.folds.clamp(2, train_x.len().max(2));
             let search = GridSearch::new(self.grid.clone(), self.params.clone())
-                .with_kfold(KFold::new(folds, self.seed));
+                .with_kfold(KFold::new(folds, self.seed))
+                .with_threads(surf_ml::parallel::resolve_threads(self.threads));
             let result = search.search(&train_x, &train_y)?;
             (result.best_params().clone(), result.evaluations.len())
         } else {
@@ -298,7 +306,9 @@ mod tests {
 
     fn density_setup() -> (SyntheticDataset, Workload) {
         let synthetic = SyntheticDataset::generate(
-            &SyntheticSpec::density(2, 1).with_points(4_000).with_seed(21),
+            &SyntheticSpec::density(2, 1)
+                .with_points(4_000)
+                .with_seed(21),
         );
         let workload = Workload::generate(
             &synthetic.dataset,

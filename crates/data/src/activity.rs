@@ -154,7 +154,7 @@ impl ActivityDataset {
         let mut rng = StdRng::seed_from_u64(spec.seed);
         let frequencies: Vec<f64> = Activity::ALL.iter().map(|a| a.frequency()).collect();
 
-        let mut columns = vec![Vec::with_capacity(spec.samples); 3];
+        let mut columns: Vec<Vec<f64>> = (0..3).map(|_| Vec::with_capacity(spec.samples)).collect();
         let mut labels = Vec::with_capacity(spec.samples);
         for _ in 0..spec.samples {
             let activity =

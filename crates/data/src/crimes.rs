@@ -92,12 +92,7 @@ impl CrimesDataset {
         let mut rng = StdRng::seed_from_u64(spec.seed);
         // Hot-spot centres stay away from the border so their mass remains inside the city.
         let centers: Vec<Vec<f64>> = (0..spec.hotspots)
-            .map(|_| {
-                vec![
-                    rng.random_range(0.15..0.85),
-                    rng.random_range(0.15..0.85),
-                ]
-            })
+            .map(|_| vec![rng.random_range(0.15..0.85), rng.random_range(0.15..0.85)])
             .collect();
         // Hot-spot intensities differ so the density landscape is multi-modal with peaks of
         // different heights, like a real city.
@@ -189,14 +184,12 @@ mod tests {
 
     #[test]
     fn hotspots_are_denser_than_background() {
-        let crimes = CrimesDataset::generate(
-            &CrimesSpec::default().with_incidents(20_000).with_seed(7),
-        );
+        let crimes =
+            CrimesDataset::generate(&CrimesSpec::default().with_incidents(20_000).with_seed(7));
         let hotspot = &crimes.hotspot_regions[0];
         let hotspot_count = crimes.dataset.count_in(hotspot).unwrap();
         // A same-sized box in the corner far away from any hot-spot centre.
-        let corner =
-            Region::new(vec![0.03, 0.03], vec![2.0 * crimes.spec.hotspot_std; 2]).unwrap();
+        let corner = Region::new(vec![0.03, 0.03], vec![2.0 * crimes.spec.hotspot_std; 2]).unwrap();
         let corner_count = crimes.dataset.count_in(&corner).unwrap();
         assert!(
             hotspot_count > 5 * corner_count.max(1),
@@ -232,7 +225,10 @@ mod tests {
     #[test]
     fn schema_names_spatial_columns() {
         let crimes = CrimesDataset::generate(&CrimesSpec::default().with_incidents(500));
-        assert_eq!(crimes.dataset.schema().dimension_name(0).unwrap(), "x_coordinate");
+        assert_eq!(
+            crimes.dataset.schema().dimension_name(0).unwrap(),
+            "x_coordinate"
+        );
         assert_eq!(crimes.statistic(), Statistic::Count);
     }
 }

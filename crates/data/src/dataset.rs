@@ -335,11 +335,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn toy() -> Dataset {
-        Dataset::from_columns(vec![
-            vec![0.1, 0.2, 0.5, 0.9],
-            vec![0.1, 0.8, 0.5, 0.9],
-        ])
-        .unwrap()
+        Dataset::from_columns(vec![vec![0.1, 0.2, 0.5, 0.9], vec![0.1, 0.8, 0.5, 0.9]]).unwrap()
     }
 
     #[test]
@@ -363,10 +359,7 @@ mod tests {
         assert_eq!(d.labels(), Some(&[1, 2][..]));
         assert_eq!(d.row(1), rows[1]);
 
-        let mismatched = vec![
-            DataVector::new(vec![0.1, 0.2]),
-            DataVector::new(vec![0.3]),
-        ];
+        let mismatched = vec![DataVector::new(vec![0.1, 0.2]), DataVector::new(vec![0.3])];
         assert!(Dataset::from_rows(&mismatched).is_err());
         assert!(Dataset::from_rows(&[]).is_err());
     }

@@ -130,7 +130,7 @@ mod tests {
     #[test]
     fn average_best_iou_empty_inputs() {
         let r = region(&[0.5], &[0.1]);
-        assert_eq!(average_best_iou(&[], &[r.clone()]), 0.0);
+        assert_eq!(average_best_iou(&[], std::slice::from_ref(&r)), 0.0);
         assert_eq!(average_best_iou(&[r], &[]), 0.0);
     }
 }

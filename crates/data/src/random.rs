@@ -68,9 +68,7 @@ pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> Option<u
     }
     // Floating point round-off can leave a tiny positive remainder; return the last positive
     // weight in that case.
-    weights
-        .iter()
-        .rposition(|w| w.is_finite() && *w > 0.0)
+    weights.iter().rposition(|w| w.is_finite() && *w > 0.0)
 }
 
 /// Fisher–Yates shuffle of indices `0..n`, returned as a vector.

@@ -150,9 +150,7 @@ impl Region {
                 .zip(&self.half_lengths)
                 .zip(point)
                 .enumerate()
-                .all(|(i, ((x, l), a))| {
-                    i == ignored_dimension || ((x - l) <= *a && *a <= (x + l))
-                })
+                .all(|(i, ((x, l), a))| i == ignored_dimension || ((x - l) <= *a && *a <= (x + l)))
     }
 
     /// Tests whether this region fully contains another region.

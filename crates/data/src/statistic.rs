@@ -91,11 +91,7 @@ impl Statistic {
     ///
     /// Returns `Ok(None)` when the region contains no points and the statistic is undefined on
     /// empty sets (averages, medians, ...). Count-like statistics return `Ok(Some(0.0))`.
-    pub fn evaluate(
-        &self,
-        dataset: &Dataset,
-        region: &Region,
-    ) -> Result<Option<f64>, DataError> {
+    pub fn evaluate(&self, dataset: &Dataset, region: &Region) -> Result<Option<f64>, DataError> {
         // Region membership: a dimension-targeting statistic leaves its own dimension
         // unconstrained (Definition 2).
         let indices = match self.ignored_dimension() {
@@ -248,7 +244,9 @@ mod tests {
         let empty = Region::from_bounds(&[0.90, 0.90], &[0.95, 0.95]).unwrap();
         assert_eq!(Statistic::Count.evaluate(&d, &empty).unwrap(), Some(0.0));
         assert_eq!(
-            Statistic::average_of_measure().evaluate(&d, &empty).unwrap(),
+            Statistic::average_of_measure()
+                .evaluate(&d, &empty)
+                .unwrap(),
             None
         );
         assert_eq!(

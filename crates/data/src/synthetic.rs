@@ -269,9 +269,7 @@ fn place_ground_truth(rng: &mut StdRng, spec: &SyntheticSpec) -> Vec<Region> {
             .collect();
         let candidate = Region::new(center, vec![spec.gt_half_length; spec.dimensions])
             .expect("valid construction");
-        let overlaps = regions
-            .iter()
-            .any(|r| r.intersection(&candidate).is_some());
+        let overlaps = regions.iter().any(|r| r.intersection(&candidate).is_some());
         if !overlaps || attempts > 200 {
             regions.push(candidate);
         }
@@ -329,7 +327,9 @@ mod tests {
 
     #[test]
     fn ground_truth_regions_do_not_overlap_for_small_k() {
-        let spec = SyntheticSpec::density(2, 3).with_seed(17).with_points(2_000);
+        let spec = SyntheticSpec::density(2, 3)
+            .with_seed(17)
+            .with_points(2_000);
         let synthetic = SyntheticDataset::generate(&spec);
         let gts = &synthetic.ground_truth;
         assert_eq!(gts.len(), 3);
@@ -345,7 +345,9 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic_per_seed() {
-        let spec = SyntheticSpec::density(2, 1).with_points(1_000).with_seed(42);
+        let spec = SyntheticSpec::density(2, 1)
+            .with_points(1_000)
+            .with_seed(42);
         let a = SyntheticDataset::generate(&spec);
         let b = SyntheticDataset::generate(&spec);
         assert_eq!(a.dataset, b.dataset);

@@ -96,6 +96,33 @@ impl Workload {
         statistic: Statistic,
         spec: &WorkloadSpec,
     ) -> Result<Workload, DataError> {
+        let domain = dataset.domain()?;
+        let regions = Self::sample_query_regions(&domain, spec)?;
+        let mut evaluations = Vec::with_capacity(regions.len());
+        for region in regions {
+            let value = statistic.evaluate_or(dataset, &region, spec.empty_value)?;
+            evaluations.push(RegionEvaluation { region, value });
+        }
+        Ok(Self::from_evaluations(statistic, evaluations))
+    }
+
+    /// Assembles a workload from already-computed region evaluations (e.g. queries evaluated
+    /// in parallel by the SuRF trainer, or harvested from a production system).
+    pub fn from_evaluations(statistic: Statistic, evaluations: Vec<RegionEvaluation>) -> Workload {
+        Workload {
+            statistic,
+            evaluations,
+        }
+    }
+
+    /// Samples the query regions of a workload without evaluating them — the pure, seeded
+    /// part of [`Workload::generate`]. Callers owning a thread pool (e.g. the SuRF trainer)
+    /// evaluate the returned regions in parallel and assemble the workload themselves; the
+    /// region sequence is identical to the one `generate` evaluates.
+    pub fn sample_query_regions(
+        domain: &Region,
+        spec: &WorkloadSpec,
+    ) -> Result<Vec<Region>, DataError> {
         if spec.queries == 0 {
             return Err(DataError::Empty("workload"));
         }
@@ -105,18 +132,10 @@ impl Workload {
                 value: spec.min_coverage,
             });
         }
-        let domain = dataset.domain()?;
         let mut rng = StdRng::seed_from_u64(spec.seed);
-        let mut evaluations = Vec::with_capacity(spec.queries);
-        for _ in 0..spec.queries {
-            let region = sample_region(&domain, spec, &mut rng);
-            let value = statistic.evaluate_or(dataset, &region, spec.empty_value)?;
-            evaluations.push(RegionEvaluation { region, value });
-        }
-        Ok(Workload {
-            statistic,
-            evaluations,
-        })
+        Ok((0..spec.queries)
+            .map(|_| sample_region(domain, spec, &mut rng))
+            .collect())
     }
 
     /// Number of evaluations.
@@ -168,11 +187,7 @@ impl Workload {
         if self.is_empty() {
             return 0.0;
         }
-        let below = self
-            .evaluations
-            .iter()
-            .filter(|e| e.value <= value)
-            .count();
+        let below = self.evaluations.iter().filter(|e| e.value <= value).count();
         below as f64 / self.len() as f64
     }
 
@@ -218,9 +233,12 @@ mod tests {
     #[test]
     fn generates_requested_number_of_evaluations() {
         let d = dataset();
-        let workload =
-            Workload::generate(&d, Statistic::Count, &WorkloadSpec::default().with_queries(300))
-                .unwrap();
+        let workload = Workload::generate(
+            &d,
+            Statistic::Count,
+            &WorkloadSpec::default().with_queries(300),
+        )
+        .unwrap();
         assert_eq!(workload.len(), 300);
         assert_eq!(workload.dimensions(), 2);
         assert!(!workload.is_empty());
@@ -239,7 +257,7 @@ mod tests {
                 let side = domain.upper_in(dim) - domain.lower_in(dim);
                 let coverage = eval.region.half_lengths()[dim] / side;
                 assert!(
-                    coverage >= 0.0099 && coverage <= 0.1501,
+                    (0.0099..=0.1501).contains(&coverage),
                     "coverage {coverage} outside [1%, 15%]"
                 );
             }
@@ -249,9 +267,12 @@ mod tests {
     #[test]
     fn values_match_direct_evaluation() {
         let d = dataset();
-        let workload =
-            Workload::generate(&d, Statistic::Count, &WorkloadSpec::default().with_queries(50))
-                .unwrap();
+        let workload = Workload::generate(
+            &d,
+            Statistic::Count,
+            &WorkloadSpec::default().with_queries(50),
+        )
+        .unwrap();
         for eval in workload.evaluations.iter().take(10) {
             let direct = Statistic::Count.evaluate_or(&d, &eval.region, 0.0).unwrap();
             assert_eq!(direct, eval.value);
@@ -261,9 +282,12 @@ mod tests {
     #[test]
     fn to_xy_has_2d_features() {
         let d = dataset();
-        let workload =
-            Workload::generate(&d, Statistic::Count, &WorkloadSpec::default().with_queries(20))
-                .unwrap();
+        let workload = Workload::generate(
+            &d,
+            Statistic::Count,
+            &WorkloadSpec::default().with_queries(20),
+        )
+        .unwrap();
         let (x, y) = workload.to_xy();
         assert_eq!(x.len(), 20);
         assert_eq!(y.len(), 20);
@@ -273,9 +297,12 @@ mod tests {
     #[test]
     fn train_test_split_partitions_the_workload() {
         let d = dataset();
-        let workload =
-            Workload::generate(&d, Statistic::Count, &WorkloadSpec::default().with_queries(100))
-                .unwrap();
+        let workload = Workload::generate(
+            &d,
+            Statistic::Count,
+            &WorkloadSpec::default().with_queries(100),
+        )
+        .unwrap();
         let (train, test) = workload.train_test_split(0.2, 3);
         assert_eq!(train.len(), 80);
         assert_eq!(test.len(), 20);
@@ -285,12 +312,15 @@ mod tests {
     #[test]
     fn cdf_and_quantile_are_consistent() {
         let d = dataset();
-        let workload =
-            Workload::generate(&d, Statistic::Count, &WorkloadSpec::default().with_queries(400))
-                .unwrap();
+        let workload = Workload::generate(
+            &d,
+            Statistic::Count,
+            &WorkloadSpec::default().with_queries(400),
+        )
+        .unwrap();
         let q3 = workload.quantile(0.75).unwrap();
         let cdf = workload.empirical_cdf(q3);
-        assert!(cdf >= 0.70 && cdf <= 0.85, "cdf at Q3 is {cdf}");
+        assert!((0.70..=0.85).contains(&cdf), "cdf at Q3 is {cdf}");
         assert_eq!(workload.empirical_cdf(f64::INFINITY), 1.0);
         assert_eq!(workload.empirical_cdf(-1.0), 0.0);
     }

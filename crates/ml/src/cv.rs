@@ -11,6 +11,9 @@ use crate::error::{validate_xy, MlError};
 use crate::gbrt::{Gbrt, GbrtParams};
 use crate::metrics::rmse;
 
+/// One fold: `(train_indices, test_indices)`.
+pub type FoldSplit = (Vec<usize>, Vec<usize>);
+
 /// A deterministic K-fold splitter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KFold {
@@ -29,7 +32,7 @@ impl KFold {
     /// Produces `(train_indices, test_indices)` pairs covering `examples` rows.
     ///
     /// Every row appears in exactly one test fold; fold sizes differ by at most one.
-    pub fn splits(&self, examples: usize) -> Result<Vec<(Vec<usize>, Vec<usize>)>, MlError> {
+    pub fn splits(&self, examples: usize) -> Result<Vec<FoldSplit>, MlError> {
         if self.folds < 2 || self.folds > examples {
             return Err(MlError::InvalidFolds {
                 folds: self.folds,
@@ -87,17 +90,34 @@ pub fn cross_validate_gbrt(
     params: &GbrtParams,
     kfold: KFold,
 ) -> Result<CvScores, MlError> {
+    cross_validate_gbrt_threaded(features, targets, params, kfold, 1)
+}
+
+/// Like [`cross_validate_gbrt`], fanning the folds out over up to `threads` OS threads
+/// (`0` = automatic). Folds are independent, so the scores are identical to the sequential
+/// run regardless of the thread count.
+pub fn cross_validate_gbrt_threaded(
+    features: &[Vec<f64>],
+    targets: &[f64],
+    params: &GbrtParams,
+    kfold: KFold,
+    threads: usize,
+) -> Result<CvScores, MlError> {
     validate_xy(features, targets)?;
     let splits = kfold.splits(features.len())?;
-    let mut fold_rmse = Vec::with_capacity(splits.len());
-    for (train_idx, test_idx) in splits {
+    let threads = crate::parallel::resolve_threads(threads);
+    let scored = crate::parallel::parallel_map(splits, threads, |(train_idx, test_idx)| {
         let train_x: Vec<Vec<f64>> = train_idx.iter().map(|&i| features[i].clone()).collect();
         let train_y: Vec<f64> = train_idx.iter().map(|&i| targets[i]).collect();
         let test_x: Vec<Vec<f64>> = test_idx.iter().map(|&i| features[i].clone()).collect();
         let test_y: Vec<f64> = test_idx.iter().map(|&i| targets[i]).collect();
         let model = Gbrt::fit(&train_x, &train_y, params)?;
         let predictions = model.predict(&test_x)?;
-        fold_rmse.push(rmse(&test_y, &predictions));
+        Ok(rmse(&test_y, &predictions))
+    });
+    let mut fold_rmse = Vec::with_capacity(scored.len());
+    for score in scored {
+        fold_rmse.push(score?);
     }
     Ok(CvScores { fold_rmse })
 }
@@ -154,16 +174,26 @@ mod tests {
             .map(|_| vec![rng.random::<f64>(), rng.random::<f64>()])
             .collect();
         let targets: Vec<f64> = features.iter().map(|x| 2.0 * x[0] + x[1]).collect();
-        let scores = cross_validate_gbrt(
-            &features,
-            &targets,
-            &GbrtParams::quick(),
-            KFold::new(4, 7),
-        )
-        .unwrap();
+        let scores =
+            cross_validate_gbrt(&features, &targets, &GbrtParams::quick(), KFold::new(4, 7))
+                .unwrap();
         assert_eq!(scores.fold_rmse.len(), 4);
         // Targets span roughly [0, 3]; a useful model should be well below the target spread.
         assert!(scores.mean_rmse() < 0.5, "mean RMSE {}", scores.mean_rmse());
         assert!(scores.std_rmse() >= 0.0);
+    }
+
+    #[test]
+    fn threaded_cross_validation_matches_sequential() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let features: Vec<Vec<f64>> = (0..160)
+            .map(|_| vec![rng.random::<f64>(), rng.random::<f64>()])
+            .collect();
+        let targets: Vec<f64> = features.iter().map(|x| x[0] - 0.5 * x[1]).collect();
+        let params = GbrtParams::quick();
+        let kfold = KFold::new(4, 2);
+        let seq = cross_validate_gbrt_threaded(&features, &targets, &params, kfold, 1).unwrap();
+        let par = cross_validate_gbrt_threaded(&features, &targets, &params, kfold, 4).unwrap();
+        assert_eq!(seq.fold_rmse, par.fold_rmse);
     }
 }

@@ -228,7 +228,9 @@ mod tests {
     fn candidates_inherit_base_fields() {
         let base = GbrtParams::default().with_seed(99).with_subsample(0.7);
         let candidates = GbrtGrid::quick_grid().candidates(&base);
-        assert!(candidates.iter().all(|c| c.seed == 99 && c.subsample == 0.7));
+        assert!(candidates
+            .iter()
+            .all(|c| c.seed == 99 && c.subsample == 0.7));
     }
 
     #[test]

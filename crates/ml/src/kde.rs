@@ -222,9 +222,7 @@ mod tests {
     fn box_probability_of_whole_domain_is_close_to_one() {
         let points = uniform_points(500, 2, 3);
         let kde = KernelDensity::fit_scott(&points).unwrap();
-        let p = kde
-            .box_probability(&[-2.0, -2.0], &[3.0, 3.0])
-            .unwrap();
+        let p = kde.box_probability(&[-2.0, -2.0], &[3.0, 3.0]).unwrap();
         assert!(p > 0.99, "p = {p}");
         let empty = kde.box_probability(&[5.0, 5.0], &[6.0, 6.0]).unwrap();
         assert!(empty < 0.01, "empty = {empty}");

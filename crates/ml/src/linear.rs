@@ -65,6 +65,8 @@ pub struct RidgeRegression {
 
 impl RidgeRegression {
     /// Fits the model on the training set.
+    // Index-based loops mirror the Gram-matrix algebra; iterator forms obscure the symmetry.
+    #[allow(clippy::needless_range_loop)]
     pub fn fit(
         features: &[Vec<f64>],
         targets: &[f64],
@@ -90,11 +92,7 @@ impl RidgeRegression {
         let mut gram = vec![vec![0.0; p]; p];
         let mut moment = vec![0.0; p];
         for (row, &y) in design.iter().zip(targets) {
-            let centered: Vec<f64> = row
-                .iter()
-                .zip(&feature_means)
-                .map(|(v, m)| v - m)
-                .collect();
+            let centered: Vec<f64> = row.iter().zip(&feature_means).map(|(v, m)| v - m).collect();
             for j in 0..p {
                 moment[j] += centered[j] * (y - target_mean);
                 for k in j..p {
@@ -177,6 +175,8 @@ fn expand(row: &[f64], polynomial: bool) -> Vec<f64> {
 }
 
 /// Solves `A x = b` by Gaussian elimination with partial pivoting.
+// Index-based loops mirror the textbook elimination; iterator forms obscure the pivoting.
+#[allow(clippy::needless_range_loop)]
 fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>, MlError> {
     let n = b.len();
     for col in 0..n {
@@ -264,7 +264,10 @@ mod tests {
         .unwrap();
         let linear_rmse = rmse(&y, &linear.predict(&x).unwrap());
         let poly_rmse = rmse(&y, &poly.predict(&x).unwrap());
-        assert!(poly_rmse < 0.25 * linear_rmse, "{poly_rmse} vs {linear_rmse}");
+        assert!(
+            poly_rmse < 0.25 * linear_rmse,
+            "{poly_rmse} vs {linear_rmse}"
+        );
     }
 
     #[test]

@@ -1,8 +1,10 @@
-//! Minimal data-parallel helper built on crossbeam scoped threads.
+//! Minimal data-parallel helper built on `std::thread::scope`.
 //!
-//! Grid search (144 hyper-parameter combinations in the paper, Fig. 6) and K-fold
-//! cross-validation are embarrassingly parallel; this module provides the small primitive they
-//! need without pulling in a full task runtime.
+//! Grid search (144 hyper-parameter combinations in the paper, Fig. 6), K-fold
+//! cross-validation, GSO fitness evaluation and batch region evaluation are embarrassingly
+//! parallel; this module provides the small primitive they need without pulling in a full
+//! task runtime (the build environment has no registry access, and scoped threads have been
+//! in `std` since Rust 1.63).
 
 use std::num::NonZeroUsize;
 
@@ -25,22 +27,16 @@ where
     let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
     // Split results into per-thread chunks so each thread writes disjoint slices.
     let chunk = n.div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let f = &f;
-        for (chunk_index, (item_chunk, result_chunk)) in items
-            .chunks(chunk)
-            .zip(results.chunks_mut(chunk))
-            .enumerate()
-        {
-            let _ = chunk_index;
-            scope.spawn(move |_| {
+        for (item_chunk, result_chunk) in items.chunks(chunk).zip(results.chunks_mut(chunk)) {
+            scope.spawn(move || {
                 for (item, slot) in item_chunk.iter().zip(result_chunk.iter_mut()) {
                     *slot = Some(f(item));
                 }
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
     results
         .into_iter()
         .map(|r| r.expect("every slot written"))
@@ -54,6 +50,16 @@ pub fn default_threads(cap: usize) -> usize {
         .map(NonZeroUsize::get)
         .unwrap_or(1)
         .min(cap.max(1))
+}
+
+/// Resolves a user-facing thread-count knob: `0` means "automatic" (available parallelism,
+/// capped at 8), any other value is taken literally.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        default_threads(8)
+    } else {
+        threads
+    }
 }
 
 #[cfg(test)]
@@ -88,5 +94,46 @@ mod tests {
         assert!(default_threads(4) >= 1);
         assert!(default_threads(4) <= 4);
         assert_eq!(default_threads(0), 1);
+    }
+
+    #[test]
+    fn zero_threads_runs_inline() {
+        let items: Vec<u64> = (0..20).collect();
+        let out = parallel_map(items.clone(), 0, |x| x + 5);
+        assert_eq!(out, items.iter().map(|x| x + 5).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn more_threads_than_items_preserves_order() {
+        let items: Vec<u64> = (0..3).collect();
+        let out = parallel_map(items, 16, |x| x * 10);
+        assert_eq!(out, vec![0, 10, 20]);
+    }
+
+    #[test]
+    fn empty_input_with_many_threads() {
+        let out: Vec<String> = parallel_map(Vec::<u8>::new(), 32, |x| x.to_string());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn order_is_preserved_under_uneven_work() {
+        // Later items finish first if scheduling leaked into result order.
+        let items: Vec<u64> = (0..64).collect();
+        let out = parallel_map(items.clone(), 8, |x| {
+            if *x < 8 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            *x
+        });
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn resolve_threads_maps_zero_to_automatic() {
+        assert!(resolve_threads(0) >= 1);
+        assert!(resolve_threads(0) <= 8);
+        assert_eq!(resolve_threads(1), 1);
+        assert_eq!(resolve_threads(5), 5);
     }
 }

@@ -273,6 +273,8 @@ impl RegressionTree {
 
     /// Finds the squared-error-optimal split over all features, if one satisfying the
     /// constraints exists.
+    // The loop variable doubles as the reported split feature index.
+    #[allow(clippy::needless_range_loop)]
     fn best_split(
         &self,
         features: &[Vec<f64>],
@@ -313,9 +315,7 @@ impl RegressionTree {
                 let left_sse = left_sq - left_sum * left_sum / left_n as f64;
                 let right_sse = right_sq - right_sum * right_sum / right_n as f64;
                 let gain = parent_sse - left_sse - right_sse;
-                if gain > params.min_gain
-                    && best.as_ref().map(|b| gain > b.gain).unwrap_or(true)
-                {
+                if gain > params.min_gain && best.as_ref().map(|b| gain > b.gain).unwrap_or(true) {
                     best = Some(BestSplit {
                         feature,
                         threshold: 0.5 * (value + next_value),
@@ -354,8 +354,10 @@ mod tests {
     #[test]
     fn depth_zero_is_rejected_and_depth_limit_respected() {
         let (x, y) = step_data();
-        let mut params = TreeParams::default();
-        params.max_depth = 0;
+        let mut params = TreeParams {
+            max_depth: 0,
+            ..TreeParams::default()
+        };
         assert!(RegressionTree::fit(&x, &y, &params).is_err());
         params.max_depth = 2;
         let tree = RegressionTree::fit(&x, &y, &params).unwrap();

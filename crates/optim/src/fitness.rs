@@ -176,10 +176,6 @@ mod tests {
         assert_eq!(peaks.centers.len(), 3);
         assert!(peaks.centers.iter().all(|c| c.len() == 4));
         // Peaks are inside the unit cube.
-        assert!(peaks
-            .centers
-            .iter()
-            .flatten()
-            .all(|&v| v > 0.0 && v < 1.0));
+        assert!(peaks.centers.iter().flatten().all(|&v| v > 0.0 && v < 1.0));
     }
 }

@@ -17,6 +17,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use surf_ml::parallel::{parallel_map, resolve_threads};
 
 use crate::fitness::FitnessFunction;
 
@@ -47,6 +48,11 @@ pub struct GsoParams {
     /// Stop early when the mean absolute luciferin change over a full iteration falls below
     /// this tolerance (0 disables early convergence detection).
     pub convergence_tolerance: f64,
+    /// OS threads used to evaluate glowworm fitness (and KDE density weights) each
+    /// iteration: `0` = automatic (or inherited from the pipeline's thread knob),
+    /// `1` = sequential, `n` = exactly `n`. Fitness evaluations are independent, so the
+    /// trajectory is identical for every thread count.
+    pub threads: usize,
     /// RNG seed.
     pub seed: u64,
 }
@@ -65,6 +71,7 @@ impl Default for GsoParams {
             step_fraction: 0.03,
             use_density_guide: true,
             convergence_tolerance: 1e-4,
+            threads: 0,
             seed: 0,
         }
     }
@@ -120,6 +127,12 @@ impl GsoParams {
     /// Builder-style toggle of the KDE guidance (Eq. 8 vs plain Eq. 7).
     pub fn with_density_guide(mut self, enabled: bool) -> Self {
         self.use_density_guide = enabled;
+        self
+    }
+
+    /// Builder-style override of the fitness-evaluation thread count (`0` = automatic).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 }
@@ -187,9 +200,9 @@ impl GsoResult {
     pub fn cluster_representatives(&self, radius: f64) -> Vec<Glowworm> {
         let mut representatives: Vec<Glowworm> = Vec::new();
         for glowworm in self.valid_glowworms() {
-            let close_to_existing = representatives.iter().any(|r| {
-                euclidean(&r.position, &glowworm.position) <= radius
-            });
+            let close_to_existing = representatives
+                .iter()
+                .any(|r| euclidean(&r.position, &glowworm.position) <= radius);
             if !close_to_existing {
                 representatives.push(glowworm.clone());
             }
@@ -219,6 +232,7 @@ impl GlowwormSwarm {
         let diagonal = bounds.diagonal().max(f64::MIN_POSITIVE);
         let max_radius = (params.initial_radius_fraction * diagonal).max(1e-9);
         let step = (params.step_fraction * diagonal).max(1e-9);
+        let threads = resolve_threads(params.threads);
 
         // Random initial positions inside the bounds.
         let mut positions: Vec<Vec<f64>> = (0..params.glowworms)
@@ -240,13 +254,17 @@ impl GlowwormSwarm {
         for _iteration in 0..params.iterations {
             iterations_run += 1;
 
-            // Phase 1: luciferin update (Eq. 6). Invalid candidates (non-finite fitness)
-            // receive no enhancement, so their luciferin decays and they stop attracting
-            // neighbours.
+            // Phase 1: luciferin update (Eq. 6). Fitness evaluations are independent, so
+            // they fan out over the thread pool; results come back in glowworm order, which
+            // keeps the run deterministic for any thread count. Invalid candidates
+            // (non-finite fitness) receive no enhancement, so their luciferin decays and
+            // they stop attracting neighbours.
+            let evaluated = parallel_map(positions.iter().collect(), threads, |p: &&Vec<f64>| {
+                fitness.fitness(p)
+            });
+            fitness_evaluations += params.glowworms;
             let mut total_change = 0.0;
-            for i in 0..params.glowworms {
-                let value = fitness.fitness(&positions[i]);
-                fitness_evaluations += 1;
+            for (i, value) in evaluated.into_iter().enumerate() {
                 current_fitness[i] = value;
                 let enhanced = if value.is_finite() {
                     (1.0 - params.rho) * luciferin[i] + params.gamma * value
@@ -275,10 +293,9 @@ impl GlowwormSwarm {
             // Density weights depend only on a glowworm's current position, so they are
             // computed once per iteration instead of once per (glowworm, neighbour) pair.
             let density: Vec<f64> = if params.use_density_guide {
-                snapshot
-                    .iter()
-                    .map(|p| fitness.density_weight(p).max(0.0))
-                    .collect()
+                parallel_map(snapshot.iter().collect(), threads, |p: &&Vec<f64>| {
+                    fitness.density_weight(p).max(0.0)
+                })
             } else {
                 vec![1.0; params.glowworms]
             };
@@ -312,26 +329,51 @@ impl GlowwormSwarm {
                     }
                     let distance = euclidean(&snapshot[i], &snapshot[chosen]).max(1e-12);
                     for d in 0..dims {
-                        positions[i][d] +=
-                            step * (snapshot[chosen][d] - snapshot[i][d]) / distance;
+                        positions[i][d] += step * (snapshot[chosen][d] - snapshot[i][d]) / distance;
+                    }
+                    bounds.clamp(&mut positions[i]);
+                } else if !current_fitness[i].is_finite() {
+                    // A glowworm stuck on an invalid candidate with nobody to follow would
+                    // otherwise freeze for the rest of the run. Let it take a small random
+                    // exploration step so it can wander back into the feasible part of the
+                    // landscape (a standard restart/perturbation device for constrained
+                    // swarm optimizers; see the "below"-direction mining workloads where
+                    // most of the solution space is infeasible at initialization).
+                    for value in positions[i].iter_mut() {
+                        *value += step * (rng.random::<f64>() * 2.0 - 1.0);
                     }
                     bounds.clamp(&mut positions[i]);
                 }
 
                 // Decision-radius adaptation toward the desired neighbour count.
                 let n_i = neighbor_ids.len() as f64;
-                radius[i] = (radius[i]
-                    + params.beta * (params.desired_neighbors as f64 - n_i))
+                radius[i] = (radius[i] + params.beta * (params.desired_neighbors as f64 - n_i))
                     .clamp(1e-9, max_radius);
             }
 
             let mean_change = total_change / params.glowworms as f64;
-            if params.convergence_tolerance > 0.0 && mean_change < params.convergence_tolerance {
+            // A swarm with no valid member has not converged — its luciferin uniformly
+            // decays toward zero (small change) while the random exploration steps are
+            // still searching for the feasible set.
+            let any_valid = current_fitness.iter().any(|f| f.is_finite());
+            if params.convergence_tolerance > 0.0
+                && mean_change < params.convergence_tolerance
+                && any_valid
+            {
                 converged = true;
                 break;
             }
         }
 
+        // The luciferin phase evaluates fitness *before* the movement phase, so after the
+        // last iteration every stored fitness belongs to the previous position. Re-evaluate
+        // at the final positions so `Glowworm::fitness` matches `Glowworm::position` — the
+        // fittest glowworms ride the constraint boundary, where a stale value routinely
+        // flips validity.
+        current_fitness = parallel_map(positions.iter().collect(), threads, |p: &&Vec<f64>| {
+            fitness.fitness(p)
+        });
+        fitness_evaluations += params.glowworms;
         let glowworms = positions
             .into_iter()
             .zip(current_fitness)
@@ -409,7 +451,21 @@ mod tests {
     }
 
     #[test]
-    fn invalid_fitness_regions_keep_glowworms_stationary() {
+    fn trajectory_is_identical_for_every_thread_count() {
+        let landscape = MultiPeak::two_peaks();
+        let serial =
+            GlowwormSwarm::new(GsoParams::quick().with_seed(7).with_threads(1)).run(&landscape);
+        let parallel =
+            GlowwormSwarm::new(GsoParams::quick().with_seed(7).with_threads(4)).run(&landscape);
+        let auto =
+            GlowwormSwarm::new(GsoParams::quick().with_seed(7).with_threads(0)).run(&landscape);
+        assert_eq!(serial.glowworms, parallel.glowworms);
+        assert_eq!(serial.glowworms, auto.glowworms);
+        assert_eq!(serial.mean_fitness_history, parallel.mean_fitness_history);
+    }
+
+    #[test]
+    fn invalid_regions_yield_partial_valid_fraction() {
         /// Fitness valid only in the left half of the square.
         struct HalfValid;
         impl FitnessFunction for HalfValid {
@@ -425,9 +481,9 @@ mod tests {
             }
         }
         let result = GlowwormSwarm::new(GsoParams::quick().with_seed(2)).run(&HalfValid);
-        // Some glowworms start in the invalid half; they stay invalid (stationary) or some may
-        // remain — the valid fraction is strictly between 0 and 1, and valid_glowworms only
-        // returns the valid ones.
+        // Some glowworms start in the invalid half; lonely invalid ones take random
+        // exploration steps, so a healthy share of the swarm ends valid and valid_glowworms
+        // only returns the valid ones.
         let fraction = result.valid_fraction();
         assert!(fraction > 0.2 && fraction <= 1.0, "fraction {fraction}");
         assert!(result
@@ -478,10 +534,9 @@ mod tests {
         }
         let landscape = Weighted(MultiPeak::two_peaks());
         let with_guide = GlowwormSwarm::new(GsoParams::quick().with_seed(11)).run(&landscape);
-        let without_guide = GlowwormSwarm::new(
-            GsoParams::quick().with_seed(11).with_density_guide(false),
-        )
-        .run(&landscape);
+        let without_guide =
+            GlowwormSwarm::new(GsoParams::quick().with_seed(11).with_density_guide(false))
+                .run(&landscape);
         assert_ne!(with_guide.glowworms, without_guide.glowworms);
     }
 

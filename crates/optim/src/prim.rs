@@ -106,8 +106,7 @@ impl Prim {
             return Vec::new();
         }
         let total = points.len();
-        let min_support_points =
-            ((total as f64 * self.params.min_support).ceil() as usize).max(2);
+        let min_support_points = ((total as f64 * self.params.min_support).ceil() as usize).max(2);
 
         let mut remaining: Vec<usize> = (0..total).collect();
         let mut boxes = Vec::new();
@@ -115,7 +114,8 @@ impl Prim {
             if remaining.len() < min_support_points {
                 break;
             }
-            let Some(found) = self.find_one_box(points, response, &remaining, min_support_points, total)
+            let Some(found) =
+                self.find_one_box(points, response, &remaining, min_support_points, total)
             else {
                 break;
             };
@@ -133,6 +133,8 @@ impl Prim {
     }
 
     /// Peels and pastes one box over the points indexed by `candidates`.
+    // The loop variable doubles as the reported peeling dimension.
+    #[allow(clippy::needless_range_loop)]
     fn find_one_box(
         &self,
         points: &[Vec<f64>],
@@ -173,8 +175,8 @@ impl Prim {
                 break;
             }
             let max_peel = inside.len() - min_support_points;
-            let peel_count = ((inside.len() as f64 * self.params.peel_alpha).ceil() as usize)
-                .clamp(1, max_peel);
+            let peel_count =
+                ((inside.len() as f64 * self.params.peel_alpha).ceil() as usize).clamp(1, max_peel);
 
             // Evaluate peeling the lower or upper face of every dimension.
             let mut best: Option<(usize, bool, f64, f64)> = None; // (dim, peel_lower, new_bound, new_mean)
@@ -263,8 +265,7 @@ impl Prim {
                     .filter(|&&i| {
                         points[i][dim] < lower[dim]
                             && (0..d).all(|k| {
-                                k == dim
-                                    || (points[i][k] >= lower[k] && points[i][k] <= upper[k])
+                                k == dim || (points[i][k] >= lower[k] && points[i][k] <= upper[k])
                             })
                     })
                     .map(|&i| points[i][dim])
@@ -297,8 +298,7 @@ impl Prim {
                     .filter(|&&i| {
                         points[i][dim] > upper[dim]
                             && (0..d).all(|k| {
-                                k == dim
-                                    || (points[i][k] >= lower[k] && points[i][k] <= upper[k])
+                                k == dim || (points[i][k] >= lower[k] && points[i][k] <= upper[k])
                             })
                     })
                     .map(|&i| points[i][dim])
@@ -405,9 +405,8 @@ mod tests {
         let points: Vec<Vec<f64>> = (0..6_000)
             .map(|_| vec![rng.random::<f64>(), rng.random::<f64>()])
             .collect();
-        let in_box = |p: &[f64], lo: [f64; 2], hi: [f64; 2]| {
-            (0..2).all(|d| p[d] >= lo[d] && p[d] <= hi[d])
-        };
+        let in_box =
+            |p: &[f64], lo: [f64; 2], hi: [f64; 2]| (0..2).all(|d| p[d] >= lo[d] && p[d] <= hi[d]);
         let response: Vec<f64> = points
             .iter()
             .map(|p| {
@@ -493,8 +492,7 @@ mod tests {
         let response = vec![1.0; points.len()];
         let boxes = Prim::new(PrimParams::default().with_max_boxes(1)).fit(&points, &response);
         if let Some(found) = boxes.first() {
-            let dense_target =
-                Region::from_bounds(&[0.475, 0.475], &[0.525, 0.525]).unwrap();
+            let dense_target = Region::from_bounds(&[0.475, 0.475], &[0.525, 0.525]).unwrap();
             let overlap = surf_data::iou::iou(&found.region, &dense_target);
             assert!(overlap < 0.5, "PRIM unexpectedly found the dense region");
         }

@@ -13,7 +13,8 @@ use surf::prelude::*;
 
 fn main() {
     // 1. Simulated activity tracker stream.
-    let activity = ActivityDataset::generate(&ActivitySpec::default().with_samples(30_000).with_seed(3));
+    let activity =
+        ActivityDataset::generate(&ActivitySpec::default().with_samples(30_000).with_seed(3));
     let labels = activity.dataset.labels().expect("activity labels present");
     let stand_fraction = labels
         .iter()

@@ -14,7 +14,8 @@ use surf::prelude::*;
 
 fn main() {
     // 1. Simulated city: 40,000 incidents, 4 hot-spots.
-    let crimes = CrimesDataset::generate(&CrimesSpec::default().with_incidents(40_000).with_seed(9));
+    let crimes =
+        CrimesDataset::generate(&CrimesSpec::default().with_incidents(40_000).with_seed(9));
     println!(
         "crimes dataset: {} incidents over the unit square, {} planted hot-spots",
         crimes.dataset.len(),

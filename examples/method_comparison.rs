@@ -52,7 +52,9 @@ fn main() {
                 if method == Method::Surf {
                     println!(
                         "{:<12} {:>10} {:>12}   (one-off surrogate training)",
-                        "", "", format!("{:.2?}", run.training_time)
+                        "",
+                        "",
+                        format!("{:.2?}", run.training_time)
                     );
                 }
             }

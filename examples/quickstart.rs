@@ -85,5 +85,8 @@ fn main() {
 }
 
 fn rounded(values: &[f64]) -> Vec<f64> {
-    values.iter().map(|v| (v * 1000.0).round() / 1000.0).collect()
+    values
+        .iter()
+        .map(|v| (v * 1000.0).round() / 1000.0)
+        .collect()
 }

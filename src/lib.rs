@@ -54,7 +54,7 @@ pub use surf_optim as optim;
 pub mod prelude {
     pub use surf_core::{
         comparison::{ComparisonConfig, Method, MethodComparison, MethodRun},
-        evaluation::{match_regions, validity_fraction, RegionMatch},
+        evaluation::{match_regions, validity_fraction, validity_fraction_threaded, RegionMatch},
         finder::{MinedRegion, MiningOutcome, Surf},
         objective::{Direction, LogObjective, Objective, RatioObjective, Threshold},
         pipeline::SurfConfig,
@@ -76,7 +76,7 @@ pub mod prelude {
         metrics::rmse,
     };
     pub use surf_optim::{
-        gso::{GsoParams, GsoResult, GlowwormSwarm},
+        gso::{GlowwormSwarm, GsoParams, GsoResult},
         naive::{NaiveParams, NaiveSearch},
         prim::{Prim, PrimParams},
     };

@@ -118,7 +118,9 @@ fn naive_times_out_gracefully_under_a_tight_budget() {
 fn prim_shines_on_the_aggregate_statistic_with_one_region() {
     // The paper's Fig. 3 (top-left): PRIM is the strongest method for aggregate, k = 1.
     let synthetic = SyntheticDataset::generate(
-        &SyntheticSpec::aggregate(2, 1).with_points(5_000).with_seed(307),
+        &SyntheticSpec::aggregate(2, 1)
+            .with_points(5_000)
+            .with_seed(307),
     );
     let harness = MethodComparison::new(ComparisonConfig::quick().with_seed(307));
     let run = harness.run_on_synthetic(Method::Prim, &synthetic).unwrap();

@@ -27,11 +27,7 @@ fn surf_recovers_a_dense_ground_truth_region() {
     let outcome = surf.mine();
     assert!(!outcome.regions.is_empty());
     let matched = match_regions(&outcome.region_list(), &synthetic.ground_truth);
-    assert!(
-        matched.mean_iou > 0.15,
-        "IoU too low: {}",
-        matched.mean_iou
-    );
+    assert!(matched.mean_iou > 0.15, "IoU too low: {}", matched.mean_iou);
 }
 
 #[test]
@@ -63,7 +59,9 @@ fn surf_proposals_are_valid_under_the_true_function() {
 #[test]
 fn surf_handles_the_aggregate_statistic() {
     let synthetic = SyntheticDataset::generate(
-        &SyntheticSpec::aggregate(2, 1).with_points(5_000).with_seed(77),
+        &SyntheticSpec::aggregate(2, 1)
+            .with_points(5_000)
+            .with_seed(77),
     );
     // An average statistic is scale-free, so the size-regularized objective pushes toward the
     // smallest allowed boxes (the paper makes the same observation about the global optimum
@@ -117,7 +115,8 @@ fn below_direction_finds_sparse_regions() {
 
 #[test]
 fn mined_regions_stay_inside_the_data_domain() {
-    let crimes = CrimesDataset::generate(&CrimesSpec::default().with_incidents(8_000).with_seed(21));
+    let crimes =
+        CrimesDataset::generate(&CrimesSpec::default().with_incidents(8_000).with_seed(21));
     let q3 = crimes.third_quartile_threshold(200, 0.06, 3);
     let config = quick_config(Statistic::Count, Threshold::above(q3), 21);
     let surf = Surf::fit(&crimes.dataset, &config).unwrap();
@@ -125,7 +124,7 @@ fn mined_regions_stay_inside_the_data_domain() {
     let domain = surf.domain().scaled(1.6).unwrap();
     for mined in &outcome.regions {
         assert!(
-            domain.contains(&mined.region.center().to_vec()),
+            domain.contains(mined.region.center()),
             "region centre escaped the domain"
         );
     }

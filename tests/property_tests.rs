@@ -1,8 +1,8 @@
 //! Cross-crate property-based tests (proptest) on the invariants the SuRF pipeline relies on.
 
 use proptest::prelude::*;
-use surf::prelude::*;
 use surf::core::objective::Direction;
+use surf::prelude::*;
 
 /// Strategy: a valid region in [0, 1]^d with d in 1..=4.
 fn region_strategy() -> impl Strategy<Value = Region> {
@@ -156,7 +156,7 @@ proptest! {
             for dim in 0..2 {
                 let side = domain.upper_in(dim) - domain.lower_in(dim);
                 let coverage = eval.region.half_lengths()[dim] / side;
-                prop_assert!(coverage >= 0.049 && coverage <= 0.201);
+                prop_assert!((0.049..=0.201).contains(&coverage));
             }
             prop_assert!(eval.value >= 0.0);
         }

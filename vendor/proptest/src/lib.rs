@@ -1,0 +1,333 @@
+//! Vendored, dependency-free replacement for the `proptest` crate.
+//!
+//! The build environment has no network access to a crates registry, so the workspace vendors
+//! the proptest surface its property tests use: the [`proptest!`] macro, the [`Strategy`]
+//! trait with `prop_map`/`prop_flat_map`, range and tuple strategies, [`collection::vec`],
+//! [`bool::ANY`] and [`test_runner::Config`]. Sampling is a deterministic seeded sweep; there
+//! is no shrinking — a failing case reports the sampled values via the assertion message.
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of type `Value`.
+    pub trait Strategy {
+        /// The type of the generated values.
+        type Value;
+
+        /// Samples one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Builds a dependent strategy from each generated value.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn sample(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+
+        fn sample(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.sample(rng)).sample(rng)
+        }
+    }
+
+    /// A strategy that always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {
+            $(
+                impl Strategy for Range<$t> {
+                    type Value = $t;
+
+                    fn sample(&self, rng: &mut TestRng) -> $t {
+                        rng.rng.random_range(self.clone())
+                    }
+                }
+                impl Strategy for RangeInclusive<$t> {
+                    type Value = $t;
+
+                    fn sample(&self, rng: &mut TestRng) -> $t {
+                        rng.rng.random_range(self.clone())
+                    }
+                }
+            )*
+        };
+    }
+
+    impl_range_strategy!(f64, f32, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident : $index:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$index.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A: 0);
+    impl_tuple_strategy!(A: 0, B: 1);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+}
+
+pub mod test_runner {
+    //! Test configuration and the deterministic RNG driving strategy sampling.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Configuration of a property-test run.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of sampled cases per property.
+        pub cases: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config::with_cases(256)
+        }
+    }
+
+    impl Config {
+        /// A configuration running `cases` sampled cases. The `PROPTEST_CASES` environment
+        /// variable caps the count further, so CI can bound the suite's runtime.
+        pub fn with_cases(cases: u32) -> Self {
+            let cases = match std::env::var("PROPTEST_CASES") {
+                Ok(v) => match v.parse::<u32>() {
+                    Ok(env_cases) => cases.min(env_cases.max(1)),
+                    Err(_) => cases,
+                },
+                Err(_) => cases,
+            };
+            Config { cases }
+        }
+    }
+
+    /// Deterministic RNG driving strategy sampling: every run samples the same sweep.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        pub(crate) rng: StdRng,
+    }
+
+    impl TestRng {
+        /// The deterministic generator used by the [`crate::proptest!`] macro.
+        pub fn deterministic() -> Self {
+            TestRng {
+                rng: StdRng::seed_from_u64(0x50524F50u64),
+            }
+        }
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A strategy for `Vec`s of exactly `len` elements sampled from `element`.
+    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            (0..self.len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    //! Strategies for `bool`.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Uniformly samples `true`/`false`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The fair-coin strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.rng.random()
+        }
+    }
+}
+
+/// Path-compatible access to strategy modules (`prop::collection::vec`, `prop::bool::ANY`).
+pub mod prop {
+    pub use crate::bool;
+    pub use crate::collection;
+}
+
+/// Everything property tests usually import.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a property; failures abort the test with the formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+/// Declares property tests: each `fn name(pattern in strategy, ...) { body }` becomes a
+/// `#[test]` running `body` over a deterministic sweep of sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat_param in $strategy:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                let mut rng = $crate::test_runner::TestRng::deterministic();
+                for _case in 0..config.cases {
+                    $(let $pat = $crate::strategy::Strategy::sample(&($strategy), &mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::Config::default())]
+            $($rest)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn config_caps_cases_via_env() {
+        // Without the env var set, with_cases is the identity.
+        if std::env::var("PROPTEST_CASES").is_err() {
+            assert_eq!(ProptestConfig::with_cases(64).cases, 64);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_collections_sample_in_bounds(
+            x in 0.0f64..1.0,
+            n in 1usize..=5,
+            flag in prop::bool::ANY,
+        ) {
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!((1..=5).contains(&n));
+            let v = Strategy::sample(
+                &prop::collection::vec(0i32..10, n),
+                &mut crate::test_runner::TestRng::deterministic(),
+            );
+            prop_assert_eq!(v.len(), n);
+            let _ = flag;
+        }
+
+        #[test]
+        fn map_and_flat_map_compose((a, b) in (1u32..5).prop_flat_map(|n| {
+            ((n..n + 1).prop_map(|x| x * 2), 0u32..1)
+        })) {
+            prop_assert!((2..10).contains(&a));
+            prop_assert_eq!(b, 0);
+            prop_assert_ne!(a, 1);
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Vendored, dependency-free replacement for the `rand` crate (0.9 API surface).
+//!
+//! The build environment has no network access to a crates registry, so the workspace vendors
+//! the small rand surface it actually uses: [`SeedableRng::seed_from_u64`],
+//! [`Rng::random`], [`Rng::random_range`] and the deterministic [`rngs::StdRng`]
+//! (xoshiro256++, seeded via SplitMix64). Everything is reproducible given a seed; there is
+//! deliberately no entropy-based constructor.
+#![forbid(unsafe_code)]
+
+/// A source of randomness, plus the convenience methods the workspace uses.
+pub trait Rng {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns a value sampled from the standard distribution of `T` (`f64`/`f32` uniform in
+    /// `[0, 1)`, integers uniform over their full range, fair `bool`).
+    fn random<T: distr::StandardSample>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Returns a value uniformly sampled from `range`. Panics on an empty range.
+    fn random_range<T, R: distr::SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        let u: f64 = self.random();
+        u < p
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A random number generator constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed, expanding it deterministically.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            let state = [next(), next(), next(), next()];
+            StdRng { state }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.state;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.state = s;
+            result
+        }
+    }
+}
+
+/// Standard-distribution sampling and uniform range sampling.
+pub mod distr {
+    use super::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Types samplable from their "standard" distribution.
+    pub trait StandardSample {
+        /// Samples one value from the standard distribution.
+        fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self;
+    }
+
+    impl StandardSample for f64 {
+        fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+            // 53 uniform bits in [0, 1).
+            (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    impl StandardSample for f32 {
+        fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+            (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+        }
+    }
+
+    impl StandardSample for bool {
+        fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_standard_int {
+        ($($t:ty),*) => {
+            $(impl StandardSample for $t {
+                fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                    rng.next_u64() as $t
+                }
+            })*
+        };
+    }
+
+    impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Ranges a value of type `T` can be uniformly sampled from.
+    pub trait SampleRange<T> {
+        /// Samples one value uniformly from the range. Panics if the range is empty.
+        fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    macro_rules! impl_float_range {
+        ($($t:ty),*) => {
+            $(
+                impl SampleRange<$t> for Range<$t> {
+                    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                        assert!(self.start < self.end, "cannot sample empty range");
+                        let u: f64 = f64::sample_standard(rng);
+                        self.start + (u as $t) * (self.end - self.start)
+                    }
+                }
+                impl SampleRange<$t> for RangeInclusive<$t> {
+                    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                        let (lo, hi) = (*self.start(), *self.end());
+                        assert!(lo <= hi, "cannot sample empty range");
+                        let u: f64 = f64::sample_standard(rng);
+                        lo + (u as $t) * (hi - lo)
+                    }
+                }
+            )*
+        };
+    }
+
+    impl_float_range!(f64, f32);
+
+    macro_rules! impl_int_range {
+        ($($t:ty),*) => {
+            $(
+                impl SampleRange<$t> for Range<$t> {
+                    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                        assert!(self.start < self.end, "cannot sample empty range");
+                        let span = (self.end as i128 - self.start as i128) as u128;
+                        let offset = (rng.next_u64() as u128) % span;
+                        (self.start as i128 + offset as i128) as $t
+                    }
+                }
+                impl SampleRange<$t> for RangeInclusive<$t> {
+                    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                        let (lo, hi) = (*self.start(), *self.end());
+                        assert!(lo <= hi, "cannot sample empty range");
+                        let span = (hi as i128 - lo as i128 + 1) as u128;
+                        let offset = (rng.next_u64() as u128) % span;
+                        (lo as i128 + offset as i128) as $t
+                    }
+                }
+            )*
+        };
+    }
+
+    impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn random_unit_floats_are_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let u: f64 = rng.random();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn random_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.random_range(-2.0..3.0);
+            assert!((-2.0..3.0).contains(&x));
+            let i = rng.random_range(0..=9usize);
+            assert!(i <= 9);
+            let j = rng.random_range(5..6u64);
+            assert_eq!(j, 5);
+        }
+    }
+
+    #[test]
+    fn random_range_covers_all_integer_values() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[rng.random_range(0..10usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn works_through_unsized_references() {
+        fn sample(rng: &mut (impl Rng + ?Sized)) -> f64 {
+            rng.random_range(0.0..1.0)
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let dynamic: &mut StdRng = &mut rng;
+        let x = sample(dynamic);
+        assert!((0.0..1.0).contains(&x));
+    }
+}

@@ -1,0 +1,260 @@
+//! Vendored, dependency-free replacement for the `serde_derive` proc-macro crate.
+//!
+//! The build environment has no network access to a crates registry, so the workspace vendors
+//! the small serde surface it actually uses (see `vendor/serde`). This crate derives that
+//! surface: `Serialize` maps a type onto the [`serde::Value`] JSON-like object model and
+//! `Deserialize` emits a marker impl. Supported shapes — non-generic structs (named, tuple,
+//! unit) and enums (unit, tuple and struct variants) — cover every derive in the workspace.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` by mapping the type onto `serde::Value`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let pairs = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::serialize(&self.{f}))"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::Object(::std::vec![{pairs}])")
+        }
+        Shape::TupleStruct(arity) => {
+            let items = (0..*arity)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::Array(::std::vec![{items}])")
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let name = &item.name;
+            let arms = variants
+                .iter()
+                .map(|v| variant_arm(name, v))
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!("match self {{ {arms} }}")
+        }
+    };
+    let name = &item.name;
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives the marker trait `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    format!("impl ::serde::Deserialize for {} {{}}", item.name)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+fn variant_arm(type_name: &str, variant: &Variant) -> String {
+    let vname = &variant.name;
+    match &variant.shape {
+        VariantShape::Unit => format!(
+            "{type_name}::{vname} => \
+             ::serde::Value::String(::std::string::String::from(\"{vname}\")),"
+        ),
+        VariantShape::Tuple(arity) => {
+            let binders: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+            let bind = binders.join(", ");
+            let payload = if *arity == 1 {
+                "::serde::Serialize::serialize(f0)".to_string()
+            } else {
+                let items = binders
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::serialize({b})"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!("::serde::Value::Array(::std::vec![{items}])")
+            };
+            format!(
+                "{type_name}::{vname}({bind}) => ::serde::Value::Object(::std::vec![\
+                 (::std::string::String::from(\"{vname}\"), {payload})]),"
+            )
+        }
+        VariantShape::Struct(fields) => {
+            let bind = fields.join(", ");
+            let pairs = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::serialize({f}))"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "{type_name}::{vname} {{ {bind} }} => ::serde::Value::Object(::std::vec![\
+                 (::std::string::String::from(\"{vname}\"), \
+                  ::serde::Value::Object(::std::vec![{pairs}]))]),"
+            )
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Minimal derive-input parser (no syn): enough for non-generic structs/enums.
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+    let keyword = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde_derive does not support generic type `{name}`");
+    }
+    let shape = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(split_top_level(g.stream()).len())
+            }
+            _ => Shape::UnitStruct,
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            _ => panic!("enum `{name}` has no body"),
+        },
+        other => panic!("cannot derive for `{other} {name}` (only struct/enum supported)"),
+    };
+    Item { name, shape }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut i = 0;
+            skip_attributes(&chunk, &mut i);
+            skip_visibility(&chunk, &mut i);
+            expect_ident(&chunk, &mut i)
+        })
+        .collect()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut i = 0;
+            skip_attributes(&chunk, &mut i);
+            let name = expect_ident(&chunk, &mut i);
+            let shape = match chunk.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantShape::Tuple(split_top_level(g.stream()).len())
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantShape::Struct(parse_named_fields(g.stream()))
+                }
+                _ => VariantShape::Unit,
+            };
+            Variant { name, shape }
+        })
+        .collect()
+}
+
+/// Splits a token stream on commas that are neither inside a group nor inside `<...>`.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for token in stream {
+        if let TokenTree::Punct(p) = &token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    if !current.is_empty() {
+                        chunks.push(std::mem::take(&mut current));
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(token);
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1; // '#'
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+        {
+            *i += 1; // [...]
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(
+            tokens.get(*i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *i += 1; // pub(crate) / pub(super)
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("expected identifier, found {other:?}"),
+    }
+}

@@ -1,0 +1,143 @@
+//! Vendored, dependency-free replacement for the `serde_json` crate.
+//!
+//! Renders the vendored [`serde::Value`] object model as JSON text. Only the serialization
+//! entry points the workspace uses are provided ([`to_string`], [`to_string_pretty`]).
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+use serde::{Serialize, Value};
+
+/// Serialization error. The vendored object model cannot actually fail, but the public
+/// signatures mirror real `serde_json` so call sites stay source-compatible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as a pretty-printed JSON string (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize(), Some(2), 0);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(x) => {
+            if x.is_finite() {
+                // Match serde_json: integral floats keep a trailing ".0".
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    out.push_str(&format!("{x:.1}"));
+                } else {
+                    out.push_str(&format!("{x}"));
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            write_newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_newline_indent(out, indent, depth + 1);
+                write_escaped(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            write_newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn write_newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * depth));
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars_and_containers() {
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&vec![1u32, 2]).unwrap(), "[1,2]");
+        assert_eq!(to_string("a\"b").unwrap(), "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn pretty_printing_indents_nested_objects() {
+        let value = Value::Object(vec![
+            ("k".to_string(), Value::Array(vec![Value::Int(1)])),
+            ("s".to_string(), Value::String("x".to_string())),
+        ]);
+        let pretty = to_string_pretty(&value).unwrap();
+        assert_eq!(pretty, "{\n  \"k\": [\n    1\n  ],\n  \"s\": \"x\"\n}");
+    }
+}
