@@ -24,7 +24,10 @@ fn bench_surrogate_vs_true(c: &mut Criterion) {
                 .with_points_per_region(n / 10)
                 .with_seed(3),
         );
-        let true_surrogate = TrueFunctionSurrogate::new(&synthetic.dataset, Statistic::Count, 0.0);
+        // Pinned to the scan path: this bench measures the paper's cost regime, where
+        // every true-f evaluation is a full data scan (see region_eval for the indexed story).
+        let true_surrogate = TrueFunctionSurrogate::new(&synthetic.dataset, Statistic::Count, 0.0)
+            .with_index_kind(surf_data::index::IndexKind::Scan);
         group.bench_with_input(BenchmarkId::new("true_function", n), &n, |b, _| {
             b.iter(|| {
                 let value = true_surrogate.predict(black_box(&region));

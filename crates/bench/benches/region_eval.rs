@@ -1,0 +1,88 @@
+//! Micro-benchmark: region-statistic evaluation — full column scan vs. the spatial indexes
+//! (uniform grid, k-d tree) — across dataset sizes N ∈ {10k, 100k, 1M} and dimensionalities
+//! d ∈ {2, 4, 8}. This is the per-candidate cost every data-touching consumer pays (workload
+//! generation, the Naive and f+GlowWorm baselines, validity scoring); the indexes make it
+//! sublinear in N. The `bench_region_eval` binary measures the same matrix and records the
+//! speedups in the `BENCH_region_eval.json` trajectory artifact.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use surf_data::index::IndexKind;
+use surf_data::statistic::Statistic;
+use surf_data::synthetic::{SyntheticDataset, SyntheticSpec};
+use surf_data::workload::{Workload, WorkloadSpec};
+
+fn bench_count_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("region_eval_count");
+    group.sample_size(10);
+    for &d in &[2usize, 4, 8] {
+        for &n in &[10_000usize, 100_000, 1_000_000] {
+            let synthetic = SyntheticDataset::generate(
+                &SyntheticSpec::density(d, 1)
+                    .with_points(n)
+                    .with_points_per_region(n / 10)
+                    .with_seed(1),
+            );
+            let dataset = &synthetic.dataset;
+            let domain = dataset.domain().unwrap();
+            let regions = Workload::sample_query_regions(
+                &domain,
+                &WorkloadSpec::default().with_queries(16).with_seed(7),
+            )
+            .unwrap();
+            for kind in [IndexKind::Scan, IndexKind::Grid, IndexKind::KdTree] {
+                // Build the index outside the timed section.
+                dataset.region_index(kind);
+                let id = BenchmarkId::new(kind.name(), format!("{n}x{d}"));
+                group.bench_with_input(id, &kind, |b, &kind| {
+                    b.iter(|| {
+                        for region in &regions {
+                            black_box(
+                                Statistic::Count
+                                    .evaluate_with(dataset, black_box(region), kind)
+                                    .unwrap(),
+                            );
+                        }
+                    })
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+fn bench_average_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("region_eval_average");
+    group.sample_size(10);
+    for &d in &[2usize, 4] {
+        let n = 100_000;
+        let synthetic =
+            SyntheticDataset::generate(&SyntheticSpec::aggregate(d, 1).with_points(n).with_seed(2));
+        let dataset = &synthetic.dataset;
+        let domain = dataset.domain().unwrap();
+        let regions = Workload::sample_query_regions(
+            &domain,
+            &WorkloadSpec::default().with_queries(16).with_seed(7),
+        )
+        .unwrap();
+        for kind in [IndexKind::Scan, IndexKind::Grid, IndexKind::KdTree] {
+            dataset.region_index(kind);
+            let id = BenchmarkId::new(kind.name(), format!("{n}x{d}"));
+            group.bench_with_input(id, &kind, |b, &kind| {
+                b.iter(|| {
+                    for region in &regions {
+                        black_box(
+                            Statistic::average_of_measure()
+                                .evaluate_with(dataset, black_box(region), kind)
+                                .unwrap(),
+                        );
+                    }
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_count_eval, bench_average_eval);
+criterion_main!(benches);

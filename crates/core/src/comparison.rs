@@ -12,6 +12,7 @@ use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 use surf_data::dataset::Dataset;
+use surf_data::index::IndexKind;
 use surf_data::region::Region;
 use surf_data::statistic::{Statistic, Target};
 use surf_data::synthetic::SyntheticDataset;
@@ -78,6 +79,10 @@ pub struct ComparisonConfig {
     pub cluster_radius_fraction: f64,
     /// Report at most this many regions per method.
     pub max_reported_regions: usize,
+    /// Spatial index serving the data-touching methods (Naive, f+GlowWorm, SuRF's workload
+    /// generation). Identical results for every choice; `Scan` restores the original full
+    /// column scans (the cost regime Table I was measured in).
+    pub index_kind: IndexKind,
     /// Master seed.
     pub seed: u64,
 }
@@ -95,6 +100,7 @@ impl Default for ComparisonConfig {
             max_length_fraction: 0.5,
             cluster_radius_fraction: 0.15,
             max_reported_regions: 24,
+            index_kind: IndexKind::default(),
             seed: 29,
         }
     }
@@ -223,6 +229,7 @@ impl MethodComparison {
             min_length_fraction: self.config.min_length_fraction,
             max_length_fraction: self.config.max_length_fraction,
             cluster_radius_fraction: self.config.cluster_radius_fraction,
+            index_kind: self.config.index_kind,
             seed: self.config.seed,
             ..SurfConfig::default()
         };
@@ -247,7 +254,8 @@ impl MethodComparison {
         threshold: Threshold,
     ) -> Result<MethodRun, SurfError> {
         let domain = dataset.domain()?;
-        let surrogate = TrueFunctionSurrogate::new(dataset, statistic, 0.0);
+        let surrogate = TrueFunctionSurrogate::new(dataset, statistic, 0.0)
+            .with_index_kind(self.config.index_kind);
         let start = Instant::now();
         let outcome = mine_regions(
             &surrogate,
@@ -279,7 +287,8 @@ impl MethodComparison {
         threshold: Threshold,
     ) -> Result<MethodRun, SurfError> {
         let domain = dataset.domain()?;
-        let surrogate = TrueFunctionSurrogate::new(dataset, statistic, 0.0);
+        let surrogate = TrueFunctionSurrogate::new(dataset, statistic, 0.0)
+            .with_index_kind(self.config.index_kind);
         let objective = self.config.objective;
         let start = Instant::now();
         let result = NaiveSearch::new(self.config.naive.clone()).search(&domain, |region| {
@@ -309,7 +318,7 @@ impl MethodComparison {
         let response: Vec<f64> = match statistic {
             Statistic::Average(Target::Measure) | Statistic::Sum(Target::Measure) => dataset
                 .measure()
-                .ok_or(SurfError::Data(surf_data::error::DataError::MissingLabels))?
+                .ok_or(SurfError::Data(surf_data::error::DataError::MissingMeasure))?
                 .to_vec(),
             Statistic::Average(Target::Dimension(d)) => dataset.column(d)?.to_vec(),
             Statistic::Ratio { label } => dataset
@@ -439,6 +448,10 @@ mod tests {
             naive: NaiveParams::default()
                 .with_grid(6, 6)
                 .with_time_limit(Duration::from_millis(5)),
+            // Pin the unindexed scan path: the timeout/coverage reporting is what is under
+            // test here, and it needs the original per-candidate full-scan cost regime (the
+            // grid index finishes all 1,296 candidates well inside 5 ms).
+            index_kind: IndexKind::Scan,
             ..ComparisonConfig::quick()
         };
         let harness = MethodComparison::new(config);
@@ -453,5 +466,42 @@ mod tests {
         // 1296 candidates, each requiring a full data scan of 3,000 points: 5 ms cannot finish.
         assert!(run.timed_out);
         assert!(run.coverage < 1.0);
+    }
+
+    #[test]
+    fn indexed_naive_finishes_where_the_scan_times_out() {
+        let synthetic = density_synthetic();
+        // Generous deadline: the indexed sweep takes single-digit milliseconds, so 2 s only
+        // fails on a genuine regression, not on CI scheduling noise.
+        let limit = Duration::from_secs(2);
+        let run_with = |kind: IndexKind| {
+            let config = ComparisonConfig {
+                naive: NaiveParams::default()
+                    .with_grid(6, 6)
+                    .with_time_limit(limit),
+                index_kind: kind,
+                ..ComparisonConfig::quick()
+            };
+            MethodComparison::new(config)
+                .run(
+                    Method::Naive,
+                    &synthetic.dataset,
+                    Statistic::Count,
+                    Threshold::above(400.0),
+                )
+                .unwrap()
+        };
+        let indexed = run_with(IndexKind::Grid);
+        assert!(
+            !indexed.timed_out,
+            "indexed naive should finish in {limit:?}"
+        );
+        assert!((indexed.coverage - 1.0).abs() < 1e-12);
+        // Identical candidate grid, identical statistic values: the indexed sweep proposes
+        // the same regions the scan sweep would.
+        let scanned = run_with(IndexKind::Scan);
+        if !scanned.timed_out {
+            assert_eq!(indexed.regions, scanned.regions);
+        }
     }
 }

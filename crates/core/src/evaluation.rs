@@ -72,9 +72,9 @@ pub fn validity_fraction(
     validity_fraction_threaded(dataset, statistic, threshold, regions, empty_value, 1)
 }
 
-/// Like [`validity_fraction`], fanning the (expensive, data-touching) per-region statistic
-/// evaluations out over up to `threads` OS threads (`0` = automatic). Each evaluation is
-/// independent, so the fraction is identical to the sequential one.
+/// Like [`validity_fraction`], fanning the (data-touching) per-region statistic evaluations
+/// out over up to `threads` OS threads (`0` = automatic). Each evaluation is independent and
+/// served by the dataset's spatial index, so the fraction is identical to the sequential one.
 pub fn validity_fraction_threaded(
     dataset: &Dataset,
     statistic: Statistic,
@@ -86,6 +86,9 @@ pub fn validity_fraction_threaded(
     if regions.is_empty() {
         return Ok(0.0);
     }
+    // Build the dataset's index before fanning out, so worker threads share the cached
+    // handle instead of racing to construct it.
+    dataset.default_region_index();
     let threads = surf_ml::parallel::resolve_threads(threads);
     let values = surf_ml::parallel::parallel_map(regions.iter().collect(), threads, |region| {
         statistic.evaluate_or(dataset, region, empty_value)

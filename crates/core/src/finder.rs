@@ -248,10 +248,11 @@ impl Surf {
     /// Trains a SuRF engine on a dataset: generates the past-query workload, fits the
     /// surrogate (optionally grid-searched) and the KDE guide.
     ///
-    /// The workload evaluation — `training_queries` full scans of the dataset, by far the
-    /// dominant training cost (the paper's Fig. 6) — fans out over
+    /// The workload evaluation — `training_queries` region statistics, by far the dominant
+    /// training cost (the paper's Fig. 6) — is served by the spatial index selected with
+    /// [`SurfConfig::index_kind`] (built once up front) and fans out over
     /// [`SurfConfig::threads`] OS threads; the resulting workload is identical to the
-    /// sequential one for every thread count.
+    /// sequential, unindexed one for every thread count and index choice.
     pub fn fit(dataset: &Dataset, config: &SurfConfig) -> Result<Surf, SurfError> {
         config.validate()?;
         let workload_spec = WorkloadSpec::default()
@@ -261,11 +262,15 @@ impl Surf {
             .with_seed(config.seed);
         let domain = dataset.domain()?;
         let regions = Workload::sample_query_regions(&domain, &workload_spec)?;
+        // Build the index before fanning out, so worker threads share the cached handle
+        // instead of racing to construct it.
+        dataset.region_index(config.index_kind);
         let threads = surf_ml::parallel::resolve_threads(config.threads);
         let values = surf_ml::parallel::parallel_map(regions, threads, |region| {
             let value = config
                 .statistic
-                .evaluate_or(dataset, region, config.empty_value)?;
+                .evaluate_with(dataset, region, config.index_kind)?
+                .unwrap_or(config.empty_value);
             Ok::<_, surf_data::error::DataError>(surf_data::workload::RegionEvaluation {
                 region: region.clone(),
                 value,

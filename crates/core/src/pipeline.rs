@@ -6,6 +6,7 @@
 //! grid-searched), the GSO parameters and the KDE guidance settings.
 
 use serde::{Deserialize, Serialize};
+use surf_data::index::IndexKind;
 use surf_data::statistic::Statistic;
 use surf_ml::gbrt::GbrtParams;
 use surf_optim::gso::GsoParams;
@@ -50,6 +51,13 @@ pub struct SurfConfig {
     /// mining. `0` = automatic (available parallelism, capped at 8), `1` = fully sequential.
     /// Results are identical for every thread count.
     pub threads: usize,
+    /// Spatial index the pipeline's data-touching evaluations (workload generation in
+    /// `Surf::fit` and, via the comparison harness, the true-function baselines) are served
+    /// by: a uniform grid (default), a k-d tree for skewed data, or `Scan` to disable
+    /// indexing. Free-standing helpers like `validity_fraction` follow the *dataset's* own
+    /// default instead (`Dataset::with_index_kind`). Indexes are built lazily once per
+    /// dataset and cached; results are identical for every choice (see `surf_data::index`).
+    pub index_kind: IndexKind,
     /// Confidence margin applied to the threshold during mining, in units of the surrogate's
     /// held-out RMSE. GSO otherwise converges onto the surrogate's error band at the
     /// constraint boundary (the smallest region the surrogate barely scores as valid), which
@@ -78,6 +86,7 @@ impl Default for SurfConfig {
             max_length_fraction: 0.5,
             cluster_radius_fraction: 0.15,
             threads: 0,
+            index_kind: IndexKind::default(),
             mining_margin_rmse: 0.5,
             seed: 7,
         }
@@ -235,6 +244,13 @@ impl SurfConfigBuilder {
         self
     }
 
+    /// Sets the spatial index serving the pipeline's data-touching evaluations
+    /// ([`IndexKind::Grid`] by default; [`IndexKind::Scan`] disables indexing).
+    pub fn index_kind(mut self, kind: IndexKind) -> Self {
+        self.config.index_kind = kind;
+        self
+    }
+
     /// Sets the master seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.config.seed = seed;
@@ -267,6 +283,7 @@ mod tests {
             .length_fractions(0.01, 0.4)
             .empty_value(-1.0)
             .cluster_radius(0.1)
+            .index_kind(IndexKind::KdTree)
             .seed(99)
             .build();
         assert_eq!(config.threshold, Threshold::above(100.0));
@@ -275,6 +292,7 @@ mod tests {
         assert!(!config.use_kde_guide);
         assert_eq!(config.seed, 99);
         assert_eq!(config.objective.c(), 2.0);
+        assert_eq!(config.index_kind, IndexKind::KdTree);
         assert!(config.validate().is_ok());
     }
 

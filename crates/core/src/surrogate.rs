@@ -40,22 +40,34 @@ pub trait Surrogate: Sync {
     }
 }
 
-/// The true statistic `f`, evaluated over the dataset — expensive but exact.
+/// The true statistic `f`, evaluated over the dataset — expensive but exact. Evaluation is
+/// served by the dataset's spatial index (see `surf_data::index`), configurable per
+/// surrogate with [`TrueFunctionSurrogate::with_index_kind`].
 pub struct TrueFunctionSurrogate<'a> {
     dataset: &'a Dataset,
     statistic: Statistic,
     empty_value: f64,
+    index_kind: surf_data::index::IndexKind,
 }
 
 impl<'a> TrueFunctionSurrogate<'a> {
     /// Creates a true-function surrogate. `empty_value` is reported for regions containing no
-    /// points when the statistic is undefined on empty sets.
+    /// points when the statistic is undefined on empty sets. Evaluations use the dataset's
+    /// default index kind unless overridden.
     pub fn new(dataset: &'a Dataset, statistic: Statistic, empty_value: f64) -> Self {
         Self {
             dataset,
             statistic,
             empty_value,
+            index_kind: dataset.index_kind(),
         }
+    }
+
+    /// Overrides which spatial index serves the evaluations (the results are identical for
+    /// every choice).
+    pub fn with_index_kind(mut self, kind: surf_data::index::IndexKind) -> Self {
+        self.index_kind = kind;
+        self
     }
 
     /// The statistic this surrogate evaluates.
@@ -67,7 +79,8 @@ impl<'a> TrueFunctionSurrogate<'a> {
 impl Surrogate for TrueFunctionSurrogate<'_> {
     fn predict(&self, region: &Region) -> f64 {
         self.statistic
-            .evaluate_or(self.dataset, region, self.empty_value)
+            .evaluate_with(self.dataset, region, self.index_kind)
+            .map(|value| value.unwrap_or(self.empty_value))
             .unwrap_or(self.empty_value)
     }
 

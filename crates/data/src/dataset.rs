@@ -5,23 +5,72 @@
 //! numerical *measure* column (a value attribute that is aggregated but never used to bound
 //! regions — e.g. the "crime index" of the paper's use case).
 
+use std::fmt;
+use std::sync::{Arc, OnceLock};
+
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::error::DataError;
+use crate::index::{GridIndex, IndexKind, KdTreeIndex, RegionIndex};
 use crate::random::shuffled_indices;
 use crate::region::Region;
 use crate::schema::Schema;
 use crate::vector::DataVector;
 
+/// Lazily-built spatial indexes of a dataset, shared between clones.
+///
+/// The slots live behind an `Arc` so that *every* clone of a dataset — including clones made
+/// before any index is built — shares one cache: whichever handle builds first, all see the
+/// result. The cache is invisible to equality, serialization and debugging: two datasets
+/// holding the same rows are equal whether or not their indexes have been built yet.
+#[derive(Clone, Default)]
+struct IndexCache(Arc<IndexCacheSlots>);
+
+#[derive(Default)]
+struct IndexCacheSlots {
+    grid: OnceLock<Arc<GridIndex>>,
+    kd: OnceLock<Arc<KdTreeIndex>>,
+}
+
+impl fmt::Debug for IndexCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("IndexCache")
+            .field("grid_built", &self.0.grid.get().is_some())
+            .field("kd_built", &self.0.kd.get().is_some())
+            .finish()
+    }
+}
+
+impl Serialize for IndexCache {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::Null
+    }
+}
+
 /// A collection of `N` data vectors in `R^d` (Definition 1), stored column-wise.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Dataset {
     schema: Schema,
     columns: Vec<Vec<f64>>,
     labels: Option<Vec<u32>>,
     measure: Option<Vec<f64>>,
     measure_name: Option<String>,
+    index_kind: IndexKind,
+    index_cache: IndexCache,
+}
+
+/// Equality covers the data itself (schema, columns, labels, measure) — not the index
+/// configuration or cache: evaluation results are identical for every index kind, so two
+/// datasets holding the same rows compare equal regardless of indexing.
+impl PartialEq for Dataset {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema
+            && self.columns == other.columns
+            && self.labels == other.labels
+            && self.measure == other.measure
+            && self.measure_name == other.measure_name
+    }
 }
 
 impl Dataset {
@@ -47,6 +96,8 @@ impl Dataset {
             labels: None,
             measure: None,
             measure_name: None,
+            index_kind: IndexKind::default(),
+            index_cache: IndexCache::default(),
         })
     }
 
@@ -101,6 +152,7 @@ impl Dataset {
             });
         }
         self.labels = Some(labels);
+        self.index_cache = IndexCache::default();
         Ok(self)
     }
 
@@ -120,7 +172,57 @@ impl Dataset {
         }
         self.measure = Some(measure);
         self.measure_name = Some(name.into());
+        self.index_cache = IndexCache::default();
         Ok(self)
+    }
+
+    /// Sets the default spatial index consulted by [`crate::statistic::Statistic::evaluate`]
+    /// and [`Dataset::count_in`] (see [`crate::index`]). The default is [`IndexKind::Grid`];
+    /// [`IndexKind::Scan`] disables indexing entirely. Indexes are built lazily on first use
+    /// and cached (clones share the cache).
+    pub fn with_index_kind(mut self, kind: IndexKind) -> Self {
+        self.index_kind = kind;
+        self
+    }
+
+    /// The default index kind of this dataset.
+    pub fn index_kind(&self) -> IndexKind {
+        self.index_kind
+    }
+
+    /// Lazily builds (and caches) the spatial index of the given kind. Returns `None` for
+    /// [`IndexKind::Scan`]. Safe to call concurrently: the first caller builds, the rest
+    /// share the cached handle.
+    pub fn region_index(&self, kind: IndexKind) -> Option<Arc<dyn RegionIndex>> {
+        match kind {
+            IndexKind::Scan => None,
+            IndexKind::Grid => {
+                let grid = self
+                    .index_cache
+                    .0
+                    .grid
+                    .get_or_init(|| Arc::new(GridIndex::build(self)));
+                Some(Arc::clone(grid) as Arc<dyn RegionIndex>)
+            }
+            IndexKind::KdTree => {
+                let kd = self
+                    .index_cache
+                    .0
+                    .kd
+                    .get_or_init(|| Arc::new(KdTreeIndex::build(self)));
+                Some(Arc::clone(kd) as Arc<dyn RegionIndex>)
+            }
+        }
+    }
+
+    /// The dataset's default spatial index (per [`Dataset::index_kind`]), built lazily.
+    pub fn default_region_index(&self) -> Option<Arc<dyn RegionIndex>> {
+        self.region_index(self.index_kind)
+    }
+
+    /// Raw column storage, for the index builders of [`crate::index`].
+    pub(crate) fn raw_columns(&self) -> &[Vec<f64>] {
+        &self.columns
     }
 
     /// Number of data vectors `N`.
@@ -205,6 +307,11 @@ impl Dataset {
     }
 
     /// Indices of the rows falling inside a region (every dimension constrained).
+    ///
+    /// This materializes an index vector; the statistic hot paths use the streaming
+    /// [`Dataset::count_in`] / [`crate::statistic::Statistic::evaluate`] instead, which
+    /// consult the spatial index and avoid per-row allocations (only O(d) bound/range
+    /// scratch per query).
     pub fn indices_in(&self, region: &Region) -> Result<Vec<usize>, DataError> {
         self.indices_in_impl(region, None)
     }
@@ -257,17 +364,48 @@ impl Dataset {
         Ok(selected)
     }
 
-    /// Number of rows falling inside a region (the paper's density statistic).
-    pub fn count_in(&self, region: &Region) -> Result<usize, DataError> {
-        Ok(self.indices_in(region)?.len())
+    /// Calls `f` with the index of every row inside the region (ascending row order), using
+    /// [`crate::index::row_in_region`] — the exact inclusive-bounds predicate shared with
+    /// the boundary-cell filters of the spatial indexes. Streams — no intermediate index
+    /// vector is allocated.
+    pub(crate) fn for_each_row_in(
+        &self,
+        region: &Region,
+        ignored: Option<usize>,
+        mut f: impl FnMut(usize),
+    ) {
+        let lower = region.lower();
+        let upper = region.upper();
+        for i in 0..self.len() {
+            if crate::index::row_in_region(&self.columns, i, &lower, &upper, ignored) {
+                f(i);
+            }
+        }
     }
 
-    /// Returns a new dataset holding the rows at the given indices (labels and measure are
-    /// carried over).
-    pub fn select(&self, indices: &[usize]) -> Result<Dataset, DataError> {
-        if indices.is_empty() {
-            return Err(DataError::Empty("selection"));
+    /// Number of rows falling inside a region (the paper's density statistic).
+    ///
+    /// Served by the dataset's spatial index when one is configured (the default); the scan
+    /// fallback streams the membership predicate without materializing an index vector.
+    pub fn count_in(&self, region: &Region) -> Result<usize, DataError> {
+        if region.dimensions() != self.dimensions() {
+            return Err(DataError::DimensionMismatch {
+                expected: self.dimensions(),
+                actual: region.dimensions(),
+            });
         }
+        if let Some(index) = self.default_region_index() {
+            return Ok(index.count(self, region, None));
+        }
+        let mut count = 0usize;
+        self.for_each_row_in(region, None, |_| count += 1);
+        Ok(count)
+    }
+
+    /// Returns a new dataset holding the rows at the given indices (labels, measure and the
+    /// configured index kind are carried over). An empty index list yields an empty dataset
+    /// with the same schema and column structure.
+    pub fn select(&self, indices: &[usize]) -> Result<Dataset, DataError> {
         let columns: Vec<Vec<f64>> = self
             .columns
             .iter()
@@ -280,6 +418,7 @@ impl Dataset {
         if let (Some(measure), Some(name)) = (&self.measure, &self.measure_name) {
             out = out.with_measure(name.clone(), indices.iter().map(|&i| measure[i]).collect())?;
         }
+        out.index_kind = self.index_kind;
         Ok(out)
     }
 
@@ -324,6 +463,7 @@ impl Dataset {
             m.extend_from_slice(b);
             out = out.with_measure(name.clone(), m)?;
         }
+        out.index_kind = self.index_kind;
         Ok(out)
     }
 }
@@ -429,12 +569,76 @@ mod tests {
         assert_eq!(s.len(), 2);
         assert_eq!(s.labels(), Some(&[1, 2][..]));
         assert_eq!(s.measure(), Some(&[20.0, 40.0][..]));
-        assert!(d.select(&[]).is_err());
+
+        // An empty selection is an empty dataset, not an error.
+        let empty = d.select(&[]).unwrap();
+        assert!(empty.is_empty());
+        assert_eq!(empty.dimensions(), d.dimensions());
+        assert_eq!(empty.labels(), Some(&[][..]));
+        assert_eq!(empty.measure(), Some(&[][..]));
 
         let both = d.concat(&d).unwrap();
         assert_eq!(both.len(), 8);
         assert_eq!(both.labels().unwrap().len(), 8);
         assert_eq!(both.measure().unwrap().len(), 8);
+    }
+
+    #[test]
+    fn count_in_uses_every_index_kind_consistently() {
+        let region = Region::from_bounds(&[0.0, 0.0], &[0.6, 0.6]).unwrap();
+        for kind in [IndexKind::Scan, IndexKind::Grid, IndexKind::KdTree] {
+            let d = toy().with_index_kind(kind);
+            assert_eq!(d.index_kind(), kind);
+            assert_eq!(d.count_in(&region).unwrap(), 2, "kind {kind:?}");
+            assert_eq!(
+                d.region_index(kind).is_some(),
+                kind != IndexKind::Scan,
+                "kind {kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn select_and_concat_carry_the_index_kind() {
+        let d = toy().with_index_kind(IndexKind::Scan);
+        assert_eq!(d.select(&[0, 1]).unwrap().index_kind(), IndexKind::Scan);
+        assert_eq!(d.concat(&d).unwrap().index_kind(), IndexKind::Scan);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(d.sample(2, &mut rng).unwrap().index_kind(), IndexKind::Scan);
+    }
+
+    #[test]
+    fn attaching_columns_resets_the_index_cache() {
+        let d = toy();
+        // Build the grid index, then attach labels: the stale (label-free) index must not
+        // survive into the labelled clone.
+        d.region_index(IndexKind::Grid).unwrap();
+        let labelled = d.clone().with_labels(vec![0, 1, 0, 1]).unwrap();
+        let region = Region::from_bounds(&[0.0, 0.0], &[0.6, 0.6]).unwrap();
+        let index = labelled.region_index(IndexKind::Grid).unwrap();
+        // Rows 0 and 2 fall inside; both carry label 0.
+        assert_eq!(index.label_count(&labelled, &region, None, 0), (2, 2));
+    }
+
+    #[test]
+    fn clones_share_lazily_built_indexes() {
+        // Clone BEFORE any index exists: whichever handle builds first, both must share it.
+        let original = toy();
+        let clone = original.clone();
+        let built_via_clone = clone.region_index(IndexKind::Grid).unwrap();
+        let seen_by_original = original.region_index(IndexKind::Grid).unwrap();
+        assert!(Arc::ptr_eq(&built_via_clone, &seen_by_original));
+    }
+
+    #[test]
+    fn index_configuration_is_invisible_to_equality() {
+        let a = toy();
+        let b = toy();
+        a.region_index(IndexKind::Grid).unwrap();
+        assert_eq!(a, b); // built cache does not affect equality
+        assert_eq!(a, b.clone().with_index_kind(IndexKind::Scan)); // nor does the kind knob
+        let debug = format!("{a:?}");
+        assert!(debug.contains("grid_built: true"), "{debug}");
     }
 
     #[test]

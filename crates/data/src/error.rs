@@ -37,6 +37,8 @@ pub enum DataError {
     },
     /// A statistic required labels but the dataset carries none.
     MissingLabels,
+    /// A statistic required the measure column but the dataset carries none.
+    MissingMeasure,
     /// An empty dataset (or empty selection) was used where at least one row is required.
     Empty(&'static str),
 }
@@ -62,6 +64,9 @@ impl fmt::Display for DataError {
                 "unknown dimension {dimension}: dataset has {dimensions} dimensions"
             ),
             DataError::MissingLabels => write!(f, "statistic requires labels but none are set"),
+            DataError::MissingMeasure => {
+                write!(f, "statistic requires a measure column but none is set")
+            }
             DataError::Empty(what) => write!(f, "{what} must not be empty"),
         }
     }
@@ -97,6 +102,7 @@ mod tests {
         };
         assert!(e.to_string().contains("unknown dimension 7"));
         assert!(DataError::MissingLabels.to_string().contains("labels"));
+        assert!(DataError::MissingMeasure.to_string().contains("measure"));
         assert!(DataError::Empty("dataset").to_string().contains("dataset"));
     }
 

@@ -2,7 +2,8 @@
 //!
 //! Data substrate for the SuRF reproduction: multidimensional data vectors, an in-memory
 //! columnar [`dataset::Dataset`], hyper-rectangular [`region::Region`]s, the statistics
-//! engine that maps a region to a scalar statistic (Definition 2 of the paper), synthetic
+//! engine that maps a region to a scalar statistic (Definition 2 of the paper) backed by the
+//! spatial indexes of [`index`] (uniform grid / k-d tree with per-cell summaries), synthetic
 //! ground-truth dataset generators (Section V-A), simulators standing in for the Crimes and
 //! Human-Activity real datasets (Section V-C), and the past-query workload generator used to
 //! train surrogate models (Section IV).
@@ -15,6 +16,7 @@ pub mod activity;
 pub mod crimes;
 pub mod dataset;
 pub mod error;
+pub mod index;
 pub mod iou;
 pub mod random;
 pub mod region;
@@ -26,5 +28,6 @@ pub mod workload;
 
 pub use dataset::Dataset;
 pub use error::DataError;
+pub use index::{IndexKind, RegionIndex};
 pub use region::Region;
 pub use statistic::Statistic;

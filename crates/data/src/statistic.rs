@@ -10,6 +10,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::dataset::Dataset;
 use crate::error::DataError;
+use crate::index::{IndexKind, RegionIndex};
 use crate::region::Region;
 
 /// Which values a value-aggregating statistic operates on.
@@ -91,39 +92,176 @@ impl Statistic {
     ///
     /// Returns `Ok(None)` when the region contains no points and the statistic is undefined on
     /// empty sets (averages, medians, ...). Count-like statistics return `Ok(Some(0.0))`.
+    ///
+    /// Evaluation is served by the dataset's spatial index (see [`crate::index`]) when one is
+    /// configured — the default — making the cost sublinear in the dataset size; with
+    /// [`IndexKind::Scan`] it streams a full column scan. Count-like statistics (Count,
+    /// CountPerVolume, Ratio) and Min/Max/Median are identical between the two paths;
+    /// Sum/Average/Variance differ only by floating-point re-association of per-cell partial
+    /// sums (≲ 1e-12 relative).
     pub fn evaluate(&self, dataset: &Dataset, region: &Region) -> Result<Option<f64>, DataError> {
-        // Region membership: a dimension-targeting statistic leaves its own dimension
-        // unconstrained (Definition 2).
-        let indices = match self.ignored_dimension() {
-            Some(dim) => {
-                if dim >= dataset.dimensions() {
-                    return Err(DataError::UnknownDimension {
-                        dimension: dim,
-                        dimensions: dataset.dimensions(),
-                    });
-                }
-                dataset.indices_in_ignoring(region, dim)?
-            }
-            None => dataset.indices_in(region)?,
-        };
+        self.evaluate_with(dataset, region, dataset.index_kind())
+    }
 
+    /// Like [`Statistic::evaluate`], with an explicit index choice overriding the dataset's
+    /// default (the [`crate::index::IndexKind`] knob of the pipeline configuration).
+    pub fn evaluate_with(
+        &self,
+        dataset: &Dataset,
+        region: &Region,
+        kind: IndexKind,
+    ) -> Result<Option<f64>, DataError> {
+        self.validate(dataset, region)?;
+        match dataset.region_index(kind) {
+            Some(index) => self.evaluate_indexed(dataset, index.as_ref(), region),
+            None => self.evaluate_scan_unchecked(dataset, region),
+        }
+    }
+
+    /// Evaluates the statistic with a full streaming column scan, bypassing any index — the
+    /// reference path the property tests compare the indexed path against.
+    pub fn evaluate_scan(
+        &self,
+        dataset: &Dataset,
+        region: &Region,
+    ) -> Result<Option<f64>, DataError> {
+        self.validate(dataset, region)?;
+        self.evaluate_scan_unchecked(dataset, region)
+    }
+
+    /// Validates dimensionality and label/measure requirements up front, so the index and
+    /// scan paths share identical error behaviour.
+    fn validate(&self, dataset: &Dataset, region: &Region) -> Result<(), DataError> {
+        if region.dimensions() != dataset.dimensions() {
+            return Err(DataError::DimensionMismatch {
+                expected: dataset.dimensions(),
+                actual: region.dimensions(),
+            });
+        }
+        if let Some(dim) = self.ignored_dimension() {
+            if dim >= dataset.dimensions() {
+                return Err(DataError::UnknownDimension {
+                    dimension: dim,
+                    dimensions: dataset.dimensions(),
+                });
+            }
+        }
+        if self.needs_labels() && dataset.labels().is_none() {
+            return Err(DataError::MissingLabels);
+        }
+        match self.target() {
+            Some(Target::Measure) if dataset.measure().is_none() => Err(DataError::MissingMeasure),
+            Some(Target::Dimension(d)) if d >= dataset.dimensions() => {
+                Err(DataError::UnknownDimension {
+                    dimension: d,
+                    dimensions: dataset.dimensions(),
+                })
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// The index-accelerated evaluation path. Fully covered cells/nodes are answered from
+    /// precomputed summaries; only boundary cells stream per-row filters. No intermediate
+    /// index vector is allocated on the count/sum paths (MEDIAN materializes its values, as
+    /// the scan path must too).
+    fn evaluate_indexed(
+        &self,
+        dataset: &Dataset,
+        index: &dyn RegionIndex,
+        region: &Region,
+    ) -> Result<Option<f64>, DataError> {
+        let ignored = self.ignored_dimension();
         match self {
-            Statistic::Count => Ok(Some(indices.len() as f64)),
+            Statistic::Count => Ok(Some(index.count(dataset, region, ignored) as f64)),
             Statistic::CountPerVolume => {
                 let volume = region.volume();
                 if volume <= 0.0 {
                     Ok(Some(0.0))
                 } else {
-                    Ok(Some(indices.len() as f64 / volume))
+                    Ok(Some(index.count(dataset, region, ignored) as f64 / volume))
                 }
             }
             Statistic::Ratio { label } => {
-                let labels = dataset.labels().ok_or(DataError::MissingLabels)?;
-                if indices.is_empty() {
+                let (matching, total) = index.label_count(dataset, region, ignored, *label);
+                if total == 0 {
+                    Ok(Some(0.0))
+                } else {
+                    Ok(Some(matching as f64 / total as f64))
+                }
+            }
+            Statistic::Median(target) => {
+                let mut values = Vec::new();
+                index.values_in(dataset, region, ignored, *target, &mut values)?;
+                if values.is_empty() {
+                    Ok(None)
+                } else {
+                    Ok(Some(self.aggregate(&values)))
+                }
+            }
+            Statistic::Average(target)
+            | Statistic::Sum(target)
+            | Statistic::Min(target)
+            | Statistic::Max(target)
+            | Statistic::Variance(target) => {
+                let agg = index.moments(dataset, region, ignored, *target)?;
+                if agg.count == 0 {
+                    return Ok(None);
+                }
+                let n = agg.count as f64;
+                Ok(Some(match self {
+                    Statistic::Average(_) => agg.sum / n,
+                    Statistic::Sum(_) => agg.sum,
+                    Statistic::Min(_) => agg.min,
+                    Statistic::Max(_) => agg.max,
+                    // Population variance from the centered second moment (Welford/Chan);
+                    // clamped because merging can dip a few ulps below zero.
+                    Statistic::Variance(_) => (agg.m2 / n).max(0.0),
+                    _ => unreachable!("only moment statistics reach this arm"),
+                }))
+            }
+        }
+    }
+
+    /// The streaming scan path: one pass over the columns with the membership predicate,
+    /// no intermediate index vector on the count-like paths. Aggregates collect their target
+    /// values (in ascending row order, exactly like the original implementation) and reuse
+    /// [`Statistic::aggregate`].
+    fn evaluate_scan_unchecked(
+        &self,
+        dataset: &Dataset,
+        region: &Region,
+    ) -> Result<Option<f64>, DataError> {
+        let ignored = self.ignored_dimension();
+        match self {
+            Statistic::Count => {
+                let mut count = 0usize;
+                dataset.for_each_row_in(region, ignored, |_| count += 1);
+                Ok(Some(count as f64))
+            }
+            Statistic::CountPerVolume => {
+                let volume = region.volume();
+                if volume <= 0.0 {
                     return Ok(Some(0.0));
                 }
-                let matching = indices.iter().filter(|&&i| labels[i] == *label).count();
-                Ok(Some(matching as f64 / indices.len() as f64))
+                let mut count = 0usize;
+                dataset.for_each_row_in(region, ignored, |_| count += 1);
+                Ok(Some(count as f64 / volume))
+            }
+            Statistic::Ratio { label } => {
+                let labels = dataset.labels().ok_or(DataError::MissingLabels)?;
+                let (mut matching, mut total) = (0usize, 0usize);
+                dataset.for_each_row_in(region, ignored, |i| {
+                    total += 1;
+                    if labels[i] == *label {
+                        matching += 1;
+                    }
+                });
+                if total == 0 {
+                    Ok(Some(0.0))
+                } else {
+                    Ok(Some(matching as f64 / total as f64))
+                }
             }
             Statistic::Average(target)
             | Statistic::Sum(target)
@@ -131,10 +269,15 @@ impl Statistic {
             | Statistic::Max(target)
             | Statistic::Variance(target)
             | Statistic::Median(target) => {
-                if indices.is_empty() {
+                let column = match target {
+                    Target::Dimension(d) => dataset.column(*d)?,
+                    Target::Measure => dataset.measure().ok_or(DataError::MissingMeasure)?,
+                };
+                let mut values = Vec::new();
+                dataset.for_each_row_in(region, ignored, |i| values.push(column[i]));
+                if values.is_empty() {
                     return Ok(None);
                 }
-                let values = self.target_values(dataset, *target, &indices)?;
                 Ok(Some(self.aggregate(&values)))
             }
         }
@@ -151,33 +294,23 @@ impl Statistic {
         Ok(self.evaluate(dataset, region)?.unwrap_or(default))
     }
 
-    fn ignored_dimension(&self) -> Option<usize> {
+    /// The aggregation target of a value-aggregating statistic, `None` for count-likes.
+    fn target(&self) -> Option<Target> {
         match self {
-            Statistic::Average(Target::Dimension(d))
-            | Statistic::Sum(Target::Dimension(d))
-            | Statistic::Min(Target::Dimension(d))
-            | Statistic::Max(Target::Dimension(d))
-            | Statistic::Variance(Target::Dimension(d))
-            | Statistic::Median(Target::Dimension(d)) => Some(*d),
+            Statistic::Average(t)
+            | Statistic::Sum(t)
+            | Statistic::Min(t)
+            | Statistic::Max(t)
+            | Statistic::Variance(t)
+            | Statistic::Median(t) => Some(*t),
             _ => None,
         }
     }
 
-    fn target_values(
-        &self,
-        dataset: &Dataset,
-        target: Target,
-        indices: &[usize],
-    ) -> Result<Vec<f64>, DataError> {
-        match target {
-            Target::Dimension(d) => {
-                let column = dataset.column(d)?;
-                Ok(indices.iter().map(|&i| column[i]).collect())
-            }
-            Target::Measure => {
-                let measure = dataset.measure().ok_or(DataError::MissingLabels)?;
-                Ok(indices.iter().map(|&i| measure[i]).collect())
-            }
+    fn ignored_dimension(&self) -> Option<usize> {
+        match self.target() {
+            Some(Target::Dimension(d)) => Some(d),
+            _ => None,
         }
     }
 
@@ -338,6 +471,60 @@ mod tests {
         let d = dataset();
         let r = left_half();
         assert!(Statistic::average_of_dimension(9).evaluate(&d, &r).is_err());
+    }
+
+    #[test]
+    fn missing_measure_reports_the_measure_variant() {
+        let bare = Dataset::from_columns(vec![vec![0.1, 0.2], vec![0.1, 0.2]]).unwrap();
+        let r = Region::unit_cube(2);
+        assert_eq!(
+            Statistic::average_of_measure().evaluate(&bare, &r),
+            Err(DataError::MissingMeasure)
+        );
+        assert_eq!(
+            Statistic::Ratio { label: 1 }.evaluate(&bare, &r),
+            Err(DataError::MissingLabels)
+        );
+    }
+
+    #[test]
+    fn indexed_and_scan_paths_agree_on_every_variant() {
+        use crate::index::IndexKind;
+        let d = dataset();
+        let regions = [
+            left_half(),
+            Region::from_bounds(&[0.0, 0.0], &[0.65, 0.65]).unwrap(),
+            Region::from_bounds(&[0.90, 0.90], &[0.95, 0.95]).unwrap(), // empty
+            Region::from_bounds(&[0.0, 0.0], &[0.45, 0.01]).unwrap(),   // ignored-dim case
+        ];
+        let statistics = [
+            Statistic::Count,
+            Statistic::CountPerVolume,
+            Statistic::Ratio { label: 1 },
+            Statistic::average_of_measure(),
+            Statistic::average_of_dimension(1),
+            Statistic::Sum(Target::Measure),
+            Statistic::Min(Target::Dimension(0)),
+            Statistic::Max(Target::Measure),
+            Statistic::Variance(Target::Measure),
+            Statistic::Median(Target::Measure),
+        ];
+        for statistic in statistics {
+            for region in &regions {
+                let scan = statistic.evaluate_scan(&d, region).unwrap();
+                for kind in [IndexKind::Grid, IndexKind::KdTree] {
+                    let indexed = statistic.evaluate_with(&d, region, kind).unwrap();
+                    match (scan, indexed) {
+                        (None, None) => {}
+                        (Some(a), Some(b)) => assert!(
+                            (a - b).abs() <= 1e-9 * (1.0 + a.abs()),
+                            "{statistic:?} {kind:?}: scan {a} vs indexed {b}"
+                        ),
+                        other => panic!("{statistic:?} {kind:?}: definedness mismatch {other:?}"),
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -90,7 +90,9 @@ pub struct Workload {
 
 impl Workload {
     /// Generates a workload by sampling regions per `spec` and evaluating `statistic` over the
-    /// dataset (this is the expensive, data-touching step that is paid once up front).
+    /// dataset — the data-touching step that is paid once up front. Evaluations are served by
+    /// the dataset's spatial index (see [`crate::index`]) when one is configured, which is
+    /// the default.
     pub fn generate(
         dataset: &Dataset,
         statistic: Statistic,

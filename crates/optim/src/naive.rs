@@ -130,6 +130,12 @@ impl NaiveSearch {
 
     /// Sweeps the discretized region space over `domain`, scoring every candidate with
     /// `scorer` (higher is better; non-finite scores mark invalid regions and are dropped).
+    ///
+    /// The scorer dominates the sweep cost. When it wraps the true, data-touching statistic
+    /// (as the comparison harness does), route it through an indexed dataset
+    /// (`surf_data::index`) — the per-candidate cost then drops from a full `O(N·d)` scan to
+    /// a sublinear index probe, which is what lets complete sweeps finish within Table I
+    /// time budgets.
     pub fn search<F>(&self, domain: &Region, scorer: F) -> NaiveResult
     where
         F: FnMut(&Region) -> f64,

@@ -64,6 +64,7 @@ pub mod prelude {
         activity::{Activity, ActivityDataset, ActivitySpec},
         crimes::{CrimesDataset, CrimesSpec},
         dataset::Dataset,
+        index::{IndexKind, RegionIndex},
         iou::iou,
         region::Region,
         statistic::Statistic,
