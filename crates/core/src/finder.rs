@@ -15,6 +15,7 @@ use serde::{Deserialize, Serialize};
 use surf_data::dataset::Dataset;
 use surf_data::region::Region;
 use surf_data::workload::{Workload, WorkloadSpec};
+use surf_ml::gbrt::Gbrt;
 use surf_ml::kde::KernelDensity;
 use surf_optim::fitness::{FitnessFunction, SolutionBounds};
 use surf_optim::gso::{GlowwormSwarm, GsoParams};
@@ -244,6 +245,32 @@ pub struct Surf {
     workload_size: usize,
 }
 
+/// The complete fitted state of a [`Surf`] engine, exposed as plain serializable data so a
+/// surrogate trained in one process can be persisted and served from another (the
+/// amortization argument of the paper's Table I, across process boundaries).
+///
+/// [`Surf::export_state`] extracts it; [`Surf::from_state`] rebuilds a working engine,
+/// re-validating the configuration and the model's feature width. Everything else the engine
+/// holds (spatial indexes, datasets) is training-time machinery that a restored engine does
+/// not need: mining never touches the data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SurfState {
+    /// The configuration the engine was fitted with.
+    pub config: SurfConfig,
+    /// The data domain the engine searches.
+    pub domain: Region,
+    /// The fitted gradient-boosted ensemble backing the surrogate.
+    pub model: Gbrt,
+    /// Data dimensionality `d` (the model consumes `2d` features).
+    pub dimensions: usize,
+    /// The fitted KDE movement guide, when one was trained.
+    pub kde: Option<KernelDensity>,
+    /// Cost and accuracy report of the surrogate training step.
+    pub training_report: TrainingReport,
+    /// Number of past region evaluations the surrogate was trained on.
+    pub workload_size: usize,
+}
+
 impl Surf {
     /// Trains a SuRF engine on a dataset: generates the past-query workload, fits the
     /// surrogate (optionally grid-searched) and the KDE guide.
@@ -393,6 +420,42 @@ impl Surf {
         outcome
     }
 
+    /// Extracts the engine's complete fitted state for persistence (see [`SurfState`]).
+    pub fn export_state(&self) -> SurfState {
+        SurfState {
+            config: self.config.clone(),
+            domain: self.domain.clone(),
+            model: self.surrogate.model().clone(),
+            dimensions: self.surrogate.dimensions(),
+            kde: self.kde.clone(),
+            training_report: self.training_report.clone(),
+            workload_size: self.workload_size,
+        }
+    }
+
+    /// Rebuilds a working engine from previously exported state, re-validating the
+    /// configuration and the model's feature width. The restored engine answers [`Surf::mine`]
+    /// / [`Surf::mine_with`] identically to the engine that exported the state.
+    pub fn from_state(state: SurfState) -> Result<Surf, SurfError> {
+        state.config.validate()?;
+        if state.domain.dimensions() != state.dimensions {
+            return Err(SurfError::InvalidConfig(format!(
+                "domain dimensionality {} does not match the exported dimensionality {}",
+                state.domain.dimensions(),
+                state.dimensions
+            )));
+        }
+        let surrogate = GbrtSurrogate::from_model(state.model, state.dimensions)?;
+        Ok(Surf {
+            config: state.config,
+            domain: state.domain,
+            surrogate,
+            kde: state.kde,
+            training_report: state.training_report,
+            workload_size: state.workload_size,
+        })
+    }
+
     /// The trained surrogate.
     pub fn surrogate(&self) -> &GbrtSurrogate {
         &self.surrogate
@@ -532,5 +595,42 @@ mod tests {
         let mut config = quick_config(100.0);
         config.training_queries = 0;
         assert!(Surf::fit(&synthetic.dataset, &config).is_err());
+    }
+
+    #[test]
+    fn exported_state_rebuilds_an_identical_engine() {
+        let synthetic = dense_dataset();
+        let surf = Surf::fit(&synthetic.dataset, &quick_config(600.0)).unwrap();
+        let state = surf.export_state();
+
+        // Through JSON, as the serving layer persists it.
+        let json = serde_json::to_string(&state).unwrap();
+        let restored_state: SurfState = serde_json::from_str(&json).unwrap();
+        assert_eq!(state, restored_state);
+
+        let restored = Surf::from_state(restored_state).unwrap();
+        assert_eq!(restored.workload_size(), surf.workload_size());
+        assert_eq!(restored.domain(), surf.domain());
+        // Identical surrogate predictions, hence identical mining outcomes.
+        let probe = Region::new(vec![0.4, 0.6], vec![0.05, 0.08]).unwrap();
+        assert_eq!(
+            surf.surrogate().predict(&probe),
+            restored.surrogate().predict(&probe)
+        );
+        assert_eq!(surf.mine().regions, restored.mine().regions);
+    }
+
+    #[test]
+    fn from_state_rejects_inconsistent_state() {
+        let synthetic = dense_dataset();
+        let surf = Surf::fit(&synthetic.dataset, &quick_config(600.0)).unwrap();
+
+        let mut bad = surf.export_state();
+        bad.config.training_queries = 0;
+        assert!(Surf::from_state(bad).is_err());
+
+        let mut bad = surf.export_state();
+        bad.dimensions = 3;
+        assert!(Surf::from_state(bad).is_err());
     }
 }

@@ -26,7 +26,7 @@ pub mod pipeline;
 pub mod surrogate;
 
 pub use error::SurfError;
-pub use finder::{MinedRegion, MiningOutcome, Surf};
+pub use finder::{MinedRegion, MiningOutcome, Surf, SurfState};
 pub use objective::{Direction, Objective, Threshold};
 pub use pipeline::SurfConfig;
 pub use surrogate::{GbrtSurrogate, Surrogate, TrueFunctionSurrogate};

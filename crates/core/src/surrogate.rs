@@ -181,7 +181,7 @@ impl Surrogate for RidgeSurrogate {
 }
 
 /// What [`SurrogateTrainer::train`] reports alongside the fitted surrogate.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct TrainingReport {
     /// Wall-clock time spent on training (including grid search when enabled).
     pub training_time: Duration,

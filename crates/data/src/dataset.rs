@@ -48,6 +48,13 @@ impl Serialize for IndexCache {
     }
 }
 
+/// Deserializes to an empty cache: indexes are derived data and are rebuilt lazily.
+impl Deserialize for IndexCache {
+    fn deserialize(_: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(IndexCache::default())
+    }
+}
+
 /// A collection of `N` data vectors in `R^d` (Definition 1), stored column-wise.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Dataset {

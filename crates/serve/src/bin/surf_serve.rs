@@ -1,0 +1,166 @@
+//! `surf-serve` — train, persist and serve SuRF surrogates from the command line.
+//!
+//! ```text
+//! surf-serve train --out model.json [--name demo] [--dims 2] [--points 20000]
+//!                  [--queries 2000] [--threshold 500] [--seed 7]
+//! surf-serve serve --artifact model.json [--artifact other.json ...] [--addr 127.0.0.1:7878]
+//!                  [--workers 0]
+//! surf-serve query --addr 127.0.0.1:7878 --model demo --center 0.5,0.5 --half 0.1,0.1
+//! ```
+//!
+//! `train` fits a surrogate on a synthetic density dataset (a stand-in for a real back-end —
+//! any `Dataset` works through the library API) and saves a versioned artifact; `serve` loads
+//! artifacts into a registry and serves the JSON API until interrupted; `query` issues one
+//! `POST /predict` against a running server.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use surf_core::objective::Threshold;
+use surf_core::{Surf, SurfConfig};
+use surf_data::statistic::Statistic;
+use surf_data::synthetic::{SyntheticDataset, SyntheticSpec};
+use surf_serve::http::http_request;
+use surf_serve::{serve, ModelArtifact, ModelRegistry, ServerConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("train") => train(&args[1..]),
+        Some("serve") => run_server(&args[1..]),
+        Some("query") => query(&args[1..]),
+        Some("--help" | "-h") | None => {
+            eprint!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown subcommand `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  surf-serve train --out <file> [--name demo] [--dims 2] [--points 20000] [--queries 2000]
+                   [--threshold 500] [--seed 7]
+  surf-serve serve --artifact <file> [--artifact <file> ...] [--addr 127.0.0.1:7878] [--workers 0]
+  surf-serve query --addr <host:port> --model <name> --center x,y,... --half l1,l2,...
+";
+
+/// Returns the values of every `--flag value` occurrence.
+fn flag_values<'a>(args: &'a [String], flag: &str) -> Vec<&'a str> {
+    args.windows(2)
+        .filter(|w| w[0] == flag)
+        .map(|w| w[1].as_str())
+        .collect()
+}
+
+/// Returns the value of a `--flag value` pair, or a default.
+fn flag<'a>(args: &'a [String], name: &str, default: &'a str) -> &'a str {
+    flag_values(args, name).pop().unwrap_or(default)
+}
+
+fn parse<T: std::str::FromStr>(text: &str, what: &str) -> Result<T, String> {
+    text.parse()
+        .map_err(|_| format!("unparseable {what} `{text}`"))
+}
+
+fn parse_csv(text: &str, what: &str) -> Result<Vec<f64>, String> {
+    text.split(',').map(|v| parse(v.trim(), what)).collect()
+}
+
+fn train(args: &[String]) -> Result<(), String> {
+    let out = flag(args, "--out", "");
+    if out.is_empty() {
+        return Err(format!("`train` needs --out <file>\n{USAGE}"));
+    }
+    let name = flag(args, "--name", "demo");
+    let dims: usize = parse(flag(args, "--dims", "2"), "--dims")?;
+    let points: usize = parse(flag(args, "--points", "20000"), "--points")?;
+    let queries: usize = parse(flag(args, "--queries", "2000"), "--queries")?;
+    let threshold: f64 = parse(flag(args, "--threshold", "500"), "--threshold")?;
+    let seed: u64 = parse(flag(args, "--seed", "7"), "--seed")?;
+
+    eprintln!("training `{name}`: {dims}-d synthetic density dataset, {points} points, {queries} workload queries");
+    let synthetic = SyntheticDataset::generate(
+        &SyntheticSpec::density(dims, 1)
+            .with_points(points)
+            .with_seed(seed),
+    );
+    let config = SurfConfig::builder()
+        .statistic(Statistic::Count)
+        .threshold(Threshold::above(threshold))
+        .training_queries(queries)
+        .seed(seed)
+        .build();
+    let engine = Surf::fit(&synthetic.dataset, &config).map_err(|e| e.to_string())?;
+    let report = engine.training_report();
+    eprintln!(
+        "trained in {:?} on {} examples (holdout RMSE {:.3})",
+        report.training_time, report.training_examples, report.holdout_rmse
+    );
+    let artifact = ModelArtifact::from_engine(name, &engine);
+    artifact.save_json(out).map_err(|e| e.to_string())?;
+    eprintln!("saved artifact to {out}");
+    Ok(())
+}
+
+fn run_server(args: &[String]) -> Result<(), String> {
+    let paths = flag_values(args, "--artifact");
+    if paths.is_empty() {
+        return Err(format!(
+            "`serve` needs at least one --artifact <file>\n{USAGE}"
+        ));
+    }
+    let registry = Arc::new(ModelRegistry::new());
+    for path in paths {
+        let artifact = ModelArtifact::load_json(path).map_err(|e| format!("{path}: {e}"))?;
+        let name = artifact.name.clone();
+        registry.register(artifact).map_err(|e| e.to_string())?;
+        eprintln!("registered model `{name}` from {path}");
+    }
+    let config = ServerConfig {
+        addr: flag(args, "--addr", "127.0.0.1:7878").to_string(),
+        workers: parse(flag(args, "--workers", "0"), "--workers")?,
+        ..ServerConfig::default()
+    };
+    let handle = serve(registry, &config).map_err(|e| e.to_string())?;
+    eprintln!(
+        "serving {} model(s) on http://{} with {} workers — Ctrl-C to stop",
+        handle.context().registry.len(),
+        handle.addr(),
+        handle.context().workers
+    );
+    // Serve until the process is killed.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+fn query(args: &[String]) -> Result<(), String> {
+    let addr = flag(args, "--addr", "127.0.0.1:7878");
+    let model = flag(args, "--model", "demo");
+    let center = parse_csv(flag(args, "--center", "0.5,0.5"), "--center value")?;
+    let half = parse_csv(flag(args, "--half", "0.1,0.1"), "--half value")?;
+    let body = serde_json::to_string(&surf_serve::routes::PredictRequest {
+        model: model.to_string(),
+        region: Some(surf_serve::routes::RegionSpec {
+            center,
+            half_lengths: half,
+        }),
+        regions: None,
+    })
+    .map_err(|e| e.to_string())?;
+    let (status, response) =
+        http_request(addr, "POST", "/predict", Some(&body)).map_err(|e| e.to_string())?;
+    println!("{response}");
+    if status == 200 {
+        Ok(())
+    } else {
+        Err(format!("server answered {status}"))
+    }
+}

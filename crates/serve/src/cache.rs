@@ -1,0 +1,442 @@
+//! Sharded LRU cache for surrogate predictions.
+//!
+//! Surrogate evaluation is already cheap (independent of the dataset size `N`), but under
+//! heavy repeated traffic — dashboards asking for the same regions, many users probing the
+//! same hotspots — even tree-walks add up. The cache memoizes `(model name, model
+//! generation, region) → prediction` behind `S` independently locked shards so concurrent
+//! readers rarely contend, and evicts least-recently-used entries per shard. The generation
+//! (assigned by the registry at registration time) isolates a hot-swapped model from its
+//! predecessor's entries even when an in-flight request races the swap.
+//!
+//! Keys quantize the region's bounds onto a fixed decimal lattice (default: 9 decimals), so
+//! requests that differ only by floating-point noise (e.g. bounds recomputed from
+//! center/half-length form) hit the same entry. Two genuinely different regions can collide
+//! only by quantizing to the same lattice cell, in which case they are — by construction —
+//! closer than the quantum in every bound, and the cached prediction is returned for both.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+use surf_data::region::Region;
+
+/// Configuration of a [`PredictionCache`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total number of cached predictions across all shards (0 disables caching).
+    pub capacity: usize,
+    /// Number of independently locked shards (rounded up to at least 1).
+    pub shards: usize,
+    /// Decimal places kept when quantizing region bounds into cache keys.
+    pub quantize_decimals: u32,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self {
+            capacity: 4_096,
+            shards: 16,
+            quantize_decimals: 9,
+        }
+    }
+}
+
+/// A cache key: model name + the region bounds quantized onto the decimal lattice.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    model: String,
+    /// Registration generation of the model (see `ModelRegistry`). A hot-swapped or
+    /// re-registered model gets a fresh generation, so an in-flight request racing the swap
+    /// can never insert a stale prediction under the new model's key.
+    generation: u64,
+    bounds: Vec<QuantizedCoord>,
+}
+
+/// One quantized bound coordinate. The two encodings are separate variants so a raw-bits
+/// fallback key can never collide with a lattice key that happens to produce the same `i64`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum QuantizedCoord {
+    /// `round(x · 10^decimals)` for coordinates inside the lattice range.
+    Lattice(i64),
+    /// The raw IEEE-754 bit pattern, for coordinates whose scaled value overflows the
+    /// lattice (no noise absorption, but distinct per value).
+    Raw(u64),
+}
+
+struct Shard {
+    entries: HashMap<CacheKey, Entry>,
+    /// Monotonic per-shard use counter; the entry with the smallest stamp is the LRU victim.
+    tick: u64,
+}
+
+struct Entry {
+    value: f64,
+    last_used: u64,
+}
+
+/// Monotonic counters exposed by [`PredictionCache::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries inserted.
+    pub insertions: u64,
+    /// Entries evicted to respect the capacity.
+    pub evictions: u64,
+    /// Entries dropped by model invalidation (hot-swap or removal).
+    pub invalidations: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+/// Sharded, thread-safe LRU memo of surrogate predictions.
+pub struct PredictionCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_capacity: usize,
+    scale: f64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl PredictionCache {
+    /// Creates a cache from its configuration.
+    pub fn new(config: &CacheConfig) -> Self {
+        let shards = config.shards.max(1);
+        let per_shard_capacity = config.capacity.div_ceil(shards);
+        Self {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        entries: HashMap::new(),
+                        tick: 0,
+                    })
+                })
+                .collect(),
+            per_shard_capacity,
+            scale: 10f64.powi(config.quantize_decimals.min(15) as i32),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    /// Builds the quantized key for a `(model, generation, region)` triple.
+    fn key(&self, model: &str, generation: u64, region: &Region) -> CacheKey {
+        let d = region.dimensions();
+        let mut bounds = Vec::with_capacity(2 * d);
+        for dim in 0..d {
+            bounds.push(self.quantize(region.lower_in(dim)));
+            bounds.push(self.quantize(region.upper_in(dim)));
+        }
+        CacheKey {
+            model: model.to_string(),
+            generation,
+            bounds,
+        }
+    }
+
+    /// Quantizes one coordinate onto the lattice. Coordinates whose scaled value would
+    /// overflow the lattice range (|x·scale| ≳ 9e18, e.g. epoch-millisecond axes under the
+    /// default 9-decimal quantum) fall back to the coordinate's raw bit pattern: those keys
+    /// lose noise absorption but stay distinct — from each other and, via the variant tag,
+    /// from every lattice key — instead of saturating to one shared extreme.
+    fn quantize(&self, x: f64) -> QuantizedCoord {
+        let scaled = x * self.scale;
+        if scaled.is_finite() && scaled.abs() <= 9.0e18 {
+            QuantizedCoord::Lattice(scaled.round() as i64)
+        } else {
+            QuantizedCoord::Raw(x.to_bits())
+        }
+    }
+
+    fn shard_for(&self, key: &CacheKey) -> &Mutex<Shard> {
+        use std::hash::{DefaultHasher, Hash, Hasher};
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+    }
+
+    /// Looks up a prediction, refreshing its recency on a hit.
+    pub fn get(&self, model: &str, generation: u64, region: &Region) -> Option<f64> {
+        if self.per_shard_capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let key = self.key(model, generation, region);
+        let mut shard = self.shard_for(&key).lock().expect("cache shard poisoned");
+        shard.tick += 1;
+        let tick = shard.tick;
+        match shard.entries.get_mut(&key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                let value = entry.value;
+                drop(shard);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(value)
+            }
+            None => {
+                drop(shard);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) a prediction, evicting the shard's least-recently-used entry
+    /// when the shard is full.
+    ///
+    /// Eviction scans the shard for the minimum-stamp entry — `O(per-shard capacity)`, a
+    /// deliberate tradeoff: at the default 256 entries per shard the scan is microseconds,
+    /// and it keeps the hot get/insert paths free of any auxiliary ordering structure.
+    pub fn insert(&self, model: &str, generation: u64, region: &Region, value: f64) {
+        if self.per_shard_capacity == 0 {
+            return;
+        }
+        let key = self.key(model, generation, region);
+        let mut shard = self.shard_for(&key).lock().expect("cache shard poisoned");
+        shard.tick += 1;
+        let tick = shard.tick;
+        let is_new = !shard.entries.contains_key(&key);
+        if is_new && shard.entries.len() >= self.per_shard_capacity {
+            if let Some(victim) = shard
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                shard.entries.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.entries.insert(
+            key,
+            Entry {
+                value,
+                last_used: tick,
+            },
+        );
+        drop(shard);
+        if is_new {
+            self.insertions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Drops every cached prediction of one model name across all generations. Generation
+    /// keys already guarantee a swapped-in model never *serves* a predecessor's entries;
+    /// this reclaims the memory the retired generation holds.
+    pub fn invalidate_model(&self, model: &str) {
+        let mut dropped = 0u64;
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("cache shard poisoned");
+            let before = shard.entries.len();
+            shard.entries.retain(|key, _| key.model != model);
+            dropped += (before - shard.entries.len()) as u64;
+        }
+        if dropped > 0 {
+            self.invalidations.fetch_add(dropped, Ordering::Relaxed);
+        }
+    }
+
+    /// A consistent snapshot of the counters plus the current resident entry count.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| s.lock().expect("cache shard poisoned").entries.len())
+                .sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region(center: f64, half: f64) -> Region {
+        Region::new(vec![center, center], vec![half, half]).unwrap()
+    }
+
+    fn single_shard(capacity: usize) -> PredictionCache {
+        PredictionCache::new(&CacheConfig {
+            capacity,
+            shards: 1,
+            quantize_decimals: 9,
+        })
+    }
+
+    #[test]
+    fn get_after_insert_hits_and_counts() {
+        let cache = single_shard(8);
+        let r = region(0.5, 0.1);
+        assert_eq!(cache.get("m", 0, &r), None);
+        cache.insert("m", 0, &r, 42.0);
+        assert_eq!(cache.get("m", 0, &r), Some(42.0));
+        // Different model, same region: distinct entry.
+        assert_eq!(cache.get("other", 0, &r), None);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.insertions, 1);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn lru_evicts_in_least_recently_used_order() {
+        let cache = single_shard(2);
+        let (a, b, c) = (region(0.1, 0.01), region(0.2, 0.01), region(0.3, 0.01));
+        cache.insert("m", 0, &a, 1.0);
+        cache.insert("m", 0, &b, 2.0);
+        // Touch `a`, making `b` the LRU victim.
+        assert_eq!(cache.get("m", 0, &a), Some(1.0));
+        cache.insert("m", 0, &c, 3.0);
+        assert_eq!(cache.get("m", 0, &b), None, "LRU entry should be evicted");
+        assert_eq!(cache.get("m", 0, &a), Some(1.0));
+        assert_eq!(cache.get("m", 0, &c), Some(3.0));
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn quantized_keys_absorb_float_noise_but_separate_distinct_regions() {
+        let cache = single_shard(8);
+        let r = region(0.5, 0.1);
+        cache.insert("m", 0, &r, 7.0);
+        // A region whose bounds differ by far less than the quantum hits the same entry.
+        let jittered = Region::new(vec![0.5 + 1e-13, 0.5], vec![0.1, 0.1 - 1e-13]).unwrap();
+        assert_eq!(cache.get("m", 0, &jittered), Some(7.0));
+        // A region that differs by more than the quantum misses.
+        let distinct = region(0.5 + 1e-6, 0.1);
+        assert_eq!(cache.get("m", 0, &distinct), None);
+    }
+
+    #[test]
+    fn reinserting_a_key_refreshes_without_growing() {
+        let cache = single_shard(4);
+        let r = region(0.4, 0.2);
+        cache.insert("m", 0, &r, 1.0);
+        cache.insert("m", 0, &r, 2.0);
+        assert_eq!(cache.get("m", 0, &r), Some(2.0));
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.insertions, 1, "refresh is not a new insertion");
+        assert_eq!(stats.evictions, 0);
+    }
+
+    #[test]
+    fn invalidate_model_drops_only_that_model() {
+        let cache = PredictionCache::new(&CacheConfig::default());
+        let r = region(0.5, 0.1);
+        cache.insert("a", 0, &r, 1.0);
+        cache.insert("b", 0, &r, 2.0);
+        cache.invalidate_model("a");
+        assert_eq!(cache.get("a", 0, &r), None);
+        assert_eq!(cache.get("b", 0, &r), Some(2.0));
+        assert_eq!(cache.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn generations_are_isolated() {
+        let cache = single_shard(8);
+        let r = region(0.5, 0.1);
+        cache.insert("m", 1, &r, 1.0);
+        // A racing request for generation 1 cannot pollute generation 2, and vice versa.
+        assert_eq!(cache.get("m", 2, &r), None);
+        cache.insert("m", 2, &r, 2.0);
+        assert_eq!(cache.get("m", 1, &r), Some(1.0));
+        assert_eq!(cache.get("m", 2, &r), Some(2.0));
+        // Name-based invalidation reclaims every generation.
+        cache.invalidate_model("m");
+        assert_eq!(cache.get("m", 1, &r), None);
+        assert_eq!(cache.get("m", 2, &r), None);
+    }
+
+    #[test]
+    fn huge_coordinates_stay_distinct() {
+        // Beyond the lattice range (|x·scale| > ~9e18) quantization falls back to raw bits:
+        // distinct epoch-scale coordinates must not collapse onto one saturated key.
+        let cache = single_shard(8);
+        let a = region(1.0e10, 1.0);
+        let b = region(2.0e10, 1.0);
+        cache.insert("m", 0, &a, 1.0);
+        assert_eq!(cache.get("m", 0, &b), None, "saturated keys collided");
+        cache.insert("m", 0, &b, 2.0);
+        assert_eq!(cache.get("m", 0, &a), Some(1.0));
+        assert_eq!(cache.get("m", 0, &b), Some(2.0));
+        // A lattice-range coordinate whose quantized i64 equals a raw bit pattern must not
+        // collide with the raw-fallback key: the key variants keep the two spaces disjoint
+        // (1e10 → Raw(0x4202_A05F_2000_0000); 4756540486.875874 quantizes near that value).
+        let collider = region(4_756_540_486.875_874, 1.0);
+        assert_eq!(
+            cache.get("m", 0, &collider),
+            None,
+            "cross-space key collision"
+        );
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = single_shard(0);
+        let r = region(0.5, 0.1);
+        cache.insert("m", 0, &r, 1.0);
+        assert_eq!(cache.get("m", 0, &r), None);
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn concurrent_hits_count_exactly() {
+        use std::sync::Arc;
+        let cache = Arc::new(PredictionCache::new(&CacheConfig::default()));
+        let r = region(0.5, 0.1);
+        cache.insert("m", 0, &r, 9.0);
+        let threads = 8;
+        let hits_per_thread = 250;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let cache = Arc::clone(&cache);
+                let r = r.clone();
+                scope.spawn(move || {
+                    for _ in 0..hits_per_thread {
+                        assert_eq!(cache.get("m", 0, &r), Some(9.0));
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.hits, threads * hits_per_thread);
+        assert_eq!(stats.misses, 0);
+    }
+
+    #[test]
+    fn capacity_is_respected_across_shards() {
+        let cache = PredictionCache::new(&CacheConfig {
+            capacity: 16,
+            shards: 4,
+            quantize_decimals: 9,
+        });
+        for i in 0..200 {
+            cache.insert("m", 0, &region(0.001 * i as f64, 0.01), i as f64);
+        }
+        let stats = cache.stats();
+        // Each of the 4 shards holds at most ceil(16/4) = 4 entries.
+        assert!(
+            stats.entries <= 16,
+            "entries {} exceed capacity",
+            stats.entries
+        );
+        assert_eq!(stats.insertions, 200);
+        assert_eq!(stats.evictions as usize, 200 - stats.entries);
+    }
+}

@@ -1,0 +1,183 @@
+//! The serving subsystem's error type and its HTTP mapping.
+//!
+//! Every failure mode of the subsystem — artifact I/O, JSON decoding, registry lookups,
+//! request validation and errors bubbling up from the pipeline crates — folds into one
+//! [`ServeError`], which knows its HTTP status code and renders as a structured JSON body
+//! (`{"error": {"code", "message"}}`) instead of panicking or dropping the connection.
+
+use std::fmt;
+
+use serde::Value;
+use surf_core::SurfError;
+use surf_data::error::DataError;
+use surf_ml::error::MlError;
+
+/// Any error the serving subsystem can produce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The request was syntactically or semantically malformed (unreadable JSON, missing
+    /// fields, invalid region bounds, ...).
+    BadRequest(String),
+    /// The requested route or model does not exist.
+    NotFound(String),
+    /// The route exists but not for this HTTP method.
+    MethodNotAllowed(String),
+    /// The request body exceeded the server's configured limit.
+    PayloadTooLarge {
+        /// The configured body-size limit in bytes.
+        limit_bytes: usize,
+    },
+    /// A model artifact was written by an incompatible schema version.
+    SchemaVersion {
+        /// The version recorded in the artifact.
+        found: u64,
+        /// The version this build reads and writes.
+        supported: u64,
+    },
+    /// An error bubbled up from the SuRF pipeline while rebuilding or querying an engine.
+    Surf(String),
+    /// A filesystem or socket error.
+    Io(String),
+}
+
+impl ServeError {
+    /// The HTTP status code this error maps onto.
+    pub fn status(&self) -> u16 {
+        match self {
+            ServeError::BadRequest(_) => 400,
+            ServeError::NotFound(_) => 404,
+            ServeError::MethodNotAllowed(_) => 405,
+            ServeError::PayloadTooLarge { .. } => 413,
+            ServeError::SchemaVersion { .. } => 409,
+            ServeError::Surf(_) => 422,
+            ServeError::Io(_) => 500,
+        }
+    }
+
+    /// A stable machine-readable error code.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeError::BadRequest(_) => "bad_request",
+            ServeError::NotFound(_) => "not_found",
+            ServeError::MethodNotAllowed(_) => "method_not_allowed",
+            ServeError::PayloadTooLarge { .. } => "payload_too_large",
+            ServeError::SchemaVersion { .. } => "schema_version_mismatch",
+            ServeError::Surf(_) => "pipeline_error",
+            ServeError::Io(_) => "io_error",
+        }
+    }
+
+    /// The structured JSON body served for this error.
+    pub fn to_body(&self) -> String {
+        let body = Value::Object(vec![(
+            "error".to_string(),
+            Value::Object(vec![
+                ("code".to_string(), Value::String(self.code().to_string())),
+                ("message".to_string(), Value::String(self.to_string())),
+            ]),
+        )]);
+        serde_json::to_string(&body).unwrap_or_else(|_| "{\"error\":{}}".to_string())
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::BadRequest(message) => write!(f, "bad request: {message}"),
+            ServeError::NotFound(what) => write!(f, "not found: {what}"),
+            ServeError::MethodNotAllowed(method) => {
+                write!(f, "method {method} not allowed for this route")
+            }
+            ServeError::PayloadTooLarge { limit_bytes } => {
+                write!(f, "request body exceeds the {limit_bytes}-byte limit")
+            }
+            ServeError::SchemaVersion { found, supported } => write!(
+                f,
+                "artifact schema version {found} is not supported (this build reads version \
+                 {supported})"
+            ),
+            ServeError::Surf(message) => write!(f, "pipeline error: {message}"),
+            ServeError::Io(message) => write!(f, "i/o error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<SurfError> for ServeError {
+    fn from(e: SurfError) -> Self {
+        ServeError::Surf(e.to_string())
+    }
+}
+
+impl From<DataError> for ServeError {
+    fn from(e: DataError) -> Self {
+        ServeError::Surf(SurfError::from(e).to_string())
+    }
+}
+
+impl From<MlError> for ServeError {
+    fn from(e: MlError) -> Self {
+        ServeError::Surf(SurfError::from(e).to_string())
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e.to_string())
+    }
+}
+
+impl From<serde_json::Error> for ServeError {
+    fn from(e: serde_json::Error) -> Self {
+        ServeError::BadRequest(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_and_code_mapping() {
+        assert_eq!(ServeError::BadRequest("x".into()).status(), 400);
+        assert_eq!(ServeError::NotFound("x".into()).status(), 404);
+        assert_eq!(ServeError::MethodNotAllowed("PUT".into()).status(), 405);
+        assert_eq!(ServeError::PayloadTooLarge { limit_bytes: 1 }.status(), 413);
+        assert_eq!(
+            ServeError::SchemaVersion {
+                found: 2,
+                supported: 1
+            }
+            .status(),
+            409
+        );
+        assert_eq!(ServeError::Surf("x".into()).status(), 422);
+        assert_eq!(ServeError::Io("x".into()).status(), 500);
+        assert_eq!(ServeError::NotFound("x".into()).code(), "not_found");
+    }
+
+    #[test]
+    fn error_body_is_structured_json() {
+        let body = ServeError::NotFound("model `m`".into()).to_body();
+        let value = serde_json::parse_value(&body).unwrap();
+        let error = value.get("error").unwrap();
+        assert_eq!(error.get("code").unwrap().as_str(), Some("not_found"));
+        assert!(error
+            .get("message")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("model `m`"));
+    }
+
+    #[test]
+    fn pipeline_errors_convert() {
+        let e: ServeError = SurfError::NoRegionsFound.into();
+        assert!(matches!(e, ServeError::Surf(_)));
+        let e: ServeError = DataError::MissingLabels.into();
+        assert!(e.to_string().contains("data error"));
+        let e: ServeError = MlError::EmptyTrainingSet.into();
+        assert!(e.to_string().contains("learning error"));
+    }
+}

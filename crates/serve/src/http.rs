@@ -1,0 +1,190 @@
+//! Minimal HTTP/1.1 plumbing over `std::net` — request parsing, response writing and a tiny
+//! client.
+//!
+//! Hand-rolled for the same reason the workspace vendors serde: the build environment has no
+//! route to a crates registry. Only the slice of HTTP/1.1 the subsystem needs is implemented:
+//! one request per connection (`Connection: close`), `Content-Length` bodies (no chunked
+//! transfer), JSON payloads, and hard limits on header and body sizes so a misbehaving client
+//! cannot balloon server memory.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use crate::error::ServeError;
+
+/// Cap on the request line + headers; anything longer is rejected as malformed.
+const MAX_HEADER_BYTES: usize = 16 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request path without query string (`/predict`).
+    pub path: String,
+    /// Decoded UTF-8 body (empty when the request carried none).
+    pub body: String,
+}
+
+/// Reads and parses one request from the stream, enforcing the body-size limit.
+pub fn read_request(stream: &mut TcpStream, max_body_bytes: usize) -> Result<Request, ServeError> {
+    // Accumulate bytes until the header terminator; the tail of the buffer past the
+    // terminator is the start of the body.
+    let mut buffer: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let header_end = loop {
+        if let Some(pos) = find_header_end(&buffer) {
+            break pos;
+        }
+        if buffer.len() > MAX_HEADER_BYTES {
+            return Err(ServeError::BadRequest("request headers too large".into()));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(ServeError::BadRequest(
+                "connection closed mid-request".into(),
+            ));
+        }
+        buffer.extend_from_slice(&chunk[..n]);
+    };
+
+    let header_text = std::str::from_utf8(&buffer[..header_end])
+        .map_err(|_| ServeError::BadRequest("headers are not valid UTF-8".into()))?;
+    let mut lines = header_text.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| ServeError::BadRequest("empty request line".into()))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| ServeError::BadRequest("request line has no path".into()))?;
+    let version = parts.next().unwrap_or_default();
+    if !version.starts_with("HTTP/1.") {
+        return Err(ServeError::BadRequest(format!(
+            "unsupported protocol `{version}`"
+        )));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| {
+                    ServeError::BadRequest(format!("unparseable Content-Length `{}`", value.trim()))
+                })?;
+            }
+        }
+    }
+    if content_length > max_body_bytes {
+        // Consume (and discard) the oversized body before erroring. Closing with unread
+        // bytes in the receive buffer makes the kernel send RST, which would tear the 413
+        // response away from the client. The drain is bounded: past the cap we give up and
+        // accept the reset.
+        const DRAIN_LIMIT: usize = 8 * 1024 * 1024;
+        let mut remaining = content_length
+            .min(DRAIN_LIMIT)
+            .saturating_sub(buffer.len() - (header_end + 4));
+        while remaining > 0 {
+            match stream.read(&mut chunk) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => remaining = remaining.saturating_sub(n),
+            }
+        }
+        return Err(ServeError::PayloadTooLarge {
+            limit_bytes: max_body_bytes,
+        });
+    }
+
+    let mut body_bytes = buffer[header_end + 4..].to_vec();
+    while body_bytes.len() < content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(ServeError::BadRequest("connection closed mid-body".into()));
+        }
+        body_bytes.extend_from_slice(&chunk[..n]);
+    }
+    body_bytes.truncate(content_length);
+    let body = String::from_utf8(body_bytes)
+        .map_err(|_| ServeError::BadRequest("body is not valid UTF-8".into()))?;
+
+    Ok(Request { method, path, body })
+}
+
+fn find_header_end(buffer: &[u8]) -> Option<usize> {
+    buffer.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Writes one JSON response and flushes it. Every response closes the connection.
+pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status_text(status),
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Reason phrases for the status codes the subsystem emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Minimal blocking HTTP client: one request, one response, connection closed. Used by the
+/// `surf-serve query` subcommand and the end-to-end tests.
+pub fn http_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<(u16, String), ServeError> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(30)))?;
+    stream.set_write_timeout(Some(std::time::Duration::from_secs(30)))?;
+    let body = body.unwrap_or_default();
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    stream.write_all(request.as_bytes())?;
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response)?;
+    let text = String::from_utf8(response)
+        .map_err(|_| ServeError::Io("response is not valid UTF-8".into()))?;
+    let (head, payload) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| ServeError::Io("malformed response: no header terminator".into()))?;
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ServeError::Io("malformed response status line".into()))?;
+    Ok((status, payload.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_texts_cover_the_emitted_codes() {
+        for status in [200u16, 400, 404, 405, 409, 413, 422, 500] {
+            assert_ne!(status_text(status), "Unknown");
+        }
+        assert_eq!(status_text(799), "Unknown");
+    }
+}

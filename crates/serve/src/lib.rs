@@ -1,0 +1,51 @@
+//! # surf-serve
+//!
+//! Surrogate persistence and concurrent region-query serving: the subsystem that turns a
+//! fitted SuRF pipeline from a process-local object into a production artifact.
+//!
+//! SuRF's amortization argument (Table I of the paper) is that the surrogate is trained
+//! *once* and then answers region-statistic queries and mining requests without touching the
+//! data. This crate carries that argument across process boundaries, in three layers:
+//!
+//! * [`artifact`] — a versioned persistence envelope ([`artifact::ModelArtifact`]) around the
+//!   complete fitted engine state, with `save_json` / `load_json` that reject incompatible
+//!   schema versions. A loaded surrogate produces **bit-identical** predictions to the one
+//!   that was saved.
+//! * [`registry`] + [`cache`] — a thread-safe, hot-swappable name → model registry
+//!   ([`registry::ModelRegistry`]) and a sharded LRU prediction cache
+//!   ([`cache::PredictionCache`]) keyed on quantized region bounds, with hit/miss/eviction
+//!   counters.
+//! * [`server`] + [`routes`] — a dependency-free HTTP/1.1 JSON API over `std::net` with a
+//!   fixed worker-thread pool (`workers = 0` resolves like `SurfConfig::threads`): `POST
+//!   /predict` (single + batched region queries), `POST /mine` (GSO mining), `GET /models`,
+//!   `GET /healthz` and `GET /stats`. Errors map onto structured JSON bodies via
+//!   [`error::ServeError`].
+//!
+//! The `surf-serve` binary wires the layers into `train` / `serve` / `query` subcommands; see
+//! the crate README section and `examples/serve.rs` for the full train → save → serve → query
+//! walk-through.
+//!
+//! ## Artifact schema versioning
+//!
+//! Artifacts carry a `schema_version` field checked against [`artifact::SCHEMA_VERSION`]
+//! *before* the fitted state is decoded; a mismatch is rejected with HTTP 409 semantics
+//! rather than misread. The policy is intentionally minimal — one supported version per
+//! build, no migrations: surrogates retrain in minutes, so "retrain and re-save" beats
+//! carrying decode paths for every historical layout. Bump the constant whenever the JSON
+//! layout of [`surf_core::SurfState`] or the envelope changes.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod artifact;
+pub mod cache;
+pub mod error;
+pub mod http;
+pub mod registry;
+pub mod routes;
+pub mod server;
+
+pub use artifact::{ModelArtifact, SCHEMA_VERSION};
+pub use cache::{CacheConfig, CacheStats, PredictionCache};
+pub use error::ServeError;
+pub use registry::{ModelInfo, ModelRegistry, ServableModel};
+pub use server::{serve, ServeContext, ServerConfig, ServerHandle};

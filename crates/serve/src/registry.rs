@@ -1,0 +1,243 @@
+//! Thread-safe registry of servable surrogate models.
+//!
+//! A [`ModelRegistry`] maps names to loaded engines behind an `RwLock`: request handlers take
+//! cheap read locks and clone out an `Arc`, so a model can be **hot-swapped** (re-registered
+//! under the same name from a newer artifact) while in-flight requests keep serving from the
+//! engine they already resolved. Registration rebuilds the engine from the artifact's fitted
+//! state up front, so a slot never holds a model that cannot serve.
+
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+use serde::{Deserialize, Serialize};
+
+use crate::artifact::{ArtifactMetadata, ModelArtifact};
+use crate::error::ServeError;
+
+/// A loaded model: the rebuilt engine plus the artifact metadata describing it.
+pub struct ServableModel {
+    /// The name the model is registered under.
+    pub name: String,
+    /// Registry-assigned registration generation (unique per `register` call). Prediction
+    /// caches key on it so entries of a replaced or removed model can never be served — or
+    /// raced in — under a successor registered with the same name.
+    pub generation: u64,
+    /// Descriptive metadata carried over from the artifact envelope.
+    pub metadata: ArtifactMetadata,
+    /// Schema version of the artifact the model was loaded from.
+    pub schema_version: u64,
+    /// The working engine.
+    pub engine: surf_core::Surf,
+}
+
+/// One row of a `/models` listing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelInfo {
+    /// Registered name.
+    pub name: String,
+    /// Artifact schema version the model was loaded from.
+    pub schema_version: u64,
+    /// Descriptive metadata.
+    pub metadata: ArtifactMetadata,
+}
+
+/// Named slots of servable models behind a reader/writer lock.
+#[derive(Default)]
+pub struct ModelRegistry {
+    slots: RwLock<HashMap<String, Arc<ServableModel>>>,
+    next_generation: std::sync::atomic::AtomicU64,
+}
+
+impl ModelRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Loads an artifact into its named slot, rebuilding the engine. Replacing an existing
+    /// name hot-swaps it: subsequent lookups see the new engine, requests already holding the
+    /// old `Arc` finish undisturbed. Returns the previous occupant, if any.
+    pub fn register(
+        &self,
+        artifact: ModelArtifact,
+    ) -> Result<Option<Arc<ServableModel>>, ServeError> {
+        let name = artifact.name.clone();
+        let metadata = artifact.metadata.clone();
+        let schema_version = artifact.schema_version;
+        // The denormalized metadata drives request validation (e.g. /predict's region
+        // dimensionality check), so it must agree with the state actually served: an
+        // artifact whose envelope was edited out of sync would otherwise reject valid
+        // regions and answer mis-sized ones with NaN.
+        if metadata.dimensions != artifact.state.dimensions {
+            return Err(ServeError::BadRequest(format!(
+                "artifact metadata claims {} dimensions but the fitted state has {}",
+                metadata.dimensions, artifact.state.dimensions
+            )));
+        }
+        let engine = artifact.into_engine()?;
+        let generation = self
+            .next_generation
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+            + 1;
+        let model = Arc::new(ServableModel {
+            name: name.clone(),
+            generation,
+            metadata,
+            schema_version,
+            engine,
+        });
+        let mut slots = self.slots.write().expect("registry lock poisoned");
+        Ok(slots.insert(name, model))
+    }
+
+    /// Resolves a model by name.
+    pub fn get(&self, name: &str) -> Result<Arc<ServableModel>, ServeError> {
+        self.slots
+            .read()
+            .expect("registry lock poisoned")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServeError::NotFound(format!("model `{name}`")))
+    }
+
+    /// Removes a model; returns whether a slot was occupied.
+    pub fn remove(&self, name: &str) -> bool {
+        self.slots
+            .write()
+            .expect("registry lock poisoned")
+            .remove(name)
+            .is_some()
+    }
+
+    /// Lists registered models, sorted by name.
+    pub fn list(&self) -> Vec<ModelInfo> {
+        let slots = self.slots.read().expect("registry lock poisoned");
+        let mut infos: Vec<ModelInfo> = slots
+            .values()
+            .map(|m| ModelInfo {
+                name: m.name.clone(),
+                schema_version: m.schema_version,
+                metadata: m.metadata.clone(),
+            })
+            .collect();
+        infos.sort_by(|a, b| a.name.cmp(&b.name));
+        infos
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.slots.read().expect("registry lock poisoned").len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use surf_core::objective::Threshold;
+    use surf_core::{Surf, SurfConfig, Surrogate};
+    use surf_data::statistic::Statistic;
+    use surf_data::synthetic::{SyntheticDataset, SyntheticSpec};
+
+    fn artifact(name: &str, seed: u64) -> ModelArtifact {
+        let synthetic = SyntheticDataset::generate(
+            &SyntheticSpec::density(2, 1)
+                .with_points(1_200)
+                .with_seed(seed),
+        );
+        let config = SurfConfig::builder()
+            .statistic(Statistic::Count)
+            .threshold(Threshold::above(150.0))
+            .training_queries(200)
+            .gbrt(surf_ml::gbrt::GbrtParams::quick().with_n_estimators(8))
+            .kde_sample(64)
+            .seed(seed)
+            .build();
+        let engine = Surf::fit(&synthetic.dataset, &config).unwrap();
+        ModelArtifact::from_engine(name, &engine)
+    }
+
+    #[test]
+    fn register_get_list_remove() {
+        let registry = ModelRegistry::new();
+        assert!(registry.is_empty());
+        assert!(registry.get("missing").is_err());
+
+        registry.register(artifact("beta", 1)).unwrap();
+        registry.register(artifact("alpha", 2)).unwrap();
+        assert_eq!(registry.len(), 2);
+
+        let model = registry.get("alpha").unwrap();
+        assert_eq!(model.name, "alpha");
+        assert_eq!(model.metadata.dimensions, 2);
+
+        let names: Vec<String> = registry.list().into_iter().map(|i| i.name).collect();
+        assert_eq!(names, vec!["alpha", "beta"]);
+
+        assert!(registry.remove("beta"));
+        assert!(!registry.remove("beta"));
+        assert_eq!(registry.len(), 1);
+    }
+
+    #[test]
+    fn hot_swap_replaces_while_old_handles_survive() {
+        let registry = ModelRegistry::new();
+        registry.register(artifact("m", 1)).unwrap();
+        let old = registry.get("m").unwrap();
+        let old_prediction = old
+            .engine
+            .surrogate()
+            .predict(&surf_data::region::Region::new(vec![0.5, 0.5], vec![0.1, 0.1]).unwrap());
+
+        let previous = registry.register(artifact("m", 99)).unwrap();
+        assert!(previous.is_some(), "hot-swap reports the replaced model");
+        let new = registry.get("m").unwrap();
+        assert!(!Arc::ptr_eq(&old, &new));
+        // The retained handle still answers with the old engine.
+        let still = old
+            .engine
+            .surrogate()
+            .predict(&surf_data::region::Region::new(vec![0.5, 0.5], vec![0.1, 0.1]).unwrap());
+        assert_eq!(old_prediction, still);
+        assert_eq!(registry.len(), 1);
+    }
+
+    #[test]
+    fn registration_rejects_corrupt_state() {
+        let mut bad = artifact("m", 3);
+        bad.state.dimensions = 7;
+        let registry = ModelRegistry::new();
+        assert!(registry.register(bad).is_err());
+        assert!(registry.is_empty());
+    }
+
+    #[test]
+    fn registration_rejects_metadata_out_of_sync_with_state() {
+        let mut bad = artifact("m", 4);
+        bad.metadata.dimensions = 3; // state is 2-d
+        let registry = ModelRegistry::new();
+        let err = registry
+            .register(bad)
+            .err()
+            .expect("registration must fail");
+        assert!(matches!(err, ServeError::BadRequest(_)), "{err}");
+        assert!(registry.is_empty());
+    }
+
+    #[test]
+    fn generations_are_unique_and_monotonic() {
+        let registry = ModelRegistry::new();
+        registry.register(artifact("a", 1)).unwrap();
+        registry.register(artifact("b", 2)).unwrap();
+        let first = registry.get("a").unwrap().generation;
+        let second = registry.get("b").unwrap().generation;
+        assert!(second > first);
+        // Hot-swapping assigns a fresh generation.
+        registry.register(artifact("a", 3)).unwrap();
+        assert!(registry.get("a").unwrap().generation > second);
+    }
+}

@@ -1,0 +1,265 @@
+//! Endpoint dispatch and the JSON request/response DTOs.
+//!
+//! | Route            | Method | Purpose                                              |
+//! |------------------|--------|------------------------------------------------------|
+//! | `/predict`       | POST   | Surrogate estimates for one or many regions (cached) |
+//! | `/mine`          | POST   | GSO region mining against a registered surrogate     |
+//! | `/models`        | GET    | List registered models                               |
+//! | `/healthz`       | GET    | Liveness + model count                               |
+//! | `/stats`         | GET    | Cache and per-endpoint latency counters              |
+//!
+//! Every error path returns `{"error": {"code", "message"}}` with the status from
+//! [`ServeError::status`] — handlers never panic on user input and never drop the connection
+//! without a response.
+
+use serde::{Deserialize, Serialize};
+use surf_core::finder::MiningOutcome;
+use surf_core::objective::Threshold;
+use surf_data::region::Region;
+use surf_data::statistic::Statistic;
+
+use crate::cache::CacheStats;
+use crate::error::ServeError;
+use crate::http::Request;
+use crate::registry::ModelInfo;
+use crate::server::{EndpointSnapshot, ServeContext};
+
+/// A region in center / half-length form, as accepted on the wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionSpec {
+    /// Center point `x`.
+    pub center: Vec<f64>,
+    /// Per-dimension half side lengths `l` (strictly positive).
+    pub half_lengths: Vec<f64>,
+}
+
+impl RegionSpec {
+    /// Validates the spec into a [`Region`].
+    pub fn to_region(&self) -> Result<Region, ServeError> {
+        if self.center.iter().any(|c| !c.is_finite()) {
+            return Err(ServeError::BadRequest(
+                "region center must be finite".into(),
+            ));
+        }
+        Region::new(self.center.clone(), self.half_lengths.clone())
+            .map_err(|e| ServeError::BadRequest(format!("invalid region: {e}")))
+    }
+
+    /// The wire form of a region.
+    pub fn from_region(region: &Region) -> Self {
+        Self {
+            center: region.center().to_vec(),
+            half_lengths: region.half_lengths().to_vec(),
+        }
+    }
+}
+
+/// Body of `POST /predict`: one `region` or a `regions` batch (or both).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictRequest {
+    /// The registered model to query.
+    pub model: String,
+    /// A single region to evaluate.
+    pub region: Option<RegionSpec>,
+    /// A batch of regions to evaluate.
+    pub regions: Option<Vec<RegionSpec>>,
+}
+
+/// Response of `POST /predict`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictResponse {
+    /// The model that answered.
+    pub model: String,
+    /// The statistic the predictions estimate.
+    pub statistic: Statistic,
+    /// One estimate per requested region, in request order (single `region` first).
+    pub predictions: Vec<f64>,
+    /// How many of this request's regions were answered from the cache.
+    pub cache_hits: usize,
+    /// How many required a surrogate evaluation.
+    pub cache_misses: usize,
+}
+
+/// An analyst threshold on the wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdSpec {
+    /// The cut-off value `y_R`.
+    pub value: f64,
+    /// `"above"` or `"below"`.
+    pub direction: String,
+}
+
+impl ThresholdSpec {
+    fn to_threshold(&self) -> Result<Threshold, ServeError> {
+        if !self.value.is_finite() {
+            return Err(ServeError::BadRequest("threshold must be finite".into()));
+        }
+        match self.direction.to_ascii_lowercase().as_str() {
+            "above" => Ok(Threshold::above(self.value)),
+            "below" => Ok(Threshold::below(self.value)),
+            other => Err(ServeError::BadRequest(format!(
+                "unknown threshold direction `{other}` (use \"above\" or \"below\")"
+            ))),
+        }
+    }
+}
+
+/// Body of `POST /mine`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MineRequest {
+    /// The registered model to mine against.
+    pub model: String,
+    /// Threshold override; the model's configured threshold is used when absent.
+    pub threshold: Option<ThresholdSpec>,
+    /// Keep only the best `top` regions of the outcome.
+    pub top: Option<usize>,
+}
+
+/// Response of `POST /mine`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MineResponse {
+    /// The model that answered.
+    pub model: String,
+    /// The full mining outcome (regions sorted by descending objective).
+    pub outcome: MiningOutcome,
+}
+
+/// Response of `GET /models`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelsResponse {
+    /// Registered models, sorted by name.
+    pub models: Vec<ModelInfo>,
+}
+
+/// Response of `GET /healthz`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthResponse {
+    /// Always `"ok"` when the server can answer at all.
+    pub status: String,
+    /// Number of registered models.
+    pub models: usize,
+}
+
+/// Response of `GET /stats`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsResponse {
+    /// Seconds since the server started.
+    pub uptime_secs: u64,
+    /// Worker-pool size.
+    pub workers: usize,
+    /// Prediction-cache counters.
+    pub cache: CacheStats,
+    /// `/predict` latency counters.
+    pub predict: EndpointSnapshot,
+    /// `/mine` latency counters.
+    pub mine: EndpointSnapshot,
+    /// Counters for every other route.
+    pub other: EndpointSnapshot,
+}
+
+/// Dispatches one request; always returns a status and a JSON body.
+pub fn handle_request(context: &ServeContext, request: &Request) -> (u16, String) {
+    match route(context, request) {
+        Ok(body) => (200, body),
+        Err(e) => (e.status(), e.to_body()),
+    }
+}
+
+fn route(context: &ServeContext, request: &Request) -> Result<String, ServeError> {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/predict") => predict(context, &request.body),
+        ("POST", "/mine") => mine(context, &request.body),
+        ("GET", "/models") => to_json(&ModelsResponse {
+            models: context.registry.list(),
+        }),
+        ("GET", "/healthz") => to_json(&HealthResponse {
+            status: "ok".to_string(),
+            models: context.registry.len(),
+        }),
+        ("GET", "/stats") => to_json(&StatsResponse {
+            uptime_secs: context.started.elapsed().as_secs(),
+            workers: context.workers,
+            cache: context.cache.stats(),
+            predict: context.predict_stats.snapshot(),
+            mine: context.mine_stats.snapshot(),
+            other: context.other_stats.snapshot(),
+        }),
+        (_, "/predict" | "/mine" | "/models" | "/healthz" | "/stats") => {
+            Err(ServeError::MethodNotAllowed(request.method.clone()))
+        }
+        (_, path) => Err(ServeError::NotFound(format!("route `{path}`"))),
+    }
+}
+
+fn predict(context: &ServeContext, body: &str) -> Result<String, ServeError> {
+    let request: PredictRequest = serde_json::from_str(body)?;
+    let mut specs: Vec<RegionSpec> = Vec::new();
+    if let Some(region) = request.region {
+        specs.push(region);
+    }
+    if let Some(regions) = request.regions {
+        specs.extend(regions);
+    }
+    if specs.is_empty() {
+        return Err(ServeError::BadRequest(
+            "provide `region` or a non-empty `regions` batch".into(),
+        ));
+    }
+
+    let model = context.registry.get(&request.model)?;
+    let mut predictions = Vec::with_capacity(specs.len());
+    let mut cache_hits = 0;
+    let mut cache_misses = 0;
+    for spec in &specs {
+        let region = spec.to_region()?;
+        if region.dimensions() != model.metadata.dimensions {
+            return Err(ServeError::BadRequest(format!(
+                "region has {} dimensions but model `{}` expects {}",
+                region.dimensions(),
+                model.name,
+                model.metadata.dimensions
+            )));
+        }
+        match context.cache.get(&model.name, model.generation, &region) {
+            Some(value) => {
+                cache_hits += 1;
+                predictions.push(value);
+            }
+            None => {
+                cache_misses += 1;
+                let value = surf_core::Surrogate::predict(model.engine.surrogate(), &region);
+                context
+                    .cache
+                    .insert(&model.name, model.generation, &region, value);
+                predictions.push(value);
+            }
+        }
+    }
+    to_json(&PredictResponse {
+        model: model.name.clone(),
+        statistic: model.metadata.statistic,
+        predictions,
+        cache_hits,
+        cache_misses,
+    })
+}
+
+fn mine(context: &ServeContext, body: &str) -> Result<String, ServeError> {
+    let request: MineRequest = serde_json::from_str(body)?;
+    let model = context.registry.get(&request.model)?;
+    let mut outcome = match &request.threshold {
+        Some(spec) => model.engine.mine_with(spec.to_threshold()?),
+        None => model.engine.mine(),
+    };
+    if let Some(top) = request.top {
+        outcome.regions.truncate(top);
+    }
+    to_json(&MineResponse {
+        model: model.name.clone(),
+        outcome,
+    })
+}
+
+fn to_json<T: serde::Serialize>(value: &T) -> Result<String, ServeError> {
+    serde_json::to_string(value).map_err(|e| ServeError::Io(e.to_string()))
+}

@@ -1,0 +1,251 @@
+//! The serving loop: a `TcpListener` acceptor feeding a fixed pool of worker threads.
+//!
+//! The pool mirrors the semantics of `surf_ml::parallel`: a `workers` knob where `0` means
+//! "automatic" (available parallelism, capped at 8) and any other value is taken literally,
+//! resolved through the same [`surf_ml::parallel::resolve_threads`]. Each worker owns one
+//! connection at a time end to end — read, dispatch, respond, close — so `w` workers serve
+//! `w` requests concurrently while excess connections queue in the accept channel.
+//!
+//! Shutdown is cooperative: [`ServerHandle::shutdown`] flips an atomic flag that the
+//! (non-blocking) acceptor polls, the accept channel is dropped, and every thread is joined
+//! before the call returns — no request in flight is abandoned mid-write.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use crate::cache::{CacheConfig, PredictionCache};
+use crate::error::ServeError;
+use crate::http::{read_request, write_response};
+use crate::registry::ModelRegistry;
+use crate::routes::handle_request;
+
+/// Configuration of a serving process.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerConfig {
+    /// Address to bind (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads (`0` = automatic: available parallelism capped at 8, exactly like
+    /// `SurfConfig::threads`).
+    pub workers: usize,
+    /// Largest accepted request body; larger requests are answered with `413`.
+    pub max_body_bytes: usize,
+    /// Prediction-cache sizing.
+    pub cache: CacheConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            max_body_bytes: 1024 * 1024,
+            cache: CacheConfig::default(),
+        }
+    }
+}
+
+/// Per-endpoint request counters (monotonic).
+#[derive(Default)]
+pub struct EndpointStats {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    total_micros: AtomicU64,
+}
+
+impl EndpointStats {
+    /// Records one handled request.
+    pub fn record(&self, status: u16, elapsed: Duration) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if status >= 400 {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.total_micros
+            .fetch_add(elapsed.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    /// A snapshot for `/stats`.
+    pub fn snapshot(&self) -> EndpointSnapshot {
+        let requests = self.requests.load(Ordering::Relaxed);
+        let total_micros = self.total_micros.load(Ordering::Relaxed);
+        EndpointSnapshot {
+            requests,
+            errors: self.errors.load(Ordering::Relaxed),
+            total_micros,
+            mean_micros: total_micros.checked_div(requests).unwrap_or(0),
+        }
+    }
+}
+
+/// Serializable form of [`EndpointStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EndpointSnapshot {
+    /// Requests handled.
+    pub requests: u64,
+    /// Requests answered with a 4xx/5xx status.
+    pub errors: u64,
+    /// Total handling latency in microseconds.
+    pub total_micros: u64,
+    /// Mean handling latency in microseconds.
+    pub mean_micros: u64,
+}
+
+/// Shared state of a serving process: registry, cache and counters.
+pub struct ServeContext {
+    /// The models being served.
+    pub registry: Arc<ModelRegistry>,
+    /// The shared prediction cache.
+    pub cache: PredictionCache,
+    /// `/predict` counters.
+    pub predict_stats: EndpointStats,
+    /// `/mine` counters.
+    pub mine_stats: EndpointStats,
+    /// Counters for every other route (listings, health, stats, errors).
+    pub other_stats: EndpointStats,
+    /// Resolved worker-pool size.
+    pub workers: usize,
+    /// When the server started.
+    pub started: Instant,
+}
+
+impl ServeContext {
+    /// Registers (or hot-swaps) a model and drops any predictions cached under its name.
+    /// Correctness does not depend on the invalidation — cache keys carry the registration
+    /// generation, so a new registration can never hit (or be polluted by) a predecessor's
+    /// entries — but dropping them up front reclaims the retired generation's memory.
+    pub fn register(
+        &self,
+        artifact: crate::artifact::ModelArtifact,
+    ) -> Result<Option<Arc<crate::registry::ServableModel>>, ServeError> {
+        let name = artifact.name.clone();
+        let previous = self.registry.register(artifact)?;
+        if previous.is_some() {
+            self.cache.invalidate_model(&name);
+        }
+        Ok(previous)
+    }
+}
+
+/// A running server: join it down with [`ServerHandle::shutdown`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    context: Arc<ServeContext>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the ephemeral port resolved).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared serving state (e.g. to inspect cache counters in-process).
+    pub fn context(&self) -> &Arc<ServeContext> {
+        &self.context
+    }
+
+    /// Stops accepting, drains the workers and joins every thread.
+    pub fn shutdown(self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for thread in self.threads {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// Binds the configured address and spawns the acceptor plus the worker pool.
+pub fn serve(
+    registry: Arc<ModelRegistry>,
+    config: &ServerConfig,
+) -> Result<ServerHandle, ServeError> {
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let workers = surf_ml::parallel::resolve_threads(config.workers);
+
+    let context = Arc::new(ServeContext {
+        registry,
+        cache: PredictionCache::new(&config.cache),
+        predict_stats: EndpointStats::default(),
+        mine_stats: EndpointStats::default(),
+        other_stats: EndpointStats::default(),
+        workers,
+        started: Instant::now(),
+    });
+
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let (sender, receiver): (Sender<TcpStream>, Receiver<TcpStream>) = mpsc::channel();
+    let receiver = Arc::new(Mutex::new(receiver));
+
+    let mut threads = Vec::with_capacity(workers + 1);
+    for _ in 0..workers {
+        let receiver = Arc::clone(&receiver);
+        let context = Arc::clone(&context);
+        let max_body = config.max_body_bytes;
+        threads.push(std::thread::spawn(move || loop {
+            // Holding the lock only for the recv keeps the other workers runnable.
+            let stream = {
+                let guard = receiver.lock().expect("worker channel poisoned");
+                guard.recv()
+            };
+            match stream {
+                Ok(stream) => handle_connection(stream, &context, max_body),
+                Err(_) => return, // acceptor dropped the sender: shutdown
+            }
+        }));
+    }
+
+    {
+        let shutdown = Arc::clone(&shutdown);
+        threads.push(std::thread::spawn(move || {
+            while !shutdown.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if sender.send(stream).is_err() {
+                            return;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                }
+            }
+            // Dropping `sender` here disconnects the channel and releases the workers.
+        }));
+    }
+
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        threads,
+        context,
+    })
+}
+
+/// Serves one connection: read, dispatch, respond, close. Parse failures still produce a
+/// structured JSON error response rather than a dropped connection.
+fn handle_connection(mut stream: TcpStream, context: &ServeContext, max_body: usize) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let started = Instant::now();
+    let (status, body, stats) = match read_request(&mut stream, max_body) {
+        Ok(request) => {
+            let (status, body) = handle_request(context, &request);
+            let stats = match request.path.as_str() {
+                "/predict" => &context.predict_stats,
+                "/mine" => &context.mine_stats,
+                _ => &context.other_stats,
+            };
+            (status, body, stats)
+        }
+        Err(e) => (e.status(), e.to_body(), &context.other_stats),
+    };
+    stats.record(status, started.elapsed());
+    let _ = write_response(&mut stream, status, &body);
+}

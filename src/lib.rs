@@ -18,6 +18,8 @@
 //! * [`ml`] — regression trees, gradient boosting, KDE, cross-validation, grid search.
 //! * [`optim`] — Glowworm Swarm Optimization, PSO, the Naive baseline and PRIM.
 //! * [`core`] — objective functions, surrogate abstraction and the SuRF pipeline.
+//! * [`serve`] — surrogate persistence (versioned JSON artifacts) and a concurrent HTTP
+//!   serving subsystem (model registry, prediction cache, worker-pool JSON API).
 //!
 //! ## Quick start
 //!
@@ -49,13 +51,14 @@ pub use surf_core as core;
 pub use surf_data as data;
 pub use surf_ml as ml;
 pub use surf_optim as optim;
+pub use surf_serve as serve;
 
 /// Commonly used types, re-exported for convenience.
 pub mod prelude {
     pub use surf_core::{
         comparison::{ComparisonConfig, Method, MethodComparison, MethodRun},
         evaluation::{match_regions, validity_fraction, validity_fraction_threaded, RegionMatch},
-        finder::{MinedRegion, MiningOutcome, Surf},
+        finder::{MinedRegion, MiningOutcome, Surf, SurfState},
         objective::{Direction, LogObjective, Objective, RatioObjective, Threshold},
         pipeline::SurfConfig,
         surrogate::{GbrtSurrogate, Surrogate, SurrogateTrainer, TrueFunctionSurrogate},
@@ -80,5 +83,8 @@ pub mod prelude {
         gso::{GlowwormSwarm, GsoParams, GsoResult},
         naive::{NaiveParams, NaiveSearch},
         prim::{Prim, PrimParams},
+    };
+    pub use surf_serve::{
+        serve, CacheConfig, ModelArtifact, ModelRegistry, ServeError, ServerConfig,
     };
 }

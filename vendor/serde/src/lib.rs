@@ -2,10 +2,18 @@
 //!
 //! The build environment has no network access to a crates registry, so the workspace vendors
 //! the serde surface it actually uses: `#[derive(Serialize, Deserialize)]` on plain structs
-//! and enums, plus `serde_json::to_string_pretty` over the result. Instead of real serde's
-//! visitor-based data model, [`Serialize`] maps a value directly onto the JSON-like [`Value`]
-//! tree, which `serde_json` then renders.
+//! and enums, plus `serde_json::to_string_pretty` / `serde_json::from_str` over the result.
+//! Instead of real serde's visitor-based data model, [`Serialize`] maps a value directly onto
+//! the JSON-like [`Value`] tree (which `serde_json` renders) and [`Deserialize`] reads a value
+//! back out of a [`Value`] tree (which `serde_json` parses).
+//!
+//! Round-trip caveats, shared with real `serde_json`: non-finite floats serialize as `null`
+//! and deserialize back as `NaN`, and `Option<f64>::Some(NAN)` therefore comes back as
+//! `None`. Finite floats round-trip bit-identically (the serializer emits Rust's
+//! shortest-round-trip decimal form).
 #![forbid(unsafe_code)]
+
+use std::fmt;
 
 pub use serde_derive::{Deserialize, Serialize};
 
@@ -30,14 +38,124 @@ pub enum Value {
     Object(Vec<(String, Value)>),
 }
 
+impl Value {
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload widened to `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::UInt(u) => Some(*u as f64),
+            Value::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a `u64`, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(i) => u64::try_from(*i).ok(),
+            Value::UInt(u) => Some(*u),
+            _ => None,
+        }
+    }
+
+    /// A short, human-readable name of the value's kind (for error messages).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
 /// Maps a value onto the [`Value`] object model.
 pub trait Serialize {
     /// Converts `self` into a [`Value`] tree.
     fn serialize(&self) -> Value;
 }
 
-/// Marker trait emitted by `#[derive(Deserialize)]`; no deserialization is implemented.
-pub trait Deserialize {}
+/// Deserialization error: what was expected, what was found, and where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// A free-form deserialization error.
+    pub fn custom(message: impl Into<String>) -> Self {
+        DeError(message.into())
+    }
+
+    /// "expected X, found Y" with the found value's kind.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        DeError(format!("expected {what}, found {}", found.kind()))
+    }
+
+    /// A required field was absent from the serialized object.
+    pub fn missing_field(type_name: &str, field: &str) -> Self {
+        DeError(format!("missing field `{field}` of `{type_name}`"))
+    }
+
+    /// Wraps the error with the struct field it occurred in.
+    pub fn in_field(self, type_name: &str, field: &str) -> Self {
+        DeError(format!("in `{type_name}.{field}`: {}", self.0))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Reads a value back out of the [`Value`] object model — the inverse of [`Serialize`].
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Value`] tree.
+    fn deserialize(value: &Value) -> Result<Self, DeError>;
+
+    /// The value to use when a struct field is absent from the serialized object, or `None`
+    /// if the field is required (real serde's missing-field semantics: only `Option` fields
+    /// tolerate omission). Note this is distinct from deserializing an explicit `null` —
+    /// e.g. `f64` accepts `null` as NaN (the serializer's encoding of non-finite floats) but
+    /// is still required to be present.
+    fn absent() -> Option<Self> {
+        None
+    }
+}
+
+/// Reads one named-struct field out of a serialized object. Absent keys resolve through
+/// [`Deserialize::absent`], so `Option` fields tolerate missing entries while everything
+/// else reports the missing field. Used by the `#[derive(Deserialize)]` expansion.
+pub fn field<T: Deserialize>(
+    entries: &[(String, Value)],
+    type_name: &str,
+    key: &str,
+) -> Result<T, DeError> {
+    match entries.iter().find(|(k, _)| k == key) {
+        Some((_, value)) => T::deserialize(value).map_err(|e| e.in_field(type_name, key)),
+        None => T::absent().ok_or_else(|| DeError::missing_field(type_name, key)),
+    }
+}
 
 impl Serialize for Value {
     fn serialize(&self) -> Value {
@@ -201,5 +319,265 @@ impl<K: ToString, V: Serialize> Serialize for std::collections::HashMap<K, V> {
             .collect();
         entries.sort_by(|a, b| a.0.cmp(&b.0));
         Value::Object(entries)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls — the inverses of the Serialize impls above.
+// ---------------------------------------------------------------------------
+
+impl Deserialize for Value {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::expected("single-character string", other)),
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            // Serialization renders non-finite floats as `null`; map them back to NaN so
+            // plain float fields (e.g. an undefined holdout RMSE) survive a round trip.
+            Value::Null => Ok(f64::NAN),
+            other => other
+                .as_f64()
+                .ok_or_else(|| DeError::expected("number", other)),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        f64::deserialize(value).map(|x| x as f32)
+    }
+}
+
+macro_rules! impl_deserialize_int {
+    ($($int:ty),*) => {
+        $(impl Deserialize for $int {
+            fn deserialize(value: &Value) -> Result<Self, DeError> {
+                let out = match value {
+                    Value::Int(i) => <$int>::try_from(*i).ok(),
+                    Value::UInt(u) => <$int>::try_from(*u).ok(),
+                    _ => None,
+                };
+                out.ok_or_else(|| {
+                    DeError::expected(concat!("integer fitting ", stringify!($int)), value)
+                })
+            }
+        })*
+    };
+}
+
+impl_deserialize_int!(i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, u128, usize);
+
+impl Deserialize for std::time::Duration {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        let entries = expect_object(value, "Duration")?;
+        let secs: u64 = field(entries, "Duration", "secs")?;
+        let nanos: u32 = field(entries, "Duration", "nanos")?;
+        // `Duration::new` panics when the nanos carry overflows the seconds; normalize with
+        // checked arithmetic so a crafted document yields an error instead.
+        let secs = secs
+            .checked_add(u64::from(nanos / 1_000_000_000))
+            .ok_or_else(|| DeError::custom("Duration seconds overflow"))?;
+        Ok(std::time::Duration::new(secs, nanos % 1_000_000_000))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+
+    fn absent() -> Option<Self> {
+        Some(None)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        let items = Vec::<T>::deserialize(value)?;
+        let found = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError::custom(format!("expected array of length {N}, found {found}")))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        T::deserialize(value).map(Box::new)
+    }
+}
+
+macro_rules! impl_deserialize_tuple {
+    ($len:expr ; $($name:ident : $index:tt),+) => {
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Array(items) if items.len() == $len => {
+                        Ok(($($name::deserialize(&items[$index])?,)+))
+                    }
+                    other => Err(DeError::expected(
+                        concat!("array of length ", stringify!($len)),
+                        other,
+                    )),
+                }
+            }
+        }
+    };
+}
+
+impl_deserialize_tuple!(1 ; A: 0);
+impl_deserialize_tuple!(2 ; A: 0, B: 1);
+impl_deserialize_tuple!(3 ; A: 0, B: 1, C: 2);
+impl_deserialize_tuple!(4 ; A: 0, B: 1, C: 2, D: 3);
+
+impl<K, V> Deserialize for std::collections::BTreeMap<K, V>
+where
+    K: std::str::FromStr + Ord,
+    V: Deserialize,
+{
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        deserialize_map_entries(value)?.collect()
+    }
+}
+
+impl<K, V> Deserialize for std::collections::HashMap<K, V>
+where
+    K: std::str::FromStr + std::hash::Hash + Eq,
+    V: Deserialize,
+{
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        deserialize_map_entries(value)?.collect()
+    }
+}
+
+/// Shared walk for the map impls: parses each key with `FromStr` and each value with
+/// `Deserialize`.
+#[allow(clippy::type_complexity)]
+fn deserialize_map_entries<'a, K, V>(
+    value: &'a Value,
+) -> Result<impl Iterator<Item = Result<(K, V), DeError>> + 'a, DeError>
+where
+    K: std::str::FromStr,
+    V: Deserialize,
+{
+    match value {
+        Value::Object(entries) => Ok(entries.iter().map(|(k, v)| {
+            let key = k
+                .parse::<K>()
+                .map_err(|_| DeError::custom(format!("unparseable map key `{k}`")))?;
+            Ok((key, V::deserialize(v)?))
+        })),
+        other => Err(DeError::expected("object", other)),
+    }
+}
+
+/// Helper for derived impls and manual object walks: the entry list of an object value.
+pub fn expect_object<'a>(
+    value: &'a Value,
+    type_name: &str,
+) -> Result<&'a [(String, Value)], DeError> {
+    match value {
+        Value::Object(entries) => Ok(entries),
+        other => Err(DeError::expected(
+            &format!("object for `{type_name}`"),
+            other,
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_fields_error_except_for_options() {
+        let entries = vec![
+            ("present".to_string(), Value::Float(1.5)),
+            ("null_float".to_string(), Value::Null),
+        ];
+        let x: f64 = field(&entries, "T", "present").unwrap();
+        assert_eq!(x, 1.5);
+        // An explicit null is the serializer's encoding of a non-finite float: accepted.
+        let nan: f64 = field(&entries, "T", "null_float").unwrap();
+        assert!(nan.is_nan());
+        // A *missing* float field is a malformed document, not NaN.
+        assert!(field::<f64>(&entries, "T", "missing").is_err());
+        assert!(field::<usize>(&entries, "T", "missing").is_err());
+        // Option fields tolerate omission.
+        let opt: Option<f64> = field(&entries, "T", "missing").unwrap();
+        assert!(opt.is_none());
+    }
+
+    #[test]
+    fn duration_round_trips_and_rejects_overflow() {
+        let duration = std::time::Duration::new(7, 123_456_789);
+        let restored = std::time::Duration::deserialize(&duration.serialize()).unwrap();
+        assert_eq!(restored, duration);
+
+        // Out-of-range nanos normalize with carry...
+        let value = Value::Object(vec![
+            ("secs".to_string(), Value::UInt(1)),
+            ("nanos".to_string(), Value::UInt(2_500_000_000)),
+        ]);
+        assert_eq!(
+            std::time::Duration::deserialize(&value).unwrap(),
+            std::time::Duration::new(3, 500_000_000)
+        );
+        // ...but a carry that overflows the seconds errors instead of panicking.
+        let value = Value::Object(vec![
+            ("secs".to_string(), Value::UInt(u64::MAX)),
+            ("nanos".to_string(), Value::UInt(1_999_999_999)),
+        ]);
+        assert!(std::time::Duration::deserialize(&value).is_err());
+    }
+
+    #[test]
+    fn integers_reject_lossy_values() {
+        assert!(u32::deserialize(&Value::Int(-1)).is_err());
+        assert!(u8::deserialize(&Value::UInt(300)).is_err());
+        assert!(i64::deserialize(&Value::Float(1.5)).is_err());
+        assert_eq!(u64::deserialize(&Value::Int(7)).unwrap(), 7);
     }
 }

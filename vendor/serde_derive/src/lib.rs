@@ -3,8 +3,9 @@
 //! The build environment has no network access to a crates registry, so the workspace vendors
 //! the small serde surface it actually uses (see `vendor/serde`). This crate derives that
 //! surface: `Serialize` maps a type onto the [`serde::Value`] JSON-like object model and
-//! `Deserialize` emits a marker impl. Supported shapes — non-generic structs (named, tuple,
-//! unit) and enums (unit, tuple and struct variants) — cover every derive in the workspace.
+//! `Deserialize` reads it back out (the exact inverse encoding). Supported shapes —
+//! non-generic structs (named, tuple, unit) and enums (unit, tuple and struct variants) —
+//! cover every derive in the workspace.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -54,13 +55,133 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     .expect("generated Serialize impl parses")
 }
 
-/// Derives the marker trait `serde::Deserialize`.
+/// Derives `serde::Deserialize` by reading the type back out of `serde::Value` — the exact
+/// inverse of the `Serialize` expansion above.
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    format!("impl ::serde::Deserialize for {} {{}}", item.name)
-        .parse()
-        .expect("generated Deserialize impl parses")
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let inits = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(entries, \"{name}\", \"{f}\")?,"))
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!(
+                "let entries = ::serde::expect_object(value, \"{name}\")?;\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})"
+            )
+        }
+        Shape::TupleStruct(arity) => {
+            let items = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::deserialize(&items[{i}])?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "match value {{\n\
+                     ::serde::Value::Array(items) if items.len() == {arity} => \
+                         ::std::result::Result::Ok({name}({items})),\n\
+                     other => ::std::result::Result::Err(::serde::DeError::expected(\
+                         \"array of length {arity} for `{name}`\", other)),\n\
+                 }}"
+            )
+        }
+        Shape::UnitStruct => format!(
+            "match value {{\n\
+                 ::serde::Value::Null => ::std::result::Result::Ok({name}),\n\
+                 other => ::std::result::Result::Err(::serde::DeError::expected(\
+                     \"null for unit struct `{name}`\", other)),\n\
+             }}"
+        ),
+        Shape::Enum(variants) => {
+            let unit_arms = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),",
+                        vname = v.name
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            let payload_arms = variants
+                .iter()
+                .filter(|v| !matches!(v.shape, VariantShape::Unit))
+                .map(|v| variant_deserialize_arm(name, v))
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!(
+                "match value {{\n\
+                     ::serde::Value::String(s) => match s.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => ::std::result::Result::Err(::serde::DeError::custom(\
+                             ::std::format!(\"unknown variant `{{other}}` of `{name}`\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                         let (key, payload) = &entries[0];\n\
+                         match key.as_str() {{\n\
+                             {payload_arms}\n\
+                             other => ::std::result::Result::Err(::serde::DeError::custom(\
+                                 ::std::format!(\"unknown variant `{{other}}` of `{name}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                     other => ::std::result::Result::Err(::serde::DeError::expected(\
+                         \"enum `{name}` representation\", other)),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(value: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+/// One `match key.as_str()` arm decoding a data-carrying enum variant from its payload.
+fn variant_deserialize_arm(type_name: &str, variant: &Variant) -> String {
+    let vname = &variant.name;
+    match &variant.shape {
+        VariantShape::Unit => unreachable!("unit variants are matched as strings"),
+        VariantShape::Tuple(arity) if *arity == 1 => format!(
+            "\"{vname}\" => ::std::result::Result::Ok({type_name}::{vname}(\
+             ::serde::Deserialize::deserialize(payload)?)),"
+        ),
+        VariantShape::Tuple(arity) => {
+            let items = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::deserialize(&items[{i}])?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "\"{vname}\" => match payload {{\n\
+                     ::serde::Value::Array(items) if items.len() == {arity} => \
+                         ::std::result::Result::Ok({type_name}::{vname}({items})),\n\
+                     other => ::std::result::Result::Err(::serde::DeError::expected(\
+                         \"array of length {arity} for `{type_name}::{vname}`\", other)),\n\
+                 }},"
+            )
+        }
+        VariantShape::Struct(fields) => {
+            let inits = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::field(fields, \"{type_name}::{vname}\", \"{f}\")?,")
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!(
+                "\"{vname}\" => {{\n\
+                     let fields = ::serde::expect_object(payload, \"{type_name}::{vname}\")?;\n\
+                     ::std::result::Result::Ok({type_name}::{vname} {{ {inits} }})\n\
+                 }},"
+            )
+        }
+    }
 }
 
 fn variant_arm(type_name: &str, variant: &Variant) -> String {

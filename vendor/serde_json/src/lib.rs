@@ -1,17 +1,24 @@
 //! Vendored, dependency-free replacement for the `serde_json` crate.
 //!
-//! Renders the vendored [`serde::Value`] object model as JSON text. Only the serialization
-//! entry points the workspace uses are provided ([`to_string`], [`to_string_pretty`]).
+//! Renders the vendored [`serde::Value`] object model as JSON text and parses JSON text back
+//! into it. Only the entry points the workspace uses are provided ([`to_string`],
+//! [`to_string_pretty`], [`from_str`], [`parse_value`]).
 #![forbid(unsafe_code)]
 
 use std::fmt;
 
-use serde::{Serialize, Value};
+use serde::{DeError, Deserialize, Serialize, Value};
 
-/// Serialization error. The vendored object model cannot actually fail, but the public
-/// signatures mirror real `serde_json` so call sites stay source-compatible.
+/// Serialization / parse error. The signatures mirror real `serde_json` so call sites stay
+/// source-compatible.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Error(String);
+
+impl Error {
+    fn at(message: impl Into<String>, offset: usize) -> Self {
+        Error(format!("{} at byte {offset}", message.into()))
+    }
+}
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -20,6 +27,12 @@ impl fmt::Display for Error {
 }
 
 impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error(e.to_string())
+    }
+}
 
 /// Serializes `value` as a compact JSON string.
 pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
@@ -33,6 +46,254 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
     let mut out = String::new();
     write_value(&mut out, &value.serialize(), Some(2), 0);
     Ok(out)
+}
+
+/// Parses a JSON document into a `T`.
+pub fn from_str<T: Deserialize>(input: &str) -> Result<T, Error> {
+    let value = parse_value(input)?;
+    Ok(T::deserialize(&value)?)
+}
+
+/// Parses a JSON document into the generic [`Value`] object model (real serde_json's
+/// `from_str::<Value>`), e.g. to inspect an envelope before committing to a typed decode.
+pub fn parse_value(input: &str) -> Result<Value, Error> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    parser.skip_whitespace();
+    let value = parser.parse_value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::at("trailing characters", parser.pos));
+    }
+    Ok(value)
+}
+
+/// Nesting depth cap: parsing is recursive, and untrusted documents (the HTTP server feeds
+/// request bodies straight in here) must not be able to overflow the stack.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser<'_> {
+    fn skip_whitespace(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect_byte(&mut self, expected: u8) -> Result<(), Error> {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::at(
+                format!("expected `{}`", char::from(expected)),
+                self.pos,
+            ))
+        }
+    }
+
+    fn expect_keyword(&mut self, keyword: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(keyword.as_bytes()) {
+            self.pos += keyword.len();
+            Ok(())
+        } else {
+            Err(Error::at(format!("expected `{keyword}`"), self.pos))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(Error::at("document nested too deeply", self.pos));
+        }
+        let value = match self.peek() {
+            Some(b'n') => self.expect_keyword("null").map(|()| Value::Null),
+            Some(b't') => self.expect_keyword("true").map(|()| Value::Bool(true)),
+            Some(b'f') => self.expect_keyword("false").map(|()| Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => Err(Error::at("expected a JSON value", self.pos)),
+        }?;
+        self.depth -= 1;
+        Ok(value)
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect_byte(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::at("expected `,` or `]`", self.pos)),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect_byte(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect_byte(b':')?;
+            self.skip_whitespace();
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(Error::at("expected `,` or `}`", self.pos)),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect_byte(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::at("unterminated string", self.pos)),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let unit = self.parse_hex4()?;
+                            // Decode UTF-16 surrogate pairs (😀 and friends).
+                            let c = if (0xd800..0xdc00).contains(&unit) {
+                                self.expect_keyword("\\u")
+                                    .map_err(|_| Error::at("unpaired surrogate", self.pos))?;
+                                let low = self.parse_hex4()?;
+                                if !(0xdc00..0xe000).contains(&low) {
+                                    return Err(Error::at("invalid low surrogate", self.pos));
+                                }
+                                let code = 0x10000 + ((unit - 0xd800) << 10) + (low - 0xdc00);
+                                char::from_u32(code)
+                            } else {
+                                char::from_u32(unit)
+                            };
+                            out.push(
+                                c.ok_or_else(|| Error::at("invalid unicode escape", self.pos))?,
+                            );
+                            continue;
+                        }
+                        _ => return Err(Error::at("invalid escape sequence", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (the input is a &str, so boundaries are
+                    // valid; find the next char boundary from here).
+                    let rest = &self.bytes[self.pos..];
+                    let len = match rest[0] {
+                        b if b < 0x80 => 1,
+                        b if b >= 0xf0 => 4,
+                        b if b >= 0xe0 => 3,
+                        _ => 2,
+                    };
+                    let chunk = std::str::from_utf8(&rest[..len.min(rest.len())])
+                        .map_err(|_| Error::at("invalid UTF-8 in string", self.pos))?;
+                    out.push_str(chunk);
+                    self.pos += chunk.len();
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(Error::at("truncated unicode escape", self.pos));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| Error::at("invalid unicode escape", self.pos))?;
+        let unit = u32::from_str_radix(hex, 16)
+            .map_err(|_| Error::at("invalid unicode escape", self.pos))?;
+        self.pos = end;
+        Ok(unit)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::at("invalid number", start))?;
+        if !is_float {
+            // Keep integers exact when they fit; widen to f64 only on overflow, matching the
+            // serializer's Int/UInt/Float split.
+            if text.starts_with('-') {
+                if let Ok(i) = text.parse::<i64>() {
+                    return Ok(Value::Int(i));
+                }
+            } else if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error::at(format!("invalid number `{text}`"), start))
+    }
 }
 
 fn write_value(out: &mut String, value: &Value, indent: Option<usize>, depth: usize) {
@@ -139,5 +400,101 @@ mod tests {
         ]);
         let pretty = to_string_pretty(&value).unwrap();
         assert_eq!(pretty, "{\n  \"k\": [\n    1\n  ],\n  \"s\": \"x\"\n}");
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse_value("null").unwrap(), Value::Null);
+        assert_eq!(parse_value("true").unwrap(), Value::Bool(true));
+        assert_eq!(parse_value(" false ").unwrap(), Value::Bool(false));
+        assert_eq!(parse_value("42").unwrap(), Value::UInt(42));
+        assert_eq!(parse_value("-7").unwrap(), Value::Int(-7));
+        assert_eq!(parse_value("2.5e-3").unwrap(), Value::Float(0.0025));
+        assert_eq!(parse_value("\"hi\"").unwrap(), Value::String("hi".into()));
+    }
+
+    #[test]
+    fn parses_containers_and_preserves_key_order() {
+        let value = parse_value("{\"b\": [1, -2, 3.5], \"a\": {}}").unwrap();
+        assert_eq!(
+            value,
+            Value::Object(vec![
+                (
+                    "b".to_string(),
+                    Value::Array(vec![Value::UInt(1), Value::Int(-2), Value::Float(3.5)])
+                ),
+                ("a".to_string(), Value::Object(vec![])),
+            ])
+        );
+    }
+
+    #[test]
+    fn parses_string_escapes_and_surrogate_pairs() {
+        assert_eq!(
+            parse_value(r#""a\n\t\"\\\u0041\ud83d\ude00b""#).unwrap(),
+            Value::String("a\n\t\"\\A😀b".to_string())
+        );
+        assert_eq!(
+            parse_value("\"caffè\"").unwrap(),
+            Value::String("caffè".to_string())
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "tru",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":}",
+            "1 2",
+            "\"unterminated",
+            "{\"a\":1,}x",
+            "nul",
+            "[1]]",
+            "\"\\q\"",
+            "\"\\ud800\"",
+        ] {
+            assert!(parse_value(bad).is_err(), "accepted malformed `{bad}`");
+        }
+    }
+
+    #[test]
+    fn rejects_deep_nesting() {
+        let deep = "[".repeat(4096) + &"]".repeat(4096);
+        assert!(parse_value(&deep).is_err());
+    }
+
+    #[test]
+    fn floats_round_trip_bit_identically() {
+        for x in [
+            0.1,
+            -1.5e-300,
+            3.0,
+            f64::MIN_POSITIVE,
+            5e-324,
+            f64::MAX,
+            -0.0,
+            123_456_789.123_456_78,
+        ] {
+            let text = to_string(&x).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} -> {text} -> {back}");
+        }
+        // Non-finite floats render as null and come back as NaN.
+        let nan: f64 = from_str(&to_string(&f64::INFINITY).unwrap()).unwrap();
+        assert!(nan.is_nan());
+    }
+
+    #[test]
+    fn typed_from_str_decodes_containers() {
+        let v: Vec<Option<f64>> = from_str("[1.5, null, -2.0]").unwrap();
+        assert_eq!(v, vec![Some(1.5), None, Some(-2.0)]);
+        let pair: (f64, u32) = from_str("[0.5, 9]").unwrap();
+        assert_eq!(pair, (0.5, 9));
+        let err = from_str::<Vec<u32>>("[1, \"x\"]");
+        assert!(err.is_err());
     }
 }
