@@ -1,0 +1,84 @@
+//! Micro-benchmark: GBRT training — exact (per-node sorting) vs. histogram (shared
+//! `FeatureMatrix` + per-node gradient histograms) engines. This is the cost every
+//! grid-search cell, cross-validation fold and refit pays; the histogram engine makes it
+//! linear in n per node instead of O(n·log n·d). The `bench_gbrt_train` binary measures the
+//! full N ∈ {1k, 10k, 100k} × d ∈ {2, 4, 8} matrix and records speedups in the
+//! `BENCH_gbrt_train.json` trajectory artifact; here the exact engine is only run at sizes
+//! that keep the suite fast.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use surf_ml::gbrt::{Gbrt, GbrtParams};
+use surf_ml::matrix::FeatureMatrix;
+
+/// Synthetic regression data: d features in [0, 1), smooth nonlinear target.
+fn training_data(n: usize, d: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let features: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..d).map(|_| rng.random::<f64>()).collect())
+        .collect();
+    let targets: Vec<f64> = features
+        .iter()
+        .map(|x| {
+            x.iter()
+                .enumerate()
+                .map(|(i, v)| ((i + 1) as f64 * v).sin())
+                .sum::<f64>()
+        })
+        .collect();
+    (features, targets)
+}
+
+fn bench_params() -> GbrtParams {
+    GbrtParams::quick().with_n_estimators(10)
+}
+
+fn bench_gbrt_train(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gbrt_train");
+    group.sample_size(10);
+    for &d in &[2usize, 4, 8] {
+        for &n in &[1_000usize, 10_000, 100_000] {
+            let (x, y) = training_data(n, d, 7);
+            // The exact engine is O(n·log n·d) per node; cap it so the suite stays quick.
+            if n <= 10_000 {
+                let params = bench_params().with_max_bins(0);
+                let id = BenchmarkId::new("exact", format!("{n}x{d}"));
+                group.bench_function(id, |b| {
+                    b.iter(|| black_box(Gbrt::fit(black_box(&x), black_box(&y), &params)))
+                });
+            }
+            let params = bench_params().with_max_bins(256);
+            let id = BenchmarkId::new("hist", format!("{n}x{d}"));
+            group.bench_function(id, |b| {
+                b.iter(|| black_box(Gbrt::fit(black_box(&x), black_box(&y), &params)))
+            });
+            // Amortized regime: the matrix is built once and shared (grid search / CV).
+            let matrix = FeatureMatrix::from_rows(&x, 256).unwrap();
+            let params = bench_params();
+            let id = BenchmarkId::new("hist_shared_matrix", format!("{n}x{d}"));
+            group.bench_function(id, |b| {
+                b.iter(|| black_box(Gbrt::fit_matrix(black_box(&matrix), black_box(&y), &params)))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_matrix_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("feature_matrix_build");
+    group.sample_size(10);
+    for &d in &[2usize, 8] {
+        let n = 100_000;
+        let (x, _) = training_data(n, d, 11);
+        let id = BenchmarkId::from_parameter(format!("{n}x{d}"));
+        group.bench_function(id, |b| {
+            b.iter(|| black_box(FeatureMatrix::from_rows(black_box(&x), 256)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gbrt_train, bench_matrix_build);
+criterion_main!(benches);

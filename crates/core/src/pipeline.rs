@@ -29,7 +29,10 @@ pub struct SurfConfig {
     pub workload_coverage: (f64, f64),
     /// Value recorded for regions where the statistic is undefined (empty regions).
     pub empty_value: f64,
-    /// Hyper-parameters of the gradient-boosted surrogate.
+    /// Hyper-parameters of the gradient-boosted surrogate. `gbrt.max_bins` selects the
+    /// training engine: `> 0` (default 256) quantizes the workload features once into a
+    /// shared columnar `FeatureMatrix` and trains with per-node gradient histograms;
+    /// `0` keeps the exact per-node sorting trainer.
     pub gbrt: GbrtParams,
     /// Run the paper's grid search with cross-validation before the final surrogate fit.
     pub hypertune: bool,
@@ -187,6 +190,13 @@ impl SurfConfigBuilder {
         self
     }
 
+    /// Sets the histogram training engine's per-feature bin cap (`GbrtParams::max_bins`);
+    /// `0` selects the exact (sorting) engine. See `surf_ml::matrix` for the trade-off.
+    pub fn max_bins(mut self, max_bins: usize) -> Self {
+        self.config.gbrt.max_bins = max_bins;
+        self
+    }
+
     /// Enables or disables grid-search hyper-tuning.
     pub fn hypertune(mut self, hypertune: bool) -> Self {
         self.config.hypertune = hypertune;
@@ -284,6 +294,7 @@ mod tests {
             .empty_value(-1.0)
             .cluster_radius(0.1)
             .index_kind(IndexKind::KdTree)
+            .max_bins(128)
             .seed(99)
             .build();
         assert_eq!(config.threshold, Threshold::above(100.0));
@@ -293,6 +304,7 @@ mod tests {
         assert_eq!(config.seed, 99);
         assert_eq!(config.objective.c(), 2.0);
         assert_eq!(config.index_kind, IndexKind::KdTree);
+        assert_eq!(config.gbrt.max_bins, 128);
         assert!(config.validate().is_ok());
     }
 
@@ -342,6 +354,12 @@ mod tests {
 
         let config = SurfConfig {
             gbrt: GbrtParams::paper_default().with_n_estimators(0),
+            ..SurfConfig::default()
+        };
+        assert!(config.validate().is_err());
+
+        let config = SurfConfig {
+            gbrt: GbrtParams::paper_default().with_max_bins(1 << 17),
             ..SurfConfig::default()
         };
         assert!(config.validate().is_err());

@@ -21,6 +21,7 @@ use surf_data::workload::Workload;
 use surf_ml::cv::KFold;
 use surf_ml::gbrt::{Gbrt, GbrtParams};
 use surf_ml::grid::{GbrtGrid, GridSearch};
+use surf_ml::matrix::FeatureMatrix;
 use surf_ml::metrics::rmse;
 
 use crate::error::SurfError;
@@ -269,6 +270,12 @@ impl SurrogateTrainer {
     }
 
     /// Trains a surrogate on the workload and reports training cost and held-out accuracy.
+    ///
+    /// With the histogram training engine enabled (`params.max_bins > 0`, the default) the
+    /// workload features are quantized **once** into a [`FeatureMatrix`] that is shared by
+    /// reference across every grid cell and fold of the hyper-tuning search *and* the final
+    /// refit; per-node histogram construction additionally fans out over the trainer's
+    /// thread knob on large nodes.
     pub fn train(&self, workload: &Workload) -> Result<(GbrtSurrogate, TrainingReport), SurfError> {
         if workload.is_empty() {
             return Err(SurfError::InvalidConfig(
@@ -281,18 +288,35 @@ impl SurrogateTrainer {
         let (train_x, train_y) = train.to_xy();
         let (holdout_x, holdout_y) = holdout.to_xy();
 
+        let threads = surf_ml::parallel::resolve_threads(self.threads);
+        let matrix = if self.params.max_bins > 0 {
+            Some(FeatureMatrix::from_rows_threaded(
+                &train_x,
+                self.params.max_bins,
+                threads,
+            )?)
+        } else {
+            None
+        };
+
         let (params, combinations) = if self.hypertune {
             let folds = self.folds.clamp(2, train_x.len().max(2));
             let search = GridSearch::new(self.grid.clone(), self.params.clone())
                 .with_kfold(KFold::new(folds, self.seed))
-                .with_threads(surf_ml::parallel::resolve_threads(self.threads));
-            let result = search.search(&train_x, &train_y)?;
+                .with_threads(threads);
+            let result = match &matrix {
+                Some(matrix) => search.search_matrix(matrix, &train_x, &train_y)?,
+                None => search.search(&train_x, &train_y)?,
+            };
             (result.best_params().clone(), result.evaluations.len())
         } else {
             (self.params.clone(), 1)
         };
 
-        let model = Gbrt::fit(&train_x, &train_y, &params)?;
+        let model = match &matrix {
+            Some(matrix) => Gbrt::fit_matrix_threaded(matrix, &train_y, &params, threads)?,
+            None => Gbrt::fit(&train_x, &train_y, &params)?,
+        };
         let holdout_rmse = if holdout_x.is_empty() {
             f64::NAN
         } else {
@@ -378,6 +402,33 @@ mod tests {
             .1;
         assert_eq!(tuned.combinations_evaluated, 8);
         assert!(tuned.training_time >= plain.training_time);
+    }
+
+    #[test]
+    fn exact_and_histogram_training_engines_both_serve_the_pipeline() {
+        let (_, workload) = density_setup();
+        let histogram = SurrogateTrainer::quick();
+        assert!(
+            histogram.params.max_bins > 0,
+            "histogram engine is the default"
+        );
+        let (_, histogram_report) = histogram.train(&workload).unwrap();
+        let exact = SurrogateTrainer::quick().with_params(GbrtParams::quick().with_max_bins(0));
+        let (_, exact_report) = exact.train(&workload).unwrap();
+        // Both engines deliver surrogates in the same accuracy class (dense region counts
+        // are ~1200; both must be far below that).
+        assert!(
+            histogram_report.holdout_rmse < 600.0,
+            "histogram rmse {}",
+            histogram_report.holdout_rmse
+        );
+        assert!(
+            exact_report.holdout_rmse < 600.0,
+            "exact rmse {}",
+            exact_report.holdout_rmse
+        );
+        assert_eq!(histogram_report.chosen_params.max_bins, 256);
+        assert_eq!(exact_report.chosen_params.max_bins, 0);
     }
 
     #[test]

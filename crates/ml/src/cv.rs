@@ -9,6 +9,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::error::{validate_xy, MlError};
 use crate::gbrt::{Gbrt, GbrtParams};
+use crate::matrix::FeatureMatrix;
 use crate::metrics::rmse;
 
 /// One fold: `(train_indices, test_indices)`.
@@ -104,14 +105,60 @@ pub fn cross_validate_gbrt_threaded(
     threads: usize,
 ) -> Result<CvScores, MlError> {
     validate_xy(features, targets)?;
-    let splits = kfold.splits(features.len())?;
+    params.validate()?;
     let threads = crate::parallel::resolve_threads(threads);
+    if params.max_bins > 0 {
+        // Quantize once; every fold trains against the same shared matrix.
+        let matrix = FeatureMatrix::from_rows_threaded(features, params.max_bins, threads)?;
+        return cross_validate_gbrt_matrix(&matrix, features, targets, params, kfold, threads);
+    }
+    let splits = kfold.splits(features.len())?;
     let scored = crate::parallel::parallel_map(splits, threads, |(train_idx, test_idx)| {
         let train_x: Vec<Vec<f64>> = train_idx.iter().map(|&i| features[i].clone()).collect();
         let train_y: Vec<f64> = train_idx.iter().map(|&i| targets[i]).collect();
         let test_x: Vec<Vec<f64>> = test_idx.iter().map(|&i| features[i].clone()).collect();
         let test_y: Vec<f64> = test_idx.iter().map(|&i| targets[i]).collect();
         let model = Gbrt::fit(&train_x, &train_y, params)?;
+        let predictions = model.predict(&test_x)?;
+        Ok(rmse(&test_y, &predictions))
+    });
+    let mut fold_rmse = Vec::with_capacity(scored.len());
+    for score in scored {
+        fold_rmse.push(score?);
+    }
+    Ok(CvScores { fold_rmse })
+}
+
+/// Cross-validates a GBRT configuration against a pre-built, shared [`FeatureMatrix`]
+/// (quantized once per dataset — the histogram engine's whole point). Folds fan out over up
+/// to `threads` OS threads; each fold trains on its subset of matrix rows via
+/// [`Gbrt::fit_matrix_on`] and scores its test rows on the raw `features`. Scores are
+/// identical for every thread count.
+pub fn cross_validate_gbrt_matrix(
+    matrix: &FeatureMatrix,
+    features: &[Vec<f64>],
+    targets: &[f64],
+    params: &GbrtParams,
+    kfold: KFold,
+    threads: usize,
+) -> Result<CvScores, MlError> {
+    validate_xy(features, targets)?;
+    if features.len() != matrix.rows() {
+        return Err(MlError::InvalidParameter {
+            name: "matrix",
+            value: format!(
+                "matrix has {} rows but features have {}",
+                matrix.rows(),
+                features.len()
+            ),
+        });
+    }
+    let splits = kfold.splits(features.len())?;
+    let threads = crate::parallel::resolve_threads(threads);
+    let scored = crate::parallel::parallel_map(splits, threads, |(train_idx, test_idx)| {
+        let model = Gbrt::fit_matrix_on(matrix, targets, train_idx, params)?;
+        let test_x: Vec<Vec<f64>> = test_idx.iter().map(|&i| features[i].clone()).collect();
+        let test_y: Vec<f64> = test_idx.iter().map(|&i| targets[i]).collect();
         let predictions = model.predict(&test_x)?;
         Ok(rmse(&test_y, &predictions))
     });
@@ -190,10 +237,32 @@ mod tests {
             .map(|_| vec![rng.random::<f64>(), rng.random::<f64>()])
             .collect();
         let targets: Vec<f64> = features.iter().map(|x| x[0] - 0.5 * x[1]).collect();
+        for params in [GbrtParams::quick(), GbrtParams::quick().with_max_bins(0)] {
+            let kfold = KFold::new(4, 2);
+            let seq = cross_validate_gbrt_threaded(&features, &targets, &params, kfold, 1).unwrap();
+            let par = cross_validate_gbrt_threaded(&features, &targets, &params, kfold, 4).unwrap();
+            assert_eq!(seq.fold_rmse, par.fold_rmse);
+        }
+    }
+
+    #[test]
+    fn prebuilt_matrix_cross_validation_matches_the_internal_build() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let features: Vec<Vec<f64>> = (0..140)
+            .map(|_| vec![rng.random::<f64>(), rng.random::<f64>()])
+            .collect();
+        let targets: Vec<f64> = features.iter().map(|x| (2.0 * x[0]).sin() + x[1]).collect();
         let params = GbrtParams::quick();
-        let kfold = KFold::new(4, 2);
-        let seq = cross_validate_gbrt_threaded(&features, &targets, &params, kfold, 1).unwrap();
-        let par = cross_validate_gbrt_threaded(&features, &targets, &params, kfold, 4).unwrap();
-        assert_eq!(seq.fold_rmse, par.fold_rmse);
+        let kfold = KFold::new(4, 5);
+        let matrix = FeatureMatrix::from_rows(&features, params.max_bins).unwrap();
+        let shared =
+            cross_validate_gbrt_matrix(&matrix, &features, &targets, &params, kfold, 2).unwrap();
+        let internal = cross_validate_gbrt(&features, &targets, &params, kfold).unwrap();
+        assert_eq!(shared.fold_rmse, internal.fold_rmse);
+        // A matrix of the wrong height is rejected.
+        let short = FeatureMatrix::from_rows(&features[..100], params.max_bins).unwrap();
+        assert!(
+            cross_validate_gbrt_matrix(&short, &features, &targets, &params, kfold, 1).is_err()
+        );
     }
 }

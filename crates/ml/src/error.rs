@@ -44,6 +44,19 @@ pub enum MlError {
         /// The number of available examples.
         examples: usize,
     },
+    /// A feature value was NaN or infinite. Ordering-based split search silently scrambles
+    /// sorts on NaN, so non-finite inputs are rejected up front.
+    NonFiniteFeature {
+        /// Row of the offending value.
+        row: usize,
+        /// Column (feature index) of the offending value.
+        column: usize,
+    },
+    /// A target value was NaN or infinite.
+    NonFiniteTarget {
+        /// Row of the offending value.
+        row: usize,
+    },
 }
 
 impl fmt::Display for MlError {
@@ -69,22 +82,22 @@ impl fmt::Display for MlError {
                 f,
                 "cannot run {folds}-fold cross-validation on {examples} examples"
             ),
+            MlError::NonFiniteFeature { row, column } => {
+                write!(f, "non-finite feature value at row {row}, column {column}")
+            }
+            MlError::NonFiniteTarget { row } => {
+                write!(f, "non-finite target value at row {row}")
+            }
         }
     }
 }
 
 impl std::error::Error for MlError {}
 
-/// Validates that a feature matrix is rectangular and aligned with its targets.
-pub(crate) fn validate_xy(features: &[Vec<f64>], targets: &[f64]) -> Result<usize, MlError> {
-    if features.is_empty() || targets.is_empty() {
+/// Validates that a feature matrix is non-empty, rectangular and entirely finite.
+pub(crate) fn validate_features(features: &[Vec<f64>]) -> Result<usize, MlError> {
+    if features.is_empty() {
         return Err(MlError::EmptyTrainingSet);
-    }
-    if features.len() != targets.len() {
-        return Err(MlError::LengthMismatch {
-            features: features.len(),
-            targets: targets.len(),
-        });
     }
     let width = features[0].len();
     if width == 0 {
@@ -102,7 +115,39 @@ pub(crate) fn validate_xy(features: &[Vec<f64>], targets: &[f64]) -> Result<usiz
                 width: row.len(),
             });
         }
+        for (j, &value) in row.iter().enumerate() {
+            if !value.is_finite() {
+                return Err(MlError::NonFiniteFeature { row: i, column: j });
+            }
+        }
     }
+    Ok(width)
+}
+
+/// Validates that every target is finite.
+pub(crate) fn validate_targets(targets: &[f64]) -> Result<(), MlError> {
+    if targets.is_empty() {
+        return Err(MlError::EmptyTrainingSet);
+    }
+    if let Some(row) = targets.iter().position(|t| !t.is_finite()) {
+        return Err(MlError::NonFiniteTarget { row });
+    }
+    Ok(())
+}
+
+/// Validates that a feature matrix is rectangular, finite and aligned with its targets.
+pub(crate) fn validate_xy(features: &[Vec<f64>], targets: &[f64]) -> Result<usize, MlError> {
+    if features.is_empty() || targets.is_empty() {
+        return Err(MlError::EmptyTrainingSet);
+    }
+    if features.len() != targets.len() {
+        return Err(MlError::LengthMismatch {
+            features: features.len(),
+            targets: targets.len(),
+        });
+    }
+    let width = validate_features(features)?;
+    validate_targets(targets)?;
     Ok(width)
 }
 
@@ -135,6 +180,29 @@ mod tests {
             validate_xy(&empty_row, &[1.0, 2.0]),
             Err(MlError::RaggedFeatures { .. })
         ));
+    }
+
+    #[test]
+    fn validate_xy_rejects_non_finite_values() {
+        let x = vec![vec![1.0, 2.0], vec![3.0, f64::NAN]];
+        assert_eq!(
+            validate_xy(&x, &[1.0, 2.0]),
+            Err(MlError::NonFiniteFeature { row: 1, column: 1 })
+        );
+        let x = vec![vec![1.0], vec![f64::INFINITY]];
+        assert_eq!(
+            validate_xy(&x, &[1.0, 2.0]),
+            Err(MlError::NonFiniteFeature { row: 1, column: 0 })
+        );
+        let x = vec![vec![1.0], vec![2.0]];
+        assert_eq!(
+            validate_xy(&x, &[1.0, f64::NAN]),
+            Err(MlError::NonFiniteTarget { row: 1 })
+        );
+        assert_eq!(
+            validate_xy(&x, &[f64::NEG_INFINITY, 1.0]),
+            Err(MlError::NonFiniteTarget { row: 0 })
+        );
     }
 
     #[test]

@@ -4,12 +4,27 @@
 //! residuals, scaled by a learning rate (shrinkage). The hyper-parameters mirror the ones the
 //! paper tunes with grid search (Section V-E): `learning_rate`, `max_depth`, `n_estimators`
 //! and `reg_lambda`, plus row subsampling and early stopping on a validation split.
+//!
+//! Two training engines produce the same [`Gbrt`] model:
+//!
+//! * **Histogram** (`max_bins > 0`, the default): features are quantized once into a
+//!   [`FeatureMatrix`] and every tree is grown by sweeping per-node gradient histograms —
+//!   the LightGBM-class algorithm; see [`crate::matrix`]. Callers that fit many models on
+//!   the same data (cross-validation folds, grid cells) should build the matrix themselves
+//!   and share it by reference via [`Gbrt::fit_matrix`] / [`Gbrt::fit_matrix_on`].
+//! * **Exact** (`max_bins == 0`): the seed algorithm — every feature re-sorted at every
+//!   node. Kept for reference and for workloads where exact thresholds matter.
+//!
+//! With `max_bins` at least the number of distinct values of every feature, the two engines
+//! are **bit-identical** (same trees, same histories, same predictions); the `hist_parity`
+//! property suite pins this down.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use crate::error::{validate_xy, MlError};
+use crate::error::{validate_targets, validate_xy, MlError};
+use crate::matrix::{FeatureMatrix, MAX_BINS_LIMIT};
 use crate::metrics::rmse;
 use crate::tree::{RegressionTree, TreeParams};
 
@@ -33,6 +48,11 @@ pub struct GbrtParams {
     pub early_stopping_rounds: usize,
     /// Fraction of the training data held out as the early-stopping validation split.
     pub validation_fraction: f64,
+    /// Maximum number of histogram bins per feature for the binned training engine; `0`
+    /// selects the exact (sorting) engine. Features with at most `max_bins` distinct values
+    /// are trained bit-identically to the exact engine; coarser quantization trades split
+    /// resolution for speed. Capped at 65 536 (bin ids are `u16`).
+    pub max_bins: usize,
     /// RNG seed for subsampling and the validation split.
     pub seed: u64,
 }
@@ -48,6 +68,7 @@ impl Default for GbrtParams {
             min_samples_leaf: 1,
             early_stopping_rounds: 0,
             validation_fraction: 0.1,
+            max_bins: 256,
             seed: 0,
         }
     }
@@ -110,6 +131,12 @@ impl GbrtParams {
         self
     }
 
+    /// Builder-style override of the histogram bin cap (`0` = exact sorting engine).
+    pub fn with_max_bins(mut self, max_bins: usize) -> Self {
+        self.max_bins = max_bins;
+        self
+    }
+
     /// Builder-style override of the RNG seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -154,6 +181,12 @@ impl GbrtParams {
                 value: format!("{}", self.reg_lambda),
             });
         }
+        if self.max_bins > MAX_BINS_LIMIT {
+            return Err(MlError::InvalidParameter {
+                name: "max_bins",
+                value: self.max_bins.to_string(),
+            });
+        }
         self.tree_params().validate()
     }
 
@@ -179,23 +212,203 @@ pub struct Gbrt {
     validation_rmse_history: Vec<f64>,
 }
 
+/// Where the boosting loop sources its per-round trees from: raw rows (exact sorting
+/// trainer) or a shared quantized matrix (histogram trainer).
+enum TreeSource<'a> {
+    Exact(&'a [Vec<f64>]),
+    Binned {
+        matrix: &'a FeatureMatrix,
+        threads: usize,
+    },
+}
+
+/// One fitted boosting round, able to predict training rows through its source.
+enum RoundTree {
+    Exact(RegressionTree),
+    Binned(crate::tree::BinnedTree),
+}
+
+impl TreeSource<'_> {
+    fn rows(&self) -> usize {
+        match self {
+            TreeSource::Exact(features) => features.len(),
+            TreeSource::Binned { matrix, .. } => matrix.rows(),
+        }
+    }
+
+    fn width(&self) -> usize {
+        match self {
+            TreeSource::Exact(features) => features[0].len(),
+            TreeSource::Binned { matrix, .. } => matrix.features(),
+        }
+    }
+
+    /// Fits one round's tree. The boosting loop's inputs are validated once at the public
+    /// entry points, so the per-round fits skip the O(n·d) re-validation.
+    fn fit_round(
+        &self,
+        residuals: &[f64],
+        sample: &[usize],
+        tree_params: &TreeParams,
+    ) -> Result<RoundTree, MlError> {
+        match self {
+            TreeSource::Exact(features) => Ok(RoundTree::Exact(
+                RegressionTree::fit_on_prevalidated(features, residuals, sample, tree_params)?,
+            )),
+            TreeSource::Binned { matrix, threads } => {
+                Ok(RoundTree::Binned(RegressionTree::fit_binned_prevalidated(
+                    matrix,
+                    residuals,
+                    sample,
+                    tree_params,
+                    *threads,
+                )?))
+            }
+        }
+    }
+}
+
+impl RoundTree {
+    fn predict_row(&self, source: &TreeSource<'_>, row: usize) -> Result<f64, MlError> {
+        match (self, source) {
+            (RoundTree::Exact(tree), TreeSource::Exact(features)) => {
+                tree.predict_one(&features[row])
+            }
+            (RoundTree::Binned(tree), TreeSource::Binned { matrix, .. }) => {
+                Ok(tree.predict_row(matrix, row))
+            }
+            _ => unreachable!("round tree always matches its source"),
+        }
+    }
+
+    fn into_tree(self) -> RegressionTree {
+        match self {
+            RoundTree::Exact(tree) => tree,
+            RoundTree::Binned(tree) => tree.into_tree(),
+        }
+    }
+}
+
 impl Gbrt {
-    /// Fits the ensemble.
+    /// Fits the ensemble on row-major features.
+    ///
+    /// With `params.max_bins > 0` (the default) the features are quantized once into a
+    /// [`FeatureMatrix`] and trees are grown by the histogram engine; `max_bins == 0`
+    /// selects the exact sorting engine. Callers fitting many models on the same data
+    /// should build the matrix once and use [`Gbrt::fit_matrix`] instead.
     pub fn fit(
         features: &[Vec<f64>],
         targets: &[f64],
         params: &GbrtParams,
     ) -> Result<Self, MlError> {
-        let width = validate_xy(features, targets)?;
+        validate_xy(features, targets)?;
         params.validate()?;
+        if params.max_bins > 0 {
+            let matrix = FeatureMatrix::from_rows(features, params.max_bins)?;
+            let rows: Vec<usize> = (0..features.len()).collect();
+            Self::fit_rows(
+                &TreeSource::Binned {
+                    matrix: &matrix,
+                    threads: 1,
+                },
+                targets,
+                &rows,
+                params,
+            )
+        } else {
+            let rows: Vec<usize> = (0..features.len()).collect();
+            Self::fit_rows(&TreeSource::Exact(features), targets, &rows, params)
+        }
+    }
 
-        let n = features.len();
+    /// Fits the ensemble on all rows of a pre-built, shared [`FeatureMatrix`]
+    /// (`params.max_bins` is ignored — the matrix's own quantization applies).
+    pub fn fit_matrix(
+        matrix: &FeatureMatrix,
+        targets: &[f64],
+        params: &GbrtParams,
+    ) -> Result<Self, MlError> {
+        Self::fit_matrix_threaded(matrix, targets, params, 1)
+    }
+
+    /// Like [`Gbrt::fit_matrix`], parallelizing per-node histogram construction over up to
+    /// `threads` OS threads on large nodes. The fitted model is identical for every thread
+    /// count.
+    pub fn fit_matrix_threaded(
+        matrix: &FeatureMatrix,
+        targets: &[f64],
+        params: &GbrtParams,
+        threads: usize,
+    ) -> Result<Self, MlError> {
+        let rows: Vec<usize> = (0..matrix.rows()).collect();
+        Self::fit_matrix_on_threaded(matrix, targets, &rows, params, threads)
+    }
+
+    /// Fits the ensemble on the subset of matrix rows given by `rows` — the entry point
+    /// cross-validation folds use so a single quantization serves every fold. `targets` is
+    /// indexed globally (one entry per matrix row).
+    pub fn fit_matrix_on(
+        matrix: &FeatureMatrix,
+        targets: &[f64],
+        rows: &[usize],
+        params: &GbrtParams,
+    ) -> Result<Self, MlError> {
+        Self::fit_matrix_on_threaded(matrix, targets, rows, params, 1)
+    }
+
+    /// [`Gbrt::fit_matrix_on`] with threaded histogram construction.
+    pub fn fit_matrix_on_threaded(
+        matrix: &FeatureMatrix,
+        targets: &[f64],
+        rows: &[usize],
+        params: &GbrtParams,
+        threads: usize,
+    ) -> Result<Self, MlError> {
+        validate_targets(targets)?;
+        if targets.len() != matrix.rows() {
+            return Err(MlError::LengthMismatch {
+                features: matrix.rows(),
+                targets: targets.len(),
+            });
+        }
+        params.validate()?;
+        if rows.is_empty() {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        if let Some(&row) = rows.iter().find(|&&i| i >= matrix.rows()) {
+            return Err(MlError::InvalidParameter {
+                name: "rows",
+                value: format!("row {row} out of range ({} rows)", matrix.rows()),
+            });
+        }
+        Self::fit_rows(
+            &TreeSource::Binned {
+                matrix,
+                threads: threads.max(1),
+            },
+            targets,
+            rows,
+            params,
+        )
+    }
+
+    /// The boosting loop shared by both engines. `rows` are the (globally indexed) rows the
+    /// ensemble trains and evaluates on; inputs are validated by the callers.
+    fn fit_rows(
+        source: &TreeSource<'_>,
+        targets: &[f64],
+        rows: &[usize],
+        params: &GbrtParams,
+    ) -> Result<Self, MlError> {
+        let width = source.width();
+        let n_global = source.rows();
+        let n = rows.len();
         let mut rng = StdRng::seed_from_u64(params.seed);
 
         // Optional validation split for early stopping.
         let use_early_stopping = params.early_stopping_rounds > 0 && n >= 20;
         let (train_idx, valid_idx) = if use_early_stopping {
-            let mut idx: Vec<usize> = (0..n).collect();
+            let mut idx: Vec<usize> = rows.to_vec();
             shuffle(&mut idx, &mut rng);
             let valid_size = ((n as f64) * params.validation_fraction).ceil() as usize;
             let valid_size = valid_size.clamp(1, n - 1);
@@ -203,12 +416,13 @@ impl Gbrt {
             let train: Vec<usize> = idx[valid_size..].to_vec();
             (train, valid)
         } else {
-            ((0..n).collect(), Vec::new())
+            (rows.to_vec(), Vec::new())
         };
 
         let base_prediction =
             train_idx.iter().map(|&i| targets[i]).sum::<f64>() / train_idx.len() as f64;
-        let mut predictions = vec![base_prediction; n];
+        let mut predictions = vec![base_prediction; n_global];
+        let mut residuals = vec![0.0; n_global];
         let tree_params = params.tree_params();
 
         let mut trees = Vec::with_capacity(params.n_estimators);
@@ -219,7 +433,9 @@ impl Gbrt {
 
         for round in 0..params.n_estimators {
             // Residuals of the squared-error loss are simply y − ŷ.
-            let residuals: Vec<f64> = (0..n).map(|i| targets[i] - predictions[i]).collect();
+            for &i in rows {
+                residuals[i] = targets[i] - predictions[i];
+            }
 
             // Row subsampling (stochastic gradient boosting).
             let sample: Vec<usize> = if params.subsample < 1.0 {
@@ -232,11 +448,11 @@ impl Gbrt {
                 train_idx.clone()
             };
 
-            let tree = RegressionTree::fit_on(features, &residuals, &sample, &tree_params)?;
-            for (i, prediction) in predictions.iter_mut().enumerate() {
-                *prediction += params.learning_rate * tree.predict_one(&features[i])?;
+            let tree = source.fit_round(&residuals, &sample, &tree_params)?;
+            for &i in rows {
+                predictions[i] += params.learning_rate * tree.predict_row(source, i)?;
             }
-            trees.push(tree);
+            trees.push(tree.into_tree());
 
             let train_truth: Vec<f64> = train_idx.iter().map(|&i| targets[i]).collect();
             let train_pred: Vec<f64> = train_idx.iter().map(|&i| predictions[i]).collect();
@@ -445,6 +661,102 @@ mod tests {
         assert!(Gbrt::fit(&x, &y, &GbrtParams::quick().with_subsample(0.0)).is_err());
         assert!(Gbrt::fit(&x, &y, &GbrtParams::quick().with_reg_lambda(-1.0)).is_err());
         assert!(Gbrt::fit(&x, &y, &GbrtParams::quick().with_max_depth(0)).is_err());
+        assert!(Gbrt::fit(&x, &y, &GbrtParams::quick().with_max_bins(1 << 17)).is_err());
+    }
+
+    /// Integer-grid data: every sum the trainers accumulate is exactly representable, so the
+    /// bit-parity guarantee applies end to end.
+    fn grid_data(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let features: Vec<Vec<f64>> = (0..n)
+            .map(|_| {
+                vec![
+                    rng.random_range(0..32) as f64 * 0.25,
+                    rng.random_range(0..16) as f64 * 0.5,
+                ]
+            })
+            .collect();
+        let targets: Vec<f64> = features.iter().map(|x| x[0] - 2.0 * x[1] + 1.0).collect();
+        (features, targets)
+    }
+
+    #[test]
+    fn histogram_engine_is_bit_identical_to_exact_on_full_resolution_bins() {
+        let (x, y) = grid_data(300, 11);
+        let exact = Gbrt::fit(&x, &y, &GbrtParams::quick().with_max_bins(0)).unwrap();
+        let binned = Gbrt::fit(&x, &y, &GbrtParams::quick().with_max_bins(512)).unwrap();
+        assert_eq!(exact, binned);
+    }
+
+    #[test]
+    fn histogram_engine_bit_parity_survives_subsampling_and_early_stopping() {
+        let (x, y) = grid_data(400, 12);
+        let params = GbrtParams::quick()
+            .with_subsample(0.6)
+            .with_early_stopping(4)
+            .with_seed(3);
+        let exact = Gbrt::fit(&x, &y, &params.clone().with_max_bins(0)).unwrap();
+        let binned = Gbrt::fit(&x, &y, &params.with_max_bins(1024)).unwrap();
+        assert_eq!(exact, binned);
+    }
+
+    #[test]
+    fn fit_matrix_shares_one_quantization_across_fits() {
+        let (x, y) = nonlinear_data(250, 13);
+        let matrix = FeatureMatrix::from_rows(&x, 256).unwrap();
+        let via_rows = Gbrt::fit(&x, &y, &GbrtParams::quick().with_max_bins(256)).unwrap();
+        let via_matrix = Gbrt::fit_matrix(&matrix, &y, &GbrtParams::quick()).unwrap();
+        assert_eq!(via_rows, via_matrix);
+        let threaded = Gbrt::fit_matrix_threaded(&matrix, &y, &GbrtParams::quick(), 4).unwrap();
+        assert_eq!(via_matrix, threaded);
+    }
+
+    #[test]
+    fn fit_matrix_on_trains_only_the_requested_rows() {
+        // Rows 0..100 carry signal A, rows 100..200 signal B; training on the first half
+        // must ignore the second entirely.
+        let x: Vec<Vec<f64>> = (0..200).map(|i| vec![(i % 100) as f64 / 100.0]).collect();
+        let y: Vec<f64> = (0..200)
+            .map(|i| if i < 100 { 1.0 } else { 100.0 })
+            .collect();
+        let matrix = FeatureMatrix::from_rows(&x, 128).unwrap();
+        let rows: Vec<usize> = (0..100).collect();
+        let model = Gbrt::fit_matrix_on(
+            &matrix,
+            &y,
+            &rows,
+            &GbrtParams::quick().with_n_estimators(10),
+        )
+        .unwrap();
+        assert!((model.predict_one(&[0.5]).unwrap() - 1.0).abs() < 1e-6);
+        assert!(Gbrt::fit_matrix_on(&matrix, &y, &[], &GbrtParams::quick()).is_err());
+        assert!(Gbrt::fit_matrix_on(&matrix, &y, &[500], &GbrtParams::quick()).is_err());
+    }
+
+    #[test]
+    fn coarse_bins_still_learn_the_nonlinear_target() {
+        let (x, y) = nonlinear_data(500, 14);
+        let model = Gbrt::fit(&x, &y, &GbrtParams::quick().with_max_bins(16)).unwrap();
+        let predictions = model.predict(&x).unwrap();
+        let mean = y.iter().sum::<f64>() / y.len() as f64;
+        let baseline = rmse(&y, &vec![mean; y.len()]);
+        assert!(rmse(&y, &predictions) < 0.5 * baseline);
+    }
+
+    #[test]
+    fn non_finite_training_data_is_rejected() {
+        let (mut x, y) = nonlinear_data(50, 15);
+        x[7][1] = f64::NAN;
+        assert!(matches!(
+            Gbrt::fit(&x, &y, &GbrtParams::quick()),
+            Err(MlError::NonFiniteFeature { row: 7, column: 1 })
+        ));
+        let (x, mut y) = nonlinear_data(50, 16);
+        y[3] = f64::INFINITY;
+        assert!(matches!(
+            Gbrt::fit(&x, &y, &GbrtParams::quick()),
+            Err(MlError::NonFiniteTarget { row: 3 })
+        ));
     }
 
     #[test]

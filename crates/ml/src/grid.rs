@@ -7,9 +7,10 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::cv::{cross_validate_gbrt, KFold};
+use crate::cv::{cross_validate_gbrt, cross_validate_gbrt_matrix, KFold};
 use crate::error::MlError;
 use crate::gbrt::GbrtParams;
+use crate::matrix::FeatureMatrix;
 use crate::parallel::{default_threads, parallel_map};
 
 /// The hyper-parameter ranges to sweep.
@@ -155,10 +156,40 @@ impl GridSearch {
     }
 
     /// Runs the search, scoring every candidate with cross-validated RMSE.
+    ///
+    /// With the histogram engine enabled (`base.max_bins > 0`, inherited by every
+    /// candidate), the features are quantized **once** and the resulting
+    /// [`FeatureMatrix`] is shared by reference across all grid cells and folds.
     pub fn search(
         &self,
         features: &[Vec<f64>],
         targets: &[f64],
+    ) -> Result<GridSearchResult, MlError> {
+        if self.base.max_bins > 0 {
+            let matrix =
+                FeatureMatrix::from_rows_threaded(features, self.base.max_bins, self.threads)?;
+            self.search_matrix(&matrix, features, targets)
+        } else {
+            self.search_impl(features, targets, None)
+        }
+    }
+
+    /// Runs the search against a pre-built, shared [`FeatureMatrix`] (for callers that
+    /// already quantized the dataset, e.g. to reuse the matrix for the final refit).
+    pub fn search_matrix(
+        &self,
+        matrix: &FeatureMatrix,
+        features: &[Vec<f64>],
+        targets: &[f64],
+    ) -> Result<GridSearchResult, MlError> {
+        self.search_impl(features, targets, Some(matrix))
+    }
+
+    fn search_impl(
+        &self,
+        features: &[Vec<f64>],
+        targets: &[f64],
+        matrix: Option<&FeatureMatrix>,
     ) -> Result<GridSearchResult, MlError> {
         let candidates = self.grid.candidates(&self.base);
         if candidates.is_empty() {
@@ -170,7 +201,13 @@ impl GridSearch {
         let kfold = self.kfold;
         let scored: Vec<Result<GridPoint, MlError>> =
             parallel_map(candidates, self.threads, |params| {
-                let scores = cross_validate_gbrt(features, targets, params, kfold)?;
+                // Candidates already fan out across threads; folds run sequentially inside.
+                let scores = match matrix {
+                    Some(matrix) => {
+                        cross_validate_gbrt_matrix(matrix, features, targets, params, kfold, 1)?
+                    }
+                    None => cross_validate_gbrt(features, targets, params, kfold)?,
+                };
                 Ok(GridPoint {
                     params: params.clone(),
                     mean_rmse: scores.mean_rmse(),
@@ -273,6 +310,32 @@ mod tests {
         for (a, b) in seq.evaluations.iter().zip(&par.evaluations) {
             assert!((a.mean_rmse - b.mean_rmse).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn prebuilt_matrix_search_matches_the_internal_build() {
+        let (x, y) = data(160);
+        let search = GridSearch::new(GbrtGrid::quick_grid(), GbrtParams::quick())
+            .with_kfold(KFold::new(3, 4))
+            .with_threads(2);
+        let internal = search.search(&x, &y).unwrap();
+        let matrix = FeatureMatrix::from_rows(&x, GbrtParams::quick().max_bins).unwrap();
+        let shared = search.search_matrix(&matrix, &x, &y).unwrap();
+        assert_eq!(internal, shared);
+    }
+
+    #[test]
+    fn exact_engine_grid_search_still_works() {
+        let (x, y) = data(120);
+        let base = GbrtParams::quick().with_max_bins(0);
+        let result = GridSearch::new(GbrtGrid::quick_grid(), base)
+            .with_kfold(KFold::new(3, 1))
+            .with_threads(2)
+            .search(&x, &y)
+            .unwrap();
+        assert_eq!(result.evaluations.len(), 8);
+        assert!(result.best_params().max_bins == 0);
+        assert!(result.best_rmse() < 0.4, "best RMSE {}", result.best_rmse());
     }
 
     #[test]

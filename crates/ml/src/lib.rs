@@ -4,9 +4,14 @@
 //! models with XGBoost + scikit-learn grid search; mature Rust equivalents for boosted
 //! regression do not exist, so this crate implements the required pieces from scratch:
 //!
-//! * [`tree`] — CART-style regression trees (variance-reduction splitting).
+//! * [`matrix`] — the columnar, quantized-bin [`FeatureMatrix`] shared across folds, grid
+//!   cells and boosting rounds (built once per dataset).
+//! * [`tree`] — CART-style regression trees: the exact (sorting) trainer and the
+//!   histogram (binned) trainer that sweeps per-node gradient histograms.
 //! * [`gbrt`] — gradient-boosted regression trees with shrinkage, L2 leaf regularization,
-//!   row subsampling and early stopping (the "XGB" surrogate of the paper).
+//!   row subsampling and early stopping (the "XGB" surrogate of the paper). The histogram
+//!   engine (`GbrtParams::max_bins`) is the default; `max_bins = 0` selects the exact
+//!   engine.
 //! * [`linear`] — ridge regression (the "alternative ML model" of the paper's footnote 2),
 //!   used by the surrogate-ablation benches.
 //! * [`kde`] — Gaussian kernel density estimation with box-probability queries (used to guide
@@ -25,6 +30,7 @@ pub mod gbrt;
 pub mod grid;
 pub mod kde;
 pub mod linear;
+pub mod matrix;
 pub mod metrics;
 pub mod parallel;
 pub mod tree;
@@ -33,3 +39,4 @@ pub use error::MlError;
 pub use gbrt::{Gbrt, GbrtParams};
 pub use kde::KernelDensity;
 pub use linear::{RidgeParams, RidgeRegression};
+pub use matrix::FeatureMatrix;

@@ -1,14 +1,28 @@
-//! CART-style regression trees.
+//! CART-style regression trees: exact (sorting) and histogram (binned) trainers.
 //!
 //! A single tree greedily partitions the feature space by choosing, at every node, the
 //! (feature, threshold) split that maximizes the reduction in squared error. Leaves predict
 //! the (optionally L2-regularized) mean of their targets, which is exactly the leaf weight of
 //! XGBoost's squared-error objective `w = Σg / (n + λ)`; the boosting machinery of
 //! [`crate::gbrt`] fits these trees to residuals.
+//!
+//! Two trainers produce the same [`RegressionTree`] structure:
+//!
+//! * **Exact** ([`RegressionTree::fit_on`]) re-sorts every feature at every node —
+//!   O(n·log n·d) per node, the textbook algorithm.
+//! * **Histogram** ([`RegressionTree::fit_on_matrix`]) consumes a pre-quantized
+//!   [`FeatureMatrix`]: each node builds per-feature gradient histograms (count / Σy / Σy²
+//!   per bin) in one linear pass, finds the best split with a linear sweep over bin
+//!   boundaries, and derives each sibling's histogram from its parent's by subtraction
+//!   (`child = parent − other child`), so only the smaller child is ever scanned. When every
+//!   feature has at most `max_bins` distinct values the two trainers are bit-identical; see
+//!   [`crate::matrix`] for why.
 
 use serde::{Deserialize, Serialize};
 
 use crate::error::{validate_xy, MlError};
+use crate::matrix::FeatureMatrix;
+use crate::parallel::parallel_map;
 
 /// Hyper-parameters of a regression tree.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -101,6 +115,70 @@ struct BestSplit {
     gain: f64,
 }
 
+/// The best split found by the histogram sweep, if any: like [`BestSplit`] plus the bin
+/// boundary, so training-time traversal can route rows by bin id without touching raw values.
+struct BestBinnedSplit {
+    feature: usize,
+    /// Last bin routed to the left child.
+    bin: u16,
+    threshold: f64,
+    gain: f64,
+}
+
+/// One cell of a per-node gradient histogram: count, Σy and Σy² of the rows in the bin.
+///
+/// Only these three moments are needed to score a squared-error split, and they subtract
+/// cleanly: a sibling's histogram is `parent − other child`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+struct HistBin {
+    count: usize,
+    sum: f64,
+    sq: f64,
+}
+
+/// A tree fitted by the histogram trainer, able to predict *training* rows straight from
+/// their bin ids (the boosting loop never needs the raw feature rows).
+pub(crate) struct BinnedTree {
+    tree: RegressionTree,
+}
+
+impl BinnedTree {
+    /// Predicts the target of training row `row` by routing its bins through the tree: a row
+    /// goes left when its bin's largest raw value is `<= threshold`. With one bin per
+    /// distinct value that comparison *is* `value <= threshold`, so this is bit-equivalent
+    /// to [`RegressionTree::predict_one`] on the row's raw values — including for rows the
+    /// split's node never saw (subsampling, early-stopping holdouts). Under coarse bins a
+    /// threshold can bisect a bin; the whole bin then routes by its upper edge, which is the
+    /// histogram engine's documented approximation.
+    pub(crate) fn predict_row(&self, matrix: &FeatureMatrix, row: usize) -> f64 {
+        let mut node = 0usize;
+        loop {
+            match &self.tree.nodes[node] {
+                Node::Leaf { value, .. } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                    ..
+                } => {
+                    let bin = matrix.bin(row, *feature) as usize;
+                    node = if matrix.bin_upper(*feature, bin) <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Extracts the plain tree (identical structure to an exact-trainer tree).
+    pub(crate) fn into_tree(self) -> RegressionTree {
+        self.tree
+    }
+}
+
 impl RegressionTree {
     /// Fits a tree on the full training set.
     pub fn fit(
@@ -120,14 +198,26 @@ impl RegressionTree {
         indices: &[usize],
         params: &TreeParams,
     ) -> Result<Self, MlError> {
-        let width = validate_xy(features, targets)?;
+        validate_xy(features, targets)?;
         params.validate()?;
+        Self::fit_on_prevalidated(features, targets, indices, params)
+    }
+
+    /// Exact trainer without input re-validation — the boosting loop validates the training
+    /// set and the parameters once up front and calls this every round (the finiteness scan
+    /// is O(n·d) and must not run per round).
+    pub(crate) fn fit_on_prevalidated(
+        features: &[Vec<f64>],
+        targets: &[f64],
+        indices: &[usize],
+        params: &TreeParams,
+    ) -> Result<Self, MlError> {
         if indices.is_empty() {
             return Err(MlError::EmptyTrainingSet);
         }
         let mut tree = RegressionTree {
             nodes: Vec::new(),
-            features: width,
+            features: features[0].len(),
         };
         let mut working = indices.to_vec();
         tree.build(features, targets, &mut working, params, 0);
@@ -292,7 +382,13 @@ impl RegressionTree {
         for feature in 0..self.features {
             sortable.clear();
             sortable.extend(indices.iter().map(|&i| (features[i][feature], targets[i])));
-            sortable.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            // Inputs are validated finite, so the comparison is total; the stable sort keeps
+            // equal values in `indices` order, which the histogram trainer's per-bin
+            // accumulation mirrors (the bit-parity guarantee relies on this).
+            sortable.sort_by(|a, b| {
+                a.0.partial_cmp(&b.0)
+                    .expect("feature values validated finite")
+            });
 
             let mut left_sum = 0.0;
             let mut left_sq = 0.0;
@@ -326,6 +422,365 @@ impl RegressionTree {
         }
         best
     }
+
+    /// Fits a tree on all rows of a pre-quantized [`FeatureMatrix`] (histogram trainer).
+    ///
+    /// `targets` must have one entry per matrix row. With `max_bins` at least the number of
+    /// distinct values of every feature, the result is bit-identical to
+    /// [`RegressionTree::fit`]; coarser matrices trade fidelity for speed.
+    pub fn fit_matrix(
+        matrix: &FeatureMatrix,
+        targets: &[f64],
+        params: &TreeParams,
+    ) -> Result<Self, MlError> {
+        let indices: Vec<usize> = (0..matrix.rows()).collect();
+        Self::fit_on_matrix(matrix, targets, &indices, params)
+    }
+
+    /// Fits a tree on the subset of matrix rows given by `indices` (histogram trainer).
+    pub fn fit_on_matrix(
+        matrix: &FeatureMatrix,
+        targets: &[f64],
+        indices: &[usize],
+        params: &TreeParams,
+    ) -> Result<Self, MlError> {
+        Ok(Self::fit_binned(matrix, targets, indices, params, 1)?.into_tree())
+    }
+
+    /// Histogram trainer with full input validation; `threads` parallelizes per-feature
+    /// histogram construction on large nodes (the result is identical for every count).
+    pub(crate) fn fit_binned(
+        matrix: &FeatureMatrix,
+        targets: &[f64],
+        indices: &[usize],
+        params: &TreeParams,
+        threads: usize,
+    ) -> Result<BinnedTree, MlError> {
+        crate::error::validate_targets(targets)?;
+        if targets.len() != matrix.rows() {
+            return Err(MlError::LengthMismatch {
+                features: matrix.rows(),
+                targets: targets.len(),
+            });
+        }
+        params.validate()?;
+        if let Some(&row) = indices.iter().find(|&&i| i >= matrix.rows()) {
+            return Err(MlError::InvalidParameter {
+                name: "indices",
+                value: format!("row {row} out of range ({} rows)", matrix.rows()),
+            });
+        }
+        Self::fit_binned_prevalidated(matrix, targets, indices, params, threads)
+    }
+
+    /// Histogram trainer without input re-validation — the boosting loop validates once up
+    /// front and calls this every round (re-scanning all targets for finiteness per round
+    /// would put O(n) of redundant work in the hot loop).
+    pub(crate) fn fit_binned_prevalidated(
+        matrix: &FeatureMatrix,
+        targets: &[f64],
+        indices: &[usize],
+        params: &TreeParams,
+        threads: usize,
+    ) -> Result<BinnedTree, MlError> {
+        if indices.is_empty() {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        let mut binned = BinnedTree {
+            tree: RegressionTree {
+                nodes: Vec::new(),
+                features: matrix.features(),
+            },
+        };
+        let mut working = indices.to_vec();
+        grow_binned(
+            &mut binned,
+            matrix,
+            targets,
+            &mut working,
+            None,
+            params,
+            0,
+            threads,
+        );
+        Ok(binned)
+    }
+}
+
+/// Node sizes below `count × features` of this threshold build their histograms inline; the
+/// scoped-thread fan-out only pays off on large nodes.
+const PARALLEL_HIST_CELLS: usize = 1 << 15;
+
+/// Builds the flattened per-feature gradient histogram of a node (layout given by the
+/// matrix's feature offsets). Per-feature construction is independent, so the parallel path
+/// is bit-identical to the sequential one.
+fn build_histogram(
+    matrix: &FeatureMatrix,
+    targets: &[f64],
+    indices: &[usize],
+    threads: usize,
+) -> Vec<HistBin> {
+    let d = matrix.features();
+    if threads > 1 && d > 1 && indices.len().saturating_mul(d) >= PARALLEL_HIST_CELLS {
+        let features: Vec<usize> = (0..d).collect();
+        let per_feature = parallel_map(features, threads, |&f| {
+            scan_feature(matrix, targets, indices, f)
+        });
+        let mut hist = Vec::with_capacity(matrix.total_bins());
+        for column in per_feature {
+            hist.extend(column);
+        }
+        hist
+    } else {
+        let mut hist = Vec::with_capacity(matrix.total_bins());
+        for f in 0..d {
+            hist.extend(scan_feature(matrix, targets, indices, f));
+        }
+        hist
+    }
+}
+
+/// One feature's histogram cells for a node: a single linear pass over the node's rows.
+fn scan_feature(
+    matrix: &FeatureMatrix,
+    targets: &[f64],
+    indices: &[usize],
+    feature: usize,
+) -> Vec<HistBin> {
+    let column = matrix.column(feature);
+    let mut cells = vec![HistBin::default(); matrix.num_bins(feature)];
+    for &row in indices {
+        let cell = &mut cells[column[row] as usize];
+        let t = targets[row];
+        cell.count += 1;
+        cell.sum += t;
+        cell.sq += t * t;
+    }
+    cells
+}
+
+/// In-place sibling subtraction: `parent − child`, cell by cell.
+fn subtract_histogram(parent: &mut [HistBin], child: &[HistBin]) {
+    for (p, c) in parent.iter_mut().zip(child) {
+        p.count -= c.count;
+        p.sum -= c.sum;
+        p.sq -= c.sq;
+    }
+}
+
+/// Recursively grows the binned tree; mirrors [`RegressionTree::build`] exactly (same node
+/// arena layout, same stable partition, same gain formula and tie-breaking) but finds splits
+/// by sweeping histograms instead of sorting. `hist` is the node's histogram when the parent
+/// already derived it (`None` at the root and for nodes whose parent skipped the work).
+#[allow(clippy::too_many_arguments)]
+fn grow_binned(
+    binned: &mut BinnedTree,
+    matrix: &FeatureMatrix,
+    targets: &[f64],
+    indices: &mut [usize],
+    hist: Option<Vec<HistBin>>,
+    params: &TreeParams,
+    depth: usize,
+    threads: usize,
+) -> usize {
+    // Same sequential fold as the exact trainer, so leaf values are bit-identical.
+    let (sum, sq, count) = indices.iter().fold((0.0, 0.0, 0usize), |(s, q, c), &i| {
+        (s + targets[i], q + targets[i] * targets[i], c + 1)
+    });
+    let leaf_value = sum / (count as f64 + params.leaf_regularization);
+
+    let should_split = depth < params.max_depth
+        && count >= params.min_samples_split
+        && count >= 2 * params.min_samples_leaf;
+    let (best, hist) = if should_split {
+        let hist = hist.unwrap_or_else(|| build_histogram(matrix, targets, indices, threads));
+        let mut best = best_split_histogram(matrix, &hist, sum, sq, count, params);
+        if let Some(split) = best.as_mut() {
+            // The sweep's gain is built from per-bin partial sums, which re-associates the
+            // floating-point additions relative to the exact trainer's row-by-row scan.
+            // Recompute the winner's gain (only the winner — O(n + bins)) in the exact
+            // trainer's accumulation order so the stored value is bit-identical.
+            split.gain = winner_gain(matrix, targets, indices, split, sum, sq, count);
+        }
+        (best, Some(hist))
+    } else {
+        (None, None)
+    };
+
+    match best {
+        None => {
+            binned.tree.nodes.push(Node::Leaf {
+                value: leaf_value,
+                samples: count,
+            });
+            binned.tree.nodes.len() - 1
+        }
+        Some(split) => {
+            // Stable in-place partition by bin id — routes exactly the same rows left as the
+            // exact trainer's `value <= threshold` (bins `<= split.bin` hold precisely the
+            // values below the boundary midpoint) and preserves the same index order.
+            let column = matrix.column(split.feature);
+            let mut left_len = 0usize;
+            for i in 0..indices.len() {
+                if column[indices[i]] <= split.bin {
+                    indices.swap(i, left_len);
+                    left_len += 1;
+                }
+            }
+            // Reserve the arena slot before recursing so the root stays at index 0.
+            let node_index = binned.tree.nodes.len();
+            binned.tree.nodes.push(Node::Leaf {
+                value: leaf_value,
+                samples: count,
+            });
+
+            // Scan only the smaller child; the larger one is parent − smaller.
+            let mut parent_hist = hist.expect("split implies histogram");
+            let (left_indices, right_indices) = indices.split_at_mut(left_len);
+            let (left_hist, right_hist) = if left_indices.len() <= right_indices.len() {
+                let small = build_histogram(matrix, targets, left_indices, threads);
+                subtract_histogram(&mut parent_hist, &small);
+                (small, parent_hist)
+            } else {
+                let small = build_histogram(matrix, targets, right_indices, threads);
+                subtract_histogram(&mut parent_hist, &small);
+                (parent_hist, small)
+            };
+
+            let left = grow_binned(
+                binned,
+                matrix,
+                targets,
+                left_indices,
+                Some(left_hist),
+                params,
+                depth + 1,
+                threads,
+            );
+            let right = grow_binned(
+                binned,
+                matrix,
+                targets,
+                right_indices,
+                Some(right_hist),
+                params,
+                depth + 1,
+                threads,
+            );
+            binned.tree.nodes[node_index] = Node::Split {
+                feature: split.feature,
+                threshold: split.threshold,
+                left,
+                right,
+                gain: split.gain,
+            };
+            node_index
+        }
+    }
+}
+
+/// Recomputes the winning split's gain with the exact trainer's accumulation order: rows
+/// sorted by bin (equal feature values always share a bin, and the stable counting sort
+/// keeps them in `indices` order — exactly the exact trainer's stable value sort), summed
+/// row by row. With one bin per distinct value this reproduces the exact gain bit for bit.
+fn winner_gain(
+    matrix: &FeatureMatrix,
+    targets: &[f64],
+    indices: &[usize],
+    split: &BestBinnedSplit,
+    total_sum: f64,
+    total_sq: f64,
+    count: usize,
+) -> f64 {
+    let column = matrix.column(split.feature);
+    let bins = matrix.num_bins(split.feature);
+    // Stable counting sort of the node's rows by bin id.
+    let mut cursors = vec![0usize; bins + 1];
+    for &i in indices {
+        cursors[column[i] as usize + 1] += 1;
+    }
+    for b in 0..bins {
+        cursors[b + 1] += cursors[b];
+    }
+    let mut ordered = vec![0usize; indices.len()];
+    for &i in indices {
+        let b = column[i] as usize;
+        ordered[cursors[b]] = i;
+        cursors[b] += 1;
+    }
+    // `cursors[split.bin]` now points one past the last left row.
+    let left_n = cursors[split.bin as usize];
+    let mut left_sum = 0.0;
+    let mut left_sq = 0.0;
+    for &i in &ordered[..left_n] {
+        let t = targets[i];
+        left_sum += t;
+        left_sq += t * t;
+    }
+    let right_n = count - left_n;
+    let right_sum = total_sum - left_sum;
+    let right_sq = total_sq - left_sq;
+    let parent_sse = total_sq - total_sum * total_sum / count as f64;
+    let left_sse = left_sq - left_sum * left_sum / left_n as f64;
+    let right_sse = right_sq - right_sum * right_sum / right_n as f64;
+    parent_sse - left_sse - right_sse
+}
+
+/// Linear histogram sweep over every feature's bin boundaries: same candidate order, gain
+/// formula and strict-improvement tie-breaking as [`RegressionTree::best_split`], with empty
+/// bins skipped so thresholds sit between the node's *locally present* value groups (the
+/// exact trainer's midpoints).
+fn best_split_histogram(
+    matrix: &FeatureMatrix,
+    hist: &[HistBin],
+    total_sum: f64,
+    total_sq: f64,
+    count: usize,
+    params: &TreeParams,
+) -> Option<BestBinnedSplit> {
+    let n = count;
+    let parent_sse = total_sq - total_sum * total_sum / n as f64;
+    let mut best: Option<BestBinnedSplit> = None;
+    for feature in 0..matrix.features() {
+        let cells = &hist[matrix.offset(feature)..matrix.offset(feature + 1)];
+        let mut left_sum = 0.0;
+        let mut left_sq = 0.0;
+        let mut left_n = 0usize;
+        let mut left_bin: Option<usize> = None;
+        for (b, cell) in cells.iter().enumerate() {
+            if cell.count == 0 {
+                continue;
+            }
+            if let Some(prev) = left_bin {
+                // Candidate boundary between the previous non-empty bin and this one.
+                let right_n = n - left_n;
+                if left_n >= params.min_samples_leaf && right_n >= params.min_samples_leaf {
+                    let right_sum = total_sum - left_sum;
+                    let right_sq = total_sq - left_sq;
+                    // Same expression (and rounding sequence) as the exact trainer's
+                    // `best_split` — required for the bit-parity guarantee.
+                    let left_sse = left_sq - left_sum * left_sum / left_n as f64;
+                    let right_sse = right_sq - right_sum * right_sum / right_n as f64;
+                    let gain = parent_sse - left_sse - right_sse;
+                    if gain > params.min_gain
+                        && best.as_ref().map(|s| gain > s.gain).unwrap_or(true)
+                    {
+                        best = Some(BestBinnedSplit {
+                            feature,
+                            bin: prev as u16,
+                            threshold: matrix.split_threshold(feature, prev, b),
+                            gain,
+                        });
+                    }
+                }
+            }
+            left_sum += cell.sum;
+            left_sq += cell.sq;
+            left_n += cell.count;
+            left_bin = Some(b);
+        }
+    }
+    best
 }
 
 #[cfg(test)]
@@ -438,6 +893,144 @@ mod tests {
         let tree = RegressionTree::fit_on(&x, &y, &indices, &TreeParams::default()).unwrap();
         assert!((tree.predict_one(&[0.9]).unwrap() - 1.0).abs() < 1e-9);
         assert!(RegressionTree::fit_on(&x, &y, &[], &TreeParams::default()).is_err());
+    }
+
+    /// Fits the same data with the exact and the (full-resolution) histogram trainer and
+    /// asserts the trees are identical.
+    fn assert_parity(x: &[Vec<f64>], y: &[f64], params: &TreeParams) -> RegressionTree {
+        let exact = RegressionTree::fit(x, y, params).unwrap();
+        let matrix = FeatureMatrix::from_rows(x, x.len().max(2)).unwrap();
+        let binned = RegressionTree::fit_matrix(&matrix, y, params).unwrap();
+        assert_eq!(exact, binned);
+        exact
+    }
+
+    #[test]
+    fn histogram_trainer_matches_exact_on_step_data() {
+        let (x, y) = step_data();
+        let tree = assert_parity(&x, &y, &TreeParams::default());
+        assert!((tree.predict_one(&[0.1]).unwrap() - 1.0).abs() < 1e-9);
+        assert!((tree.predict_one(&[0.9]).unwrap() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_trainer_handles_constant_features() {
+        // Every feature constant: no split can separate anything — single leaf.
+        let x: Vec<Vec<f64>> = (0..30).map(|_| vec![1.5, -2.0]).collect();
+        let y: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let tree = assert_parity(&x, &y, &TreeParams::default());
+        assert_eq!(tree.node_count(), 1);
+        let mean = y.iter().sum::<f64>() / 30.0;
+        assert!((tree.predict_one(&[0.0, 0.0]).unwrap() - mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_trainer_handles_identical_targets() {
+        let x: Vec<Vec<f64>> = (0..25).map(|i| vec![i as f64, (i % 5) as f64]).collect();
+        let y = vec![-3.25; 25];
+        let tree = assert_parity(&x, &y, &TreeParams::default());
+        assert_eq!(tree.leaf_count(), 1);
+        assert!((tree.predict_one(&[4.0, 1.0]).unwrap() + 3.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_trainer_grows_single_row_leaves() {
+        // Deep tree on strictly increasing targets: every row ends in its own leaf.
+        let x: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..8).map(|i| (i * i) as f64).collect();
+        let params = TreeParams {
+            max_depth: 10,
+            ..TreeParams::default()
+        };
+        let tree = assert_parity(&x, &y, &params);
+        assert_eq!(tree.leaf_count(), 8);
+        for (row, target) in x.iter().zip(&y) {
+            assert_eq!(tree.predict_one(row).unwrap(), *target);
+        }
+    }
+
+    #[test]
+    fn histogram_trainer_respects_min_samples_leaf_boundaries() {
+        let (x, y) = step_data();
+        for min_samples_leaf in [1usize, 10, 40, 50, 51] {
+            let params = TreeParams {
+                min_samples_leaf,
+                ..TreeParams::default()
+            };
+            let tree = assert_parity(&x, &y, &params);
+            if min_samples_leaf > 50 {
+                // 100 rows cannot produce two children of 51+.
+                assert_eq!(tree.leaf_count(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn coarse_histogram_still_recovers_the_step() {
+        // 4 bins on 100 distinct values: thresholds move to bin boundaries, but a clean step
+        // is still recovered exactly because a boundary lands between the two plateaus.
+        let (x, y) = step_data();
+        let matrix = FeatureMatrix::from_rows(&x, 4).unwrap();
+        let tree = RegressionTree::fit_matrix(&matrix, &y, &TreeParams::default()).unwrap();
+        assert!((tree.predict_one(&[0.1]).unwrap() - 1.0).abs() < 1e-9);
+        assert!((tree.predict_one(&[0.9]).unwrap() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn binned_predict_row_matches_tree_prediction() {
+        let (x, y) = step_data();
+        let matrix = FeatureMatrix::from_rows(&x, 128).unwrap();
+        let indices: Vec<usize> = (0..x.len()).collect();
+        let binned =
+            RegressionTree::fit_binned(&matrix, &y, &indices, &TreeParams::default(), 1).unwrap();
+        for (row, example) in x.iter().enumerate() {
+            let via_bins = binned.predict_row(&matrix, row);
+            let via_values = binned.tree.predict_one(example).unwrap();
+            assert_eq!(via_bins, via_values);
+        }
+    }
+
+    #[test]
+    fn fit_binned_rejects_bad_inputs() {
+        let (x, y) = step_data();
+        let matrix = FeatureMatrix::from_rows(&x, 128).unwrap();
+        assert!(matches!(
+            RegressionTree::fit_matrix(&matrix, &y[..50], &TreeParams::default()),
+            Err(MlError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            RegressionTree::fit_on_matrix(&matrix, &y, &[], &TreeParams::default()),
+            Err(MlError::EmptyTrainingSet)
+        ));
+        assert!(matches!(
+            RegressionTree::fit_on_matrix(&matrix, &y, &[999], &TreeParams::default()),
+            Err(MlError::InvalidParameter { .. })
+        ));
+        let mut bad = y.clone();
+        bad[3] = f64::NAN;
+        assert!(matches!(
+            RegressionTree::fit_matrix(&matrix, &bad, &TreeParams::default()),
+            Err(MlError::NonFiniteTarget { row: 3 })
+        ));
+    }
+
+    #[test]
+    fn non_finite_features_are_rejected_before_sorting() {
+        // Regression test for the NaN-unsafe `partial_cmp(...).unwrap_or(Equal)` ordering:
+        // non-finite features are now rejected up front with a typed error instead of
+        // silently scrambling the split search.
+        let mut x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        x[4][0] = f64::NAN;
+        assert_eq!(
+            RegressionTree::fit(&x, &y, &TreeParams::default()),
+            Err(MlError::NonFiniteFeature { row: 4, column: 0 })
+        );
+        x[4][0] = f64::INFINITY;
+        assert_eq!(
+            RegressionTree::fit(&x, &y, &TreeParams::default()),
+            Err(MlError::NonFiniteFeature { row: 4, column: 0 })
+        );
     }
 
     #[test]

@@ -30,7 +30,10 @@ use surf_data::statistic::Statistic;
 use crate::error::ServeError;
 
 /// The artifact layout version this build reads and writes.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// Version history: `1` — initial layout; `2` — `GbrtParams` gained the `max_bins`
+/// histogram-engine knob (nested in `SurfState::config`), changing the fitted-state layout.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Descriptive metadata of a persisted surrogate, denormalized out of the fitted state so
 /// registries and `/models` listings can describe a model cheaply.

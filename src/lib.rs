@@ -77,6 +77,7 @@ pub mod prelude {
     pub use surf_ml::{
         gbrt::{Gbrt, GbrtParams},
         kde::KernelDensity,
+        matrix::FeatureMatrix,
         metrics::rmse,
     };
     pub use surf_optim::{
