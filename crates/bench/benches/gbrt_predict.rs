@@ -1,0 +1,77 @@
+//! Micro-benchmark: GBRT batch inference — the node-walking predictor (`Gbrt::predict`,
+//! per-tree enum-arena walks) vs. the compiled struct-of-arrays engine
+//! (`CompiledEnsemble::predict_batch`, flat row-major input, cache-blocked
+//! trees-outer/examples-inner kernel). This is the cost every GSO/PSO iteration and every
+//! serve-side `/predict`/`/mine` request pays per candidate region. The
+//! `bench_gbrt_predict` binary measures the full N ∈ {1k, 10k, 100k} × d ∈ {2, 4, 8} matrix
+//! plus a swarm end-to-end case and records speedups in the `BENCH_gbrt_predict.json`
+//! trajectory artifact; here the matrix is kept small so the suite stays fast.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use surf_ml::compiled::CompiledEnsemble;
+use surf_ml::gbrt::{Gbrt, GbrtParams};
+
+/// Synthetic regression data: d features in [0, 1), smooth nonlinear target.
+fn training_data(n: usize, d: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let features: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..d).map(|_| rng.random::<f64>()).collect())
+        .collect();
+    let targets: Vec<f64> = features
+        .iter()
+        .map(|x| {
+            x.iter()
+                .enumerate()
+                .map(|(i, v)| ((i + 1) as f64 * v).sin())
+                .sum::<f64>()
+        })
+        .collect();
+    (features, targets)
+}
+
+fn bench_gbrt_predict(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gbrt_predict");
+    group.sample_size(10);
+    for &d in &[2usize, 8] {
+        // Grid-search-sized ensemble at reduced training size (inference cost only depends
+        // on the fitted trees).
+        let (train_x, train_y) = training_data(2_000, d, 17 + d as u64);
+        let model = Gbrt::fit(&train_x, &train_y, &GbrtParams::paper_default()).unwrap();
+        let compiled = CompiledEnsemble::compile(&model).unwrap();
+        for &n in &[1_000usize, 10_000] {
+            let (batch, _) = training_data(n, d, 41 + d as u64);
+            let flat: Vec<f64> = batch.iter().flatten().copied().collect();
+
+            let id = BenchmarkId::new("walker", format!("{n}x{d}"));
+            group.bench_function(id, |b| {
+                b.iter(|| black_box(model.predict(black_box(&batch))))
+            });
+            let id = BenchmarkId::new("compiled", format!("{n}x{d}"));
+            group.bench_function(id, |b| {
+                b.iter(|| black_box(compiled.predict_batch(black_box(&flat), d)))
+            });
+            let id = BenchmarkId::new("compiled_mt", format!("{n}x{d}"));
+            group.bench_function(id, |b| {
+                b.iter(|| black_box(compiled.predict_batch_threaded(black_box(&flat), d, 4)))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ensemble_compile");
+    group.sample_size(10);
+    let (train_x, train_y) = training_data(2_000, 4, 23);
+    let model = Gbrt::fit(&train_x, &train_y, &GbrtParams::paper_default()).unwrap();
+    group.bench_function("paper_default_4d", |b| {
+        b.iter(|| black_box(CompiledEnsemble::compile(black_box(&model))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gbrt_predict, bench_compile);
+criterion_main!(benches);

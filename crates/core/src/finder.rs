@@ -118,6 +118,28 @@ impl FitnessFunction for RegionFitness<'_> {
         }
     }
 
+    /// Batched evaluation of a whole swarm: all candidates are decoded, the surrogate
+    /// estimates the entire batch in one [`Surrogate::predict_batch`] call (one blocked pass
+    /// of the compiled ensemble for [`GbrtSurrogate`]), and the objective is applied per
+    /// candidate. Produces exactly the values the scalar [`RegionFitness::fitness`] would.
+    fn fitness_batch(&self, solutions: &[f64], dim: usize, out: &mut [f64]) {
+        let mut regions = Vec::with_capacity(out.len());
+        let mut slots = Vec::with_capacity(out.len());
+        for (slot, candidate) in solutions.chunks(dim).enumerate() {
+            match self.decode(candidate) {
+                Some(region) => {
+                    slots.push(slot);
+                    regions.push(region);
+                }
+                None => out[slot] = f64::NEG_INFINITY,
+            }
+        }
+        let estimates = self.surrogate.predict_batch(&regions);
+        for ((&slot, region), estimate) in slots.iter().zip(&regions).zip(estimates) {
+            out[slot] = self.objective.evaluate(estimate, region, &self.threshold);
+        }
+    }
+
     fn density_weight(&self, solution: &[f64]) -> f64 {
         match (self.kde, self.decode(solution)) {
             (Some(kde), Some(region)) => kde
@@ -618,6 +640,72 @@ mod tests {
             restored.surrogate().predict(&probe)
         );
         assert_eq!(surf.mine().regions, restored.mine().regions);
+    }
+
+    #[test]
+    fn batched_surrogate_mining_matches_scalar_mining_exactly() {
+        /// Forces the default (scalar) `Surrogate::predict_batch` path while delegating
+        /// single predictions — the "batching off" side of the invariance.
+        struct ScalarOnly<'a>(&'a GbrtSurrogate);
+        impl Surrogate for ScalarOnly<'_> {
+            fn predict(&self, region: &Region) -> f64 {
+                self.0.predict(region)
+            }
+            fn dimensions(&self) -> usize {
+                Surrogate::dimensions(self.0)
+            }
+        }
+
+        let synthetic = dense_dataset();
+        let surf = Surf::fit(&synthetic.dataset, &quick_config(600.0)).unwrap();
+        let gso = surf.config().gso.clone().with_threads(1);
+        let mine = |surrogate: &dyn Surrogate| {
+            mine_regions(
+                surrogate,
+                surf.domain(),
+                surf.config().objective,
+                Threshold::above(600.0),
+                &gso,
+                None,
+                0.01,
+                0.15,
+                surf.config().cluster_radius_fraction,
+            )
+        };
+        let batched = mine(surf.surrogate());
+        let scalar = mine(&ScalarOnly(surf.surrogate()));
+        // The compiled batch path must be bit-identical to the scalar path, so the entire
+        // mining outcome (regions, scores, traces, convergence) coincides.
+        assert_eq!(batched.regions, scalar.regions);
+        // Trace entries are NaN while the whole swarm is infeasible, so compare bitwise.
+        assert_eq!(
+            batched.convergence_trace.len(),
+            scalar.convergence_trace.len()
+        );
+        for (a, b) in batched
+            .convergence_trace
+            .iter()
+            .zip(&scalar.convergence_trace)
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(batched.iterations_run, scalar.iterations_run);
+        assert_eq!(batched.swarm_valid_fraction, scalar.swarm_valid_fraction);
+
+        // Spot-check the surrogate-level contract directly on a few probe regions.
+        let probes: Vec<Region> = (1..6)
+            .map(|i| {
+                Region::new(
+                    vec![0.15 * i as f64, 0.9 - 0.1 * i as f64],
+                    vec![0.05, 0.07],
+                )
+                .unwrap()
+            })
+            .collect();
+        let batch = surf.surrogate().predict_batch(&probes);
+        for (region, value) in probes.iter().zip(&batch) {
+            assert_eq!(value.to_bits(), surf.surrogate().predict(region).to_bits());
+        }
     }
 
     #[test]

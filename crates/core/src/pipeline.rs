@@ -197,6 +197,15 @@ impl SurfConfigBuilder {
         self
     }
 
+    /// Sets the surrogate's per-tree feature-subsampling fraction
+    /// (`GbrtParams::colsample`): each boosting round draws a fresh subset of
+    /// `ceil(colsample · 2d)` region features to split on — the standard variance-reduction
+    /// knob. `1.0` (the default) disables the subsampling.
+    pub fn colsample(mut self, colsample: f64) -> Self {
+        self.config.gbrt.colsample = colsample;
+        self
+    }
+
     /// Enables or disables grid-search hyper-tuning.
     pub fn hypertune(mut self, hypertune: bool) -> Self {
         self.config.hypertune = hypertune;
@@ -295,6 +304,7 @@ mod tests {
             .cluster_radius(0.1)
             .index_kind(IndexKind::KdTree)
             .max_bins(128)
+            .colsample(0.75)
             .seed(99)
             .build();
         assert_eq!(config.threshold, Threshold::above(100.0));
@@ -305,6 +315,7 @@ mod tests {
         assert_eq!(config.objective.c(), 2.0);
         assert_eq!(config.index_kind, IndexKind::KdTree);
         assert_eq!(config.gbrt.max_bins, 128);
+        assert_eq!(config.gbrt.colsample, 0.75);
         assert!(config.validate().is_ok());
     }
 
@@ -360,6 +371,12 @@ mod tests {
 
         let config = SurfConfig {
             gbrt: GbrtParams::paper_default().with_max_bins(1 << 17),
+            ..SurfConfig::default()
+        };
+        assert!(config.validate().is_err());
+
+        let config = SurfConfig {
+            gbrt: GbrtParams::paper_default().with_colsample(0.0),
             ..SurfConfig::default()
         };
         assert!(config.validate().is_err());

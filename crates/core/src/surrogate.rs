@@ -18,6 +18,7 @@ use surf_data::dataset::Dataset;
 use surf_data::region::Region;
 use surf_data::statistic::Statistic;
 use surf_data::workload::Workload;
+use surf_ml::compiled::CompiledEnsemble;
 use surf_ml::cv::KFold;
 use surf_ml::gbrt::{Gbrt, GbrtParams};
 use surf_ml::grid::{GbrtGrid, GridSearch};
@@ -30,6 +31,14 @@ use crate::error::SurfError;
 pub trait Surrogate: Sync {
     /// Estimated statistic for the region.
     fn predict(&self, region: &Region) -> f64;
+
+    /// Estimated statistics for a batch of regions, in request order. The default delegates
+    /// to [`Surrogate::predict`] region by region; [`GbrtSurrogate`] overrides it to route
+    /// the whole batch through its compiled ensemble in one blocked pass. Overrides must
+    /// return exactly the value `predict` would for every region.
+    fn predict_batch(&self, regions: &[Region]) -> Vec<f64> {
+        regions.iter().map(|r| self.predict(r)).collect()
+    }
 
     /// Data dimensionality `d` the surrogate expects.
     fn dimensions(&self) -> usize;
@@ -96,15 +105,21 @@ impl Surrogate for TrueFunctionSurrogate<'_> {
 
 /// SuRF's learned surrogate `f̂`: a gradient-boosted ensemble over the `2d`-dimensional region
 /// representation `[x, l]`.
+///
+/// Construction compiles the fitted walker into a [`CompiledEnsemble`] once — both
+/// `Surf::fit` and `Surf::from_state` go through [`GbrtSurrogate::from_model`], so every
+/// serving path (single predictions, batched `/predict`, GSO/PSO mining) runs on the
+/// flattened struct-of-arrays engine. Compiled predictions are bit-identical to the walker's.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GbrtSurrogate {
     model: Gbrt,
+    compiled: CompiledEnsemble,
     dimensions: usize,
 }
 
 impl GbrtSurrogate {
-    /// Wraps an already-fitted model. The model must have been trained on `2·dimensions`
-    /// features.
+    /// Wraps an already-fitted model, compiling it for inference. The model must have been
+    /// trained on `2·dimensions` features.
     pub fn from_model(model: Gbrt, dimensions: usize) -> Result<Self, SurfError> {
         if model.features() != 2 * dimensions {
             return Err(SurfError::InvalidConfig(format!(
@@ -114,19 +129,45 @@ impl GbrtSurrogate {
                 2 * dimensions
             )));
         }
-        Ok(Self { model, dimensions })
+        let compiled = model.compile()?;
+        Ok(Self {
+            model,
+            compiled,
+            dimensions,
+        })
     }
 
-    /// The underlying boosted ensemble.
+    /// The underlying boosted ensemble (the walker form — this is what gets persisted).
     pub fn model(&self) -> &Gbrt {
         &self.model
+    }
+
+    /// The compiled inference engine serving this surrogate's predictions.
+    pub fn compiled(&self) -> &CompiledEnsemble {
+        &self.compiled
     }
 }
 
 impl Surrogate for GbrtSurrogate {
     fn predict(&self, region: &Region) -> f64 {
         let features = region.to_solution_vector();
-        self.model.predict_one(&features).unwrap_or(f64::NAN)
+        self.compiled.predict_one(&features).unwrap_or(f64::NAN)
+    }
+
+    fn predict_batch(&self, regions: &[Region]) -> Vec<f64> {
+        let width = self.compiled.features();
+        // A region of the wrong dimensionality must degrade to a per-region NaN exactly as
+        // the scalar path does, so mixed batches fall back to it.
+        if regions.iter().any(|r| 2 * r.dimensions() != width) {
+            return regions.iter().map(|r| self.predict(r)).collect();
+        }
+        let mut flat = Vec::with_capacity(regions.len() * width);
+        for region in regions {
+            flat.extend_from_slice(&region.to_solution_vector());
+        }
+        self.compiled
+            .predict_batch(&flat, width)
+            .unwrap_or_else(|_| vec![f64::NAN; regions.len()])
     }
 
     fn dimensions(&self) -> usize {

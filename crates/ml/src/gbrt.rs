@@ -41,6 +41,11 @@ pub struct GbrtParams {
     pub reg_lambda: f64,
     /// Fraction of rows sampled (without replacement) for each tree; 1.0 disables subsampling.
     pub subsample: f64,
+    /// Fraction of features each tree may split on (`colsample_bytree`); 1.0 disables the
+    /// subsampling. A fresh subset of `ceil(colsample · d)` features (at least one) is drawn
+    /// per boosting round from the same seeded RNG as row subsampling, so runs are
+    /// deterministic and both training engines draw identical subsets.
+    pub colsample: f64,
     /// Minimum number of examples per leaf.
     pub min_samples_leaf: usize,
     /// Stop early when the validation RMSE has not improved for this many rounds (0 disables
@@ -65,6 +70,7 @@ impl Default for GbrtParams {
             max_depth: 5,
             reg_lambda: 1.0,
             subsample: 1.0,
+            colsample: 1.0,
             min_samples_leaf: 1,
             early_stopping_rounds: 0,
             validation_fraction: 0.1,
@@ -125,6 +131,12 @@ impl GbrtParams {
         self
     }
 
+    /// Builder-style override of the per-tree feature-subsampling fraction.
+    pub fn with_colsample(mut self, colsample: f64) -> Self {
+        self.colsample = colsample;
+        self
+    }
+
     /// Builder-style override of the early-stopping patience.
     pub fn with_early_stopping(mut self, rounds: usize) -> Self {
         self.early_stopping_rounds = rounds;
@@ -167,6 +179,12 @@ impl GbrtParams {
             return Err(MlError::InvalidParameter {
                 name: "subsample",
                 value: format!("{}", self.subsample),
+            });
+        }
+        if !(self.colsample > 0.0 && self.colsample <= 1.0) {
+            return Err(MlError::InvalidParameter {
+                name: "colsample",
+                value: format!("{}", self.colsample),
             });
         }
         if !(self.validation_fraction > 0.0 && self.validation_fraction < 1.0) {
@@ -243,18 +261,26 @@ impl TreeSource<'_> {
         }
     }
 
-    /// Fits one round's tree. The boosting loop's inputs are validated once at the public
-    /// entry points, so the per-round fits skip the O(n·d) re-validation.
+    /// Fits one round's tree on the sampled rows and features. The boosting loop's inputs
+    /// are validated once at the public entry points, so the per-round fits skip the
+    /// O(n·d) re-validation.
     fn fit_round(
         &self,
         residuals: &[f64],
         sample: &[usize],
+        feature_sample: &[usize],
         tree_params: &TreeParams,
     ) -> Result<RoundTree, MlError> {
         match self {
-            TreeSource::Exact(features) => Ok(RoundTree::Exact(
-                RegressionTree::fit_on_prevalidated(features, residuals, sample, tree_params)?,
-            )),
+            TreeSource::Exact(features) => {
+                Ok(RoundTree::Exact(RegressionTree::fit_on_prevalidated(
+                    features,
+                    residuals,
+                    sample,
+                    tree_params,
+                    feature_sample,
+                )?))
+            }
             TreeSource::Binned { matrix, threads } => {
                 Ok(RoundTree::Binned(RegressionTree::fit_binned_prevalidated(
                     matrix,
@@ -262,6 +288,7 @@ impl TreeSource<'_> {
                     sample,
                     tree_params,
                     *threads,
+                    feature_sample,
                 )?))
             }
         }
@@ -424,6 +451,7 @@ impl Gbrt {
         let mut predictions = vec![base_prediction; n_global];
         let mut residuals = vec![0.0; n_global];
         let tree_params = params.tree_params();
+        let all_features: Vec<usize> = (0..width).collect();
 
         let mut trees = Vec::with_capacity(params.n_estimators);
         let mut train_rmse_history = Vec::with_capacity(params.n_estimators);
@@ -448,7 +476,21 @@ impl Gbrt {
                 train_idx.clone()
             };
 
-            let tree = source.fit_round(&residuals, &sample, &tree_params)?;
+            // Per-tree feature subsampling (`colsample`), drawn after the row sample from
+            // the same RNG stream in both engines. Sorted so the split search visits
+            // candidates in the full sweep's order (identical tie-breaking).
+            let feature_sample: Vec<usize> = if params.colsample < 1.0 {
+                let take = ((width as f64) * params.colsample).ceil() as usize;
+                let mut cols = all_features.clone();
+                shuffle(&mut cols, &mut rng);
+                cols.truncate(take.max(1));
+                cols.sort_unstable();
+                cols
+            } else {
+                all_features.clone()
+            };
+
+            let tree = source.fit_round(&residuals, &sample, &feature_sample, &tree_params)?;
             for &i in rows {
                 predictions[i] += params.learning_rate * tree.predict_row(source, i)?;
             }
@@ -504,7 +546,38 @@ impl Gbrt {
         &self.validation_rmse_history
     }
 
-    /// Predicts the target for one example.
+    /// The mean-target base prediction every tree's contribution is added to.
+    pub fn base_prediction(&self) -> f64 {
+        self.base_prediction
+    }
+
+    /// The shrinkage applied to every tree's contribution.
+    pub fn learning_rate(&self) -> f64 {
+        self.learning_rate
+    }
+
+    /// The fitted trees, in boosting order.
+    pub fn trees(&self) -> &[RegressionTree] {
+        &self.trees
+    }
+
+    /// Flattens the ensemble into the struct-of-arrays inference engine
+    /// ([`crate::compiled::CompiledEnsemble`]); predictions are bit-identical to the walker,
+    /// batch prediction is several times faster.
+    pub fn compile(&self) -> Result<crate::compiled::CompiledEnsemble, MlError> {
+        crate::compiled::CompiledEnsemble::compile(self)
+    }
+
+    fn predict_one_prevalidated(&self, example: &[f64]) -> f64 {
+        let mut prediction = self.base_prediction;
+        for tree in &self.trees {
+            prediction += self.learning_rate * tree.predict_one_prevalidated(example);
+        }
+        prediction
+    }
+
+    /// Predicts the target for one example. The feature width is validated once, not per
+    /// tree.
     pub fn predict_one(&self, example: &[f64]) -> Result<f64, MlError> {
         if example.len() != self.features {
             return Err(MlError::FeatureWidthMismatch {
@@ -512,16 +585,24 @@ impl Gbrt {
                 actual: example.len(),
             });
         }
-        let mut prediction = self.base_prediction;
-        for tree in &self.trees {
-            prediction += self.learning_rate * tree.predict_one(example)?;
-        }
-        Ok(prediction)
+        Ok(self.predict_one_prevalidated(example))
     }
 
-    /// Predicts the targets for a batch of examples.
+    /// Predicts the targets for a batch of examples. Feature widths are validated once, up
+    /// front, instead of per example (per tree) inside the prediction loop.
     pub fn predict(&self, examples: &[Vec<f64>]) -> Result<Vec<f64>, MlError> {
-        examples.iter().map(|e| self.predict_one(e)).collect()
+        for example in examples {
+            if example.len() != self.features {
+                return Err(MlError::FeatureWidthMismatch {
+                    expected: self.features,
+                    actual: example.len(),
+                });
+            }
+        }
+        Ok(examples
+            .iter()
+            .map(|e| self.predict_one_prevalidated(e))
+            .collect())
     }
 
     /// Prediction using only the first `rounds` trees (staged prediction, useful for learning
@@ -535,7 +616,7 @@ impl Gbrt {
         }
         let mut prediction = self.base_prediction;
         for tree in self.trees.iter().take(rounds) {
-            prediction += self.learning_rate * tree.predict_one(example)?;
+            prediction += self.learning_rate * tree.predict_one_prevalidated(example);
         }
         Ok(prediction)
     }
@@ -662,6 +743,53 @@ mod tests {
         assert!(Gbrt::fit(&x, &y, &GbrtParams::quick().with_reg_lambda(-1.0)).is_err());
         assert!(Gbrt::fit(&x, &y, &GbrtParams::quick().with_max_depth(0)).is_err());
         assert!(Gbrt::fit(&x, &y, &GbrtParams::quick().with_max_bins(1 << 17)).is_err());
+        assert!(Gbrt::fit(&x, &y, &GbrtParams::quick().with_colsample(0.0)).is_err());
+        assert!(Gbrt::fit(&x, &y, &GbrtParams::quick().with_colsample(1.5)).is_err());
+        assert!(Gbrt::fit(&x, &y, &GbrtParams::quick().with_colsample(f64::NAN)).is_err());
+    }
+
+    #[test]
+    fn colsample_still_learns_and_is_deterministic() {
+        let (x, y) = nonlinear_data(400, 20);
+        let params = GbrtParams::quick().with_colsample(0.5).with_seed(4);
+        let a = Gbrt::fit(&x, &y, &params).unwrap();
+        let b = Gbrt::fit(&x, &y, &params).unwrap();
+        assert_eq!(a, b);
+        let predictions = a.predict(&x).unwrap();
+        let mean = y.iter().sum::<f64>() / y.len() as f64;
+        assert!(rmse(&y, &predictions) < rmse(&y, &vec![mean; y.len()]));
+        // A different seed draws different feature subsets.
+        let c = Gbrt::fit(&x, &y, &params.clone().with_seed(5)).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn colsample_bit_parity_between_engines() {
+        // Both engines draw the feature subset from the shared boosting loop, so the
+        // histogram engine stays bit-identical to the exact one under colsample.
+        let (x, y) = grid_data(300, 21);
+        let params = GbrtParams::quick()
+            .with_colsample(0.5)
+            .with_subsample(0.8)
+            .with_seed(6);
+        let exact = Gbrt::fit(&x, &y, &params.clone().with_max_bins(0)).unwrap();
+        let binned = Gbrt::fit(&x, &y, &params.with_max_bins(1024)).unwrap();
+        assert_eq!(exact, binned);
+    }
+
+    #[test]
+    fn colsample_on_a_single_feature_keeps_at_least_one_column() {
+        let x: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64 / 60.0]).collect();
+        let y: Vec<f64> = x.iter().map(|r| r[0] * 2.0).collect();
+        let model = Gbrt::fit(
+            &x,
+            &y,
+            &GbrtParams::quick()
+                .with_n_estimators(5)
+                .with_colsample(0.01),
+        )
+        .unwrap();
+        assert!(model.n_trees() > 0);
     }
 
     /// Integer-grid data: every sum the trainers accumulate is exactly representable, so the

@@ -9,9 +9,12 @@
 //! * [`tree`] — CART-style regression trees: the exact (sorting) trainer and the
 //!   histogram (binned) trainer that sweeps per-node gradient histograms.
 //! * [`gbrt`] — gradient-boosted regression trees with shrinkage, L2 leaf regularization,
-//!   row subsampling and early stopping (the "XGB" surrogate of the paper). The histogram
-//!   engine (`GbrtParams::max_bins`) is the default; `max_bins = 0` selects the exact
-//!   engine.
+//!   row/feature subsampling and early stopping (the "XGB" surrogate of the paper). The
+//!   histogram engine (`GbrtParams::max_bins`) is the default; `max_bins = 0` selects the
+//!   exact engine.
+//! * [`compiled`] — the struct-of-arrays inference engine: fitted ensembles flatten once
+//!   into contiguous arrays ([`CompiledEnsemble`]) with blocked, parallel batch prediction,
+//!   bit-identical to the node-walking predictors.
 //! * [`linear`] — ridge regression (the "alternative ML model" of the paper's footnote 2),
 //!   used by the surrogate-ablation benches.
 //! * [`kde`] — Gaussian kernel density estimation with box-probability queries (used to guide
@@ -24,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compiled;
 pub mod cv;
 pub mod error;
 pub mod gbrt;
@@ -35,6 +39,7 @@ pub mod metrics;
 pub mod parallel;
 pub mod tree;
 
+pub use compiled::CompiledEnsemble;
 pub use error::MlError;
 pub use gbrt::{Gbrt, GbrtParams};
 pub use kde::KernelDensity;

@@ -76,9 +76,10 @@ impl TreeParams {
     }
 }
 
-/// One node of the tree, stored in a flat arena.
+/// One node of the tree, stored in a flat arena. `pub(crate)` so the compiled inference
+/// engine ([`crate::compiled`]) can flatten fitted trees without a traversal API.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-enum Node {
+pub(crate) enum Node {
     /// Terminal node carrying the prediction.
     Leaf {
         /// Predicted value.
@@ -200,17 +201,20 @@ impl RegressionTree {
     ) -> Result<Self, MlError> {
         validate_xy(features, targets)?;
         params.validate()?;
-        Self::fit_on_prevalidated(features, targets, indices, params)
+        let all: Vec<usize> = (0..features[0].len()).collect();
+        Self::fit_on_prevalidated(features, targets, indices, params, &all)
     }
 
     /// Exact trainer without input re-validation — the boosting loop validates the training
     /// set and the parameters once up front and calls this every round (the finiteness scan
-    /// is O(n·d) and must not run per round).
+    /// is O(n·d) and must not run per round). `feature_subset` restricts the split search to
+    /// the given (sorted) features — the boosting loop's per-tree `colsample` draw.
     pub(crate) fn fit_on_prevalidated(
         features: &[Vec<f64>],
         targets: &[f64],
         indices: &[usize],
         params: &TreeParams,
+        feature_subset: &[usize],
     ) -> Result<Self, MlError> {
         if indices.is_empty() {
             return Err(MlError::EmptyTrainingSet);
@@ -220,13 +224,18 @@ impl RegressionTree {
             features: features[0].len(),
         };
         let mut working = indices.to_vec();
-        tree.build(features, targets, &mut working, params, 0);
+        tree.build(features, targets, &mut working, params, 0, feature_subset);
         Ok(tree)
     }
 
     /// Number of features the tree was trained with.
     pub fn features(&self) -> usize {
         self.features
+    }
+
+    /// The node arena (root at index 0), for the compiled inference engine.
+    pub(crate) fn nodes(&self) -> &[Node] {
+        &self.nodes
     }
 
     /// Number of nodes (splits + leaves).
@@ -262,10 +271,16 @@ impl RegressionTree {
                 actual: example.len(),
             });
         }
+        Ok(self.predict_one_prevalidated(example))
+    }
+
+    /// The arena walk without the width check — batch callers ([`RegressionTree::predict`],
+    /// the boosting walker) validate once up front instead of once per example per tree.
+    pub(crate) fn predict_one_prevalidated(&self, example: &[f64]) -> f64 {
         let mut node = 0usize;
         loop {
             match &self.nodes[node] {
-                Node::Leaf { value, .. } => return Ok(*value),
+                Node::Leaf { value, .. } => return *value,
                 Node::Split {
                     feature,
                     threshold,
@@ -283,9 +298,21 @@ impl RegressionTree {
         }
     }
 
-    /// Predicts the targets for a batch of examples.
+    /// Predicts the targets for a batch of examples. Feature widths are validated once, up
+    /// front, instead of per example inside the prediction loop.
     pub fn predict(&self, examples: &[Vec<f64>]) -> Result<Vec<f64>, MlError> {
-        examples.iter().map(|e| self.predict_one(e)).collect()
+        for example in examples {
+            if example.len() != self.features {
+                return Err(MlError::FeatureWidthMismatch {
+                    expected: self.features,
+                    actual: example.len(),
+                });
+            }
+        }
+        Ok(examples
+            .iter()
+            .map(|e| self.predict_one_prevalidated(e))
+            .collect())
     }
 
     /// Total split gain attributed to each feature (an importance measure).
@@ -307,6 +334,7 @@ impl RegressionTree {
         indices: &mut [usize],
         params: &TreeParams,
         depth: usize,
+        feature_subset: &[usize],
     ) -> usize {
         let (sum, count) = indices
             .iter()
@@ -317,7 +345,7 @@ impl RegressionTree {
             && count >= params.min_samples_split
             && count >= 2 * params.min_samples_leaf;
         let best = if should_split {
-            self.best_split(features, targets, indices, params)
+            self.best_split(features, targets, indices, params, feature_subset)
         } else {
             None
         };
@@ -347,8 +375,22 @@ impl RegressionTree {
                     samples: count,
                 });
                 let (left_indices, right_indices) = indices.split_at_mut(left_len);
-                let left = self.build(features, targets, left_indices, params, depth + 1);
-                let right = self.build(features, targets, right_indices, params, depth + 1);
+                let left = self.build(
+                    features,
+                    targets,
+                    left_indices,
+                    params,
+                    depth + 1,
+                    feature_subset,
+                );
+                let right = self.build(
+                    features,
+                    targets,
+                    right_indices,
+                    params,
+                    depth + 1,
+                    feature_subset,
+                );
                 self.nodes[node_index] = Node::Split {
                     feature: split.feature,
                     threshold: split.threshold,
@@ -361,16 +403,15 @@ impl RegressionTree {
         }
     }
 
-    /// Finds the squared-error-optimal split over all features, if one satisfying the
-    /// constraints exists.
-    // The loop variable doubles as the reported split feature index.
-    #[allow(clippy::needless_range_loop)]
+    /// Finds the squared-error-optimal split over the candidate features, if one satisfying
+    /// the constraints exists.
     fn best_split(
         &self,
         features: &[Vec<f64>],
         targets: &[f64],
         indices: &[usize],
         params: &TreeParams,
+        feature_subset: &[usize],
     ) -> Option<BestSplit> {
         let n = indices.len();
         let total_sum: f64 = indices.iter().map(|&i| targets[i]).sum();
@@ -379,7 +420,7 @@ impl RegressionTree {
 
         let mut best: Option<BestSplit> = None;
         let mut sortable: Vec<(f64, f64)> = Vec::with_capacity(n);
-        for feature in 0..self.features {
+        for &feature in feature_subset {
             sortable.clear();
             sortable.extend(indices.iter().map(|&i| (features[i][feature], targets[i])));
             // Inputs are validated finite, so the comparison is total; the stable sort keeps
@@ -456,6 +497,18 @@ impl RegressionTree {
         params: &TreeParams,
         threads: usize,
     ) -> Result<BinnedTree, MlError> {
+        let all: Vec<usize> = (0..matrix.features()).collect();
+        Self::fit_binned_validated(matrix, targets, indices, params, threads, &all)
+    }
+
+    fn fit_binned_validated(
+        matrix: &FeatureMatrix,
+        targets: &[f64],
+        indices: &[usize],
+        params: &TreeParams,
+        threads: usize,
+        feature_subset: &[usize],
+    ) -> Result<BinnedTree, MlError> {
         crate::error::validate_targets(targets)?;
         if targets.len() != matrix.rows() {
             return Err(MlError::LengthMismatch {
@@ -470,18 +523,20 @@ impl RegressionTree {
                 value: format!("row {row} out of range ({} rows)", matrix.rows()),
             });
         }
-        Self::fit_binned_prevalidated(matrix, targets, indices, params, threads)
+        Self::fit_binned_prevalidated(matrix, targets, indices, params, threads, feature_subset)
     }
 
     /// Histogram trainer without input re-validation — the boosting loop validates once up
     /// front and calls this every round (re-scanning all targets for finiteness per round
-    /// would put O(n) of redundant work in the hot loop).
+    /// would put O(n) of redundant work in the hot loop). `feature_subset` restricts the
+    /// split search to the given (sorted) features — the per-tree `colsample` draw.
     pub(crate) fn fit_binned_prevalidated(
         matrix: &FeatureMatrix,
         targets: &[f64],
         indices: &[usize],
         params: &TreeParams,
         threads: usize,
+        feature_subset: &[usize],
     ) -> Result<BinnedTree, MlError> {
         if indices.is_empty() {
             return Err(MlError::EmptyTrainingSet);
@@ -502,6 +557,7 @@ impl RegressionTree {
             params,
             0,
             threads,
+            feature_subset,
         );
         Ok(binned)
     }
@@ -512,32 +568,32 @@ impl RegressionTree {
 const PARALLEL_HIST_CELLS: usize = 1 << 15;
 
 /// Builds the flattened per-feature gradient histogram of a node (layout given by the
-/// matrix's feature offsets). Per-feature construction is independent, so the parallel path
-/// is bit-identical to the sequential one.
+/// matrix's feature offsets; only `feature_subset` columns are scanned, the rest stay
+/// zeroed and produce no split candidates). Per-feature construction is independent, so
+/// the parallel path is bit-identical to the sequential one.
 fn build_histogram(
     matrix: &FeatureMatrix,
     targets: &[f64],
     indices: &[usize],
     threads: usize,
+    feature_subset: &[usize],
 ) -> Vec<HistBin> {
-    let d = matrix.features();
+    let d = feature_subset.len();
+    let mut hist = vec![HistBin::default(); matrix.total_bins()];
     if threads > 1 && d > 1 && indices.len().saturating_mul(d) >= PARALLEL_HIST_CELLS {
-        let features: Vec<usize> = (0..d).collect();
-        let per_feature = parallel_map(features, threads, |&f| {
+        let per_feature = parallel_map(feature_subset.to_vec(), threads, |&f| {
             scan_feature(matrix, targets, indices, f)
         });
-        let mut hist = Vec::with_capacity(matrix.total_bins());
-        for column in per_feature {
-            hist.extend(column);
+        for (&f, column) in feature_subset.iter().zip(per_feature) {
+            hist[matrix.offset(f)..matrix.offset(f + 1)].copy_from_slice(&column);
         }
-        hist
     } else {
-        let mut hist = Vec::with_capacity(matrix.total_bins());
-        for f in 0..d {
-            hist.extend(scan_feature(matrix, targets, indices, f));
+        for &f in feature_subset {
+            let column = scan_feature(matrix, targets, indices, f);
+            hist[matrix.offset(f)..matrix.offset(f + 1)].copy_from_slice(&column);
         }
-        hist
     }
+    hist
 }
 
 /// One feature's histogram cells for a node: a single linear pass over the node's rows.
@@ -582,6 +638,7 @@ fn grow_binned(
     params: &TreeParams,
     depth: usize,
     threads: usize,
+    feature_subset: &[usize],
 ) -> usize {
     // Same sequential fold as the exact trainer, so leaf values are bit-identical.
     let (sum, sq, count) = indices.iter().fold((0.0, 0.0, 0usize), |(s, q, c), &i| {
@@ -593,8 +650,9 @@ fn grow_binned(
         && count >= params.min_samples_split
         && count >= 2 * params.min_samples_leaf;
     let (best, hist) = if should_split {
-        let hist = hist.unwrap_or_else(|| build_histogram(matrix, targets, indices, threads));
-        let mut best = best_split_histogram(matrix, &hist, sum, sq, count, params);
+        let hist = hist
+            .unwrap_or_else(|| build_histogram(matrix, targets, indices, threads, feature_subset));
+        let mut best = best_split_histogram(matrix, &hist, sum, sq, count, params, feature_subset);
         if let Some(split) = best.as_mut() {
             // The sweep's gain is built from per-bin partial sums, which re-associates the
             // floating-point additions relative to the exact trainer's row-by-row scan.
@@ -638,11 +696,12 @@ fn grow_binned(
             let mut parent_hist = hist.expect("split implies histogram");
             let (left_indices, right_indices) = indices.split_at_mut(left_len);
             let (left_hist, right_hist) = if left_indices.len() <= right_indices.len() {
-                let small = build_histogram(matrix, targets, left_indices, threads);
+                let small = build_histogram(matrix, targets, left_indices, threads, feature_subset);
                 subtract_histogram(&mut parent_hist, &small);
                 (small, parent_hist)
             } else {
-                let small = build_histogram(matrix, targets, right_indices, threads);
+                let small =
+                    build_histogram(matrix, targets, right_indices, threads, feature_subset);
                 subtract_histogram(&mut parent_hist, &small);
                 (parent_hist, small)
             };
@@ -656,6 +715,7 @@ fn grow_binned(
                 params,
                 depth + 1,
                 threads,
+                feature_subset,
             );
             let right = grow_binned(
                 binned,
@@ -666,6 +726,7 @@ fn grow_binned(
                 params,
                 depth + 1,
                 threads,
+                feature_subset,
             );
             binned.tree.nodes[node_index] = Node::Split {
                 feature: split.feature,
@@ -737,11 +798,12 @@ fn best_split_histogram(
     total_sq: f64,
     count: usize,
     params: &TreeParams,
+    feature_subset: &[usize],
 ) -> Option<BestBinnedSplit> {
     let n = count;
     let parent_sse = total_sq - total_sum * total_sum / n as f64;
     let mut best: Option<BestBinnedSplit> = None;
-    for feature in 0..matrix.features() {
+    for &feature in feature_subset {
         let cells = &hist[matrix.offset(feature)..matrix.offset(feature + 1)];
         let mut left_sum = 0.0;
         let mut left_sq = 0.0;

@@ -1,0 +1,194 @@
+//! Property suite: the compiled struct-of-arrays inference engine is **bit-identical** to
+//! the node-walking predictors.
+//!
+//! Compilation only rearranges storage — per example the compiled engine performs exactly
+//! the walker's comparison sequence and accumulation order — so, unlike the trainer-parity
+//! suite (`hist_parity`), these properties need no carefully-representable lattice data:
+//! bit-identity must hold for *arbitrary* fitted models and *arbitrary* inputs, including
+//! inputs far outside the training range, for `predict_one`, `predict_batch` (at every
+//! thread count) and `predict_staged`, through single-leaf trees, deep trees and empty
+//! batches. Width mismatches must surface as typed errors, never as NaN predictions.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use surf_ml::compiled::CompiledEnsemble;
+use surf_ml::gbrt::{Gbrt, GbrtParams};
+use surf_ml::tree::{RegressionTree, TreeParams};
+use surf_ml::MlError;
+
+/// Unstructured regression data: features in [-3, 3), a rough nonlinear target.
+fn random_data(n: usize, d: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let features: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..d).map(|_| rng.random_range(-3.0..3.0)).collect())
+        .collect();
+    let targets: Vec<f64> = features
+        .iter()
+        .map(|x| {
+            x.iter()
+                .enumerate()
+                .map(|(i, v)| ((i + 2) as f64 * v).sin() + 0.25 * v * v)
+                .sum()
+        })
+        .collect();
+    (features, targets)
+}
+
+/// Probe points both inside and far outside the training range.
+fn probes(n: usize, d: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xbeef);
+    (0..n)
+        .map(|_| (0..d).map(|_| rng.random_range(-50.0..50.0)).collect())
+        .collect()
+}
+
+fn flatten(rows: &[Vec<f64>]) -> Vec<f64> {
+    rows.iter().flatten().copied().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `predict_one` and `predict_batch` (sequential and threaded) of a compiled ensemble
+    /// are bit-identical to the boosting walker on arbitrary inputs.
+    #[test]
+    fn ensemble_bit_parity(
+        n in 5usize..=120,
+        d in 1usize..=5,
+        n_estimators in 1usize..=12,
+        max_depth in 1usize..=6,
+        subsample in 0.6f64..=1.0,
+        colsample in 0.4f64..=1.0,
+        threads in 1usize..=4,
+        seed in 0u64..10_000,
+    ) {
+        let (x, y) = random_data(n, d, seed);
+        let params = GbrtParams {
+            n_estimators,
+            max_depth,
+            subsample,
+            colsample,
+            seed,
+            ..GbrtParams::quick()
+        };
+        let model = Gbrt::fit(&x, &y, &params).unwrap();
+        let compiled = CompiledEnsemble::compile(&model).unwrap();
+        prop_assert_eq!(compiled.n_trees(), model.n_trees());
+
+        let inputs: Vec<Vec<f64>> = x.into_iter().chain(probes(20, d, seed)).collect();
+        let walker = model.predict(&inputs).unwrap();
+        for (row, expected) in inputs.iter().zip(&walker) {
+            prop_assert_eq!(
+                compiled.predict_one(row).unwrap().to_bits(),
+                expected.to_bits()
+            );
+        }
+        let flat = flatten(&inputs);
+        let batch = compiled.predict_batch_threaded(&flat, d, threads).unwrap();
+        prop_assert_eq!(batch.len(), walker.len());
+        for (got, expected) in batch.iter().zip(&walker) {
+            prop_assert_eq!(got.to_bits(), expected.to_bits());
+        }
+    }
+
+    /// Staged prediction (any number of rounds, including 0 and past the end) matches the
+    /// walker bit for bit.
+    #[test]
+    fn staged_bit_parity(
+        n in 10usize..=80,
+        d in 1usize..=3,
+        n_estimators in 1usize..=10,
+        rounds in 0usize..=14,
+        seed in 0u64..10_000,
+    ) {
+        let (x, y) = random_data(n, d, seed);
+        let params = GbrtParams {
+            n_estimators,
+            ..GbrtParams::quick()
+        };
+        let model = Gbrt::fit(&x, &y, &params).unwrap();
+        let compiled = CompiledEnsemble::compile(&model).unwrap();
+        for row in x.iter().take(10) {
+            prop_assert_eq!(
+                compiled.predict_staged(row, rounds).unwrap().to_bits(),
+                model.predict_staged(row, rounds).unwrap().to_bits()
+            );
+        }
+    }
+
+    /// A compiled single tree matches the tree walker bit for bit — including trees that
+    /// collapse to a single leaf (constant targets), where the root code is a leaf index.
+    #[test]
+    fn tree_bit_parity(
+        n in 2usize..=100,
+        d in 1usize..=4,
+        max_depth in 1usize..=8,
+        constant_flag in 0usize..=1,
+        seed in 0u64..10_000,
+    ) {
+        let constant_targets = constant_flag == 1;
+        let (x, mut y) = random_data(n, d, seed);
+        if constant_targets {
+            y = vec![2.5; n];
+        }
+        let params = TreeParams { max_depth, ..TreeParams::default() };
+        let tree = RegressionTree::fit(&x, &y, &params).unwrap();
+        let compiled = CompiledEnsemble::from_tree(&tree).unwrap();
+        prop_assert_eq!(compiled.node_count(), tree.node_count());
+        if constant_targets {
+            prop_assert_eq!(tree.node_count(), 1);
+        }
+        let inputs: Vec<Vec<f64>> = x.into_iter().chain(probes(10, d, seed)).collect();
+        let walker = tree.predict(&inputs).unwrap();
+        let batch = compiled.predict_batch(&flatten(&inputs), d).unwrap();
+        for ((row, expected), got) in inputs.iter().zip(&walker).zip(&batch) {
+            prop_assert_eq!(
+                compiled.predict_one(row).unwrap().to_bits(),
+                expected.to_bits()
+            );
+            prop_assert_eq!(got.to_bits(), expected.to_bits());
+        }
+    }
+
+    /// Empty batches yield empty outputs; width mismatches are typed errors on every entry
+    /// point (never NaN-filled results).
+    #[test]
+    fn empty_batches_and_width_mismatches(
+        d in 1usize..=4,
+        offset in 1usize..=6,
+        seed in 0u64..1_000,
+    ) {
+        // `wrong` is always a different, positive width.
+        let wrong = d + offset;
+        let (x, y) = random_data(30, d, seed);
+        let model = Gbrt::fit(&x, &y, &GbrtParams::quick().with_n_estimators(3)).unwrap();
+        let compiled = CompiledEnsemble::compile(&model).unwrap();
+
+        prop_assert!(compiled.predict_batch(&[], d).unwrap().is_empty());
+        let mut empty_out: [f64; 0] = [];
+        prop_assert!(compiled.predict_batch_into(&[], d, &mut empty_out).is_ok());
+
+        let row = vec![0.5; wrong];
+        prop_assert_eq!(
+            compiled.predict_one(&row),
+            Err(MlError::FeatureWidthMismatch { expected: d, actual: wrong })
+        );
+        prop_assert_eq!(
+            compiled.predict_staged(&row, 1),
+            Err(MlError::FeatureWidthMismatch { expected: d, actual: wrong })
+        );
+        prop_assert!(matches!(
+            compiled.predict_batch(&row, wrong),
+            Err(MlError::FeatureWidthMismatch { .. })
+        ));
+        // A flat buffer that is not a whole number of rows is rejected, not truncated.
+        let ragged = vec![0.25; d + (d + 1)];
+        if ragged.len() % d != 0 {
+            prop_assert!(matches!(
+                compiled.predict_batch(&ragged, d),
+                Err(MlError::InvalidParameter { .. })
+            ));
+        }
+    }
+}

@@ -70,6 +70,21 @@ pub trait FitnessFunction: Sync {
     /// (e.g. regions violating the threshold constraint under the log objective of Eq. 4).
     fn fitness(&self, solution: &[f64]) -> f64;
 
+    /// Fitness of a whole batch of candidates, stored row-major in `solutions` (`dim > 0`
+    /// values per candidate), written one value per candidate into `out` (callers guarantee
+    /// `solutions.len() == dim * out.len()`).
+    ///
+    /// The default delegates to [`FitnessFunction::fitness`] candidate by candidate.
+    /// Landscapes backed by a batch predictor — SuRF's surrogate fitness evaluates the whole
+    /// swarm through a compiled GBRT ensemble — override it for throughput. Overrides
+    /// **must** produce exactly the value `fitness` would for every candidate (the swarm
+    /// optimizers' batch- and thread-invariance guarantees rely on it).
+    fn fitness_batch(&self, solutions: &[f64], dim: usize, out: &mut [f64]) {
+        for (candidate, slot) in solutions.chunks(dim).zip(out.iter_mut()) {
+            *slot = self.fitness(candidate);
+        }
+    }
+
     /// Non-negative weight proportional to the data density around the candidate, used by the
     /// KDE-guided movement rule (Eq. 8). The default of 1 disables the guidance.
     fn density_weight(&self, _solution: &[f64]) -> f64 {
@@ -80,6 +95,45 @@ pub trait FitnessFunction: Sync {
     fn dimensions(&self) -> usize {
         self.bounds().dimensions()
     }
+}
+
+/// Evaluates every position through [`FitnessFunction::fitness_batch`], fanning contiguous
+/// candidate blocks out over up to `threads` OS threads. This is the per-iteration swarm
+/// evaluation primitive shared by GSO and PSO: positions are flattened once into a row-major
+/// buffer, so a batch-capable fitness sees the whole swarm (or a thread's share of it) in a
+/// single call. Candidates are independent, so the result is identical for every thread
+/// count and identical to calling [`FitnessFunction::fitness`] per candidate.
+pub fn evaluate_swarm<F: FitnessFunction + ?Sized>(
+    fitness: &F,
+    positions: &[Vec<f64>],
+    threads: usize,
+) -> Vec<f64> {
+    let n = positions.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let dim = positions[0].len();
+    if dim == 0 {
+        return positions.iter().map(|p| fitness.fitness(p)).collect();
+    }
+    debug_assert!(positions.iter().all(|p| p.len() == dim));
+    let mut flat = Vec::with_capacity(n * dim);
+    for position in positions {
+        flat.extend_from_slice(position);
+    }
+    let mut out = vec![0.0; n];
+    let threads = threads.max(1);
+    if threads == 1 || n == 1 {
+        fitness.fitness_batch(&flat, dim, &mut out);
+        return out;
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (candidates, slots) in flat.chunks(chunk * dim).zip(out.chunks_mut(chunk)) {
+            scope.spawn(move || fitness.fitness_batch(candidates, dim, slots));
+        }
+    });
+    out
 }
 
 /// A fitness landscape with `k` Gaussian peaks on the unit square — a small multimodal

@@ -19,7 +19,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use surf_ml::parallel::{parallel_map, resolve_threads};
 
-use crate::fitness::FitnessFunction;
+use crate::fitness::{evaluate_swarm, FitnessFunction};
 
 /// Hyper-parameters of the glowworm swarm.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -254,14 +254,14 @@ impl GlowwormSwarm {
         for _iteration in 0..params.iterations {
             iterations_run += 1;
 
-            // Phase 1: luciferin update (Eq. 6). Fitness evaluations are independent, so
-            // they fan out over the thread pool; results come back in glowworm order, which
-            // keeps the run deterministic for any thread count. Invalid candidates
-            // (non-finite fitness) receive no enhancement, so their luciferin decays and
-            // they stop attracting neighbours.
-            let evaluated = parallel_map(positions.iter().collect(), threads, |p: &&Vec<f64>| {
-                fitness.fitness(p)
-            });
+            // Phase 1: luciferin update (Eq. 6). The whole swarm is evaluated in one batch
+            // through `FitnessFunction::fitness_batch` (contiguous candidate blocks fan out
+            // over the thread pool); results come back in glowworm order and candidates are
+            // independent, so the run is deterministic for any thread count and for batched
+            // and unbatched fitness implementations alike. Invalid candidates (non-finite
+            // fitness) receive no enhancement, so their luciferin decays and they stop
+            // attracting neighbours.
+            let evaluated = evaluate_swarm(fitness, &positions, threads);
             fitness_evaluations += params.glowworms;
             let mut total_change = 0.0;
             for (i, value) in evaluated.into_iter().enumerate() {
@@ -370,9 +370,7 @@ impl GlowwormSwarm {
         // at the final positions so `Glowworm::fitness` matches `Glowworm::position` — the
         // fittest glowworms ride the constraint boundary, where a stale value routinely
         // flips validity.
-        current_fitness = parallel_map(positions.iter().collect(), threads, |p: &&Vec<f64>| {
-            fitness.fitness(p)
-        });
+        current_fitness = evaluate_swarm(fitness, &positions, threads);
         fitness_evaluations += params.glowworms;
         let glowworms = positions
             .into_iter()

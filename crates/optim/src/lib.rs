@@ -12,7 +12,12 @@
 //!   comparison of Section V-B.
 //!
 //! The swarm optimizers act on an abstract [`fitness::FitnessFunction`], so they are reusable
-//! for any objective; `surf-core` wires them to the paper's surrogate-backed objective.
+//! for any objective; `surf-core` wires them to the paper's surrogate-backed objective. Both
+//! swarms evaluate a whole iteration's candidates through
+//! [`fitness::FitnessFunction::fitness_batch`] (see [`fitness::evaluate_swarm`]), so a
+//! batch-capable fitness — SuRF's compiled surrogate — amortizes its per-call cost over the
+//! entire swarm; results are identical for batched and unbatched implementations and for
+//! every thread count.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -22,7 +27,7 @@ pub mod naive;
 pub mod prim;
 pub mod pso;
 
-pub use fitness::FitnessFunction;
+pub use fitness::{evaluate_swarm, FitnessFunction};
 pub use gso::{GlowwormSwarm, GsoParams, GsoResult};
 pub use naive::{NaiveParams, NaiveSearch};
 pub use prim::{Prim, PrimParams};

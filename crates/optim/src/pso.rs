@@ -4,12 +4,20 @@
 //! Optimization" — PSO converges to a *single* global optimum, so it cannot return the
 //! multiple regions SuRF needs, but it is a useful unimodal reference and is exercised by the
 //! ablation benches.
+//!
+//! The update rule is the *synchronous* variant: every particle moves against the previous
+//! iteration's personal/global bests, then the whole swarm is evaluated in one batch through
+//! [`FitnessFunction::fitness_batch`], then all bests are updated. This is what lets a
+//! batch-capable fitness (SuRF's compiled surrogate) see the entire swarm per iteration, and
+//! it makes the trajectory identical for every thread count and for batched and unbatched
+//! fitness implementations.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use surf_ml::parallel::resolve_threads;
 
-use crate::fitness::FitnessFunction;
+use crate::fitness::{evaluate_swarm, FitnessFunction};
 
 /// Hyper-parameters of the particle swarm.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -26,6 +34,9 @@ pub struct PsoParams {
     pub social: f64,
     /// Maximum velocity as a fraction of each variable's extent.
     pub max_velocity_fraction: f64,
+    /// OS threads used to evaluate particle fitness each iteration: `0` = automatic,
+    /// `1` = sequential, `n` = exactly `n`. The trajectory is identical for every count.
+    pub threads: usize,
     /// RNG seed.
     pub seed: u64,
 }
@@ -39,6 +50,7 @@ impl Default for PsoParams {
             cognitive: 1.49,
             social: 1.49,
             max_velocity_fraction: 0.2,
+            threads: 0,
             seed: 0,
         }
     }
@@ -63,6 +75,12 @@ impl PsoParams {
     /// Builder-style override of the iteration budget.
     pub fn with_iterations(mut self, iterations: usize) -> Self {
         self.iterations = iterations;
+        self
+    }
+
+    /// Builder-style override of the fitness-evaluation thread count (`0` = automatic).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 }
@@ -97,6 +115,7 @@ impl ParticleSwarm {
         let bounds = fitness.bounds();
         let dims = bounds.dimensions();
         let extents = bounds.extents();
+        let threads = resolve_threads(params.threads);
         let mut rng = StdRng::seed_from_u64(params.seed);
 
         let mut positions: Vec<Vec<f64>> = (0..params.particles)
@@ -118,13 +137,13 @@ impl ParticleSwarm {
             .collect();
 
         let mut personal_best = positions.clone();
-        let mut personal_best_fitness: Vec<f64> = positions
-            .iter()
-            .map(|p| finite_or_neg_inf(fitness.fitness(p)))
+        let mut personal_best_fitness: Vec<f64> = evaluate_swarm(fitness, &positions, threads)
+            .into_iter()
+            .map(finite_or_neg_inf)
             .collect();
         let mut evaluations = params.particles;
 
-        let (mut global_best_index, _) = personal_best_fitness.iter().enumerate().fold(
+        let (global_best_index, _) = personal_best_fitness.iter().enumerate().fold(
             (0, f64::NEG_INFINITY),
             |acc, (i, &f)| if f > acc.1 { (i, f) } else { acc },
         );
@@ -133,6 +152,8 @@ impl ParticleSwarm {
         let mut history = Vec::with_capacity(params.iterations);
 
         for _ in 0..params.iterations {
+            // Movement phase: every particle moves against the *previous* iteration's bests
+            // (synchronous PSO), so the whole swarm can be evaluated in one batch below.
             for i in 0..params.particles {
                 for d in 0..dims {
                     let r1: f64 = rng.random();
@@ -146,20 +167,24 @@ impl ParticleSwarm {
                     positions[i][d] += velocity;
                 }
                 bounds.clamp(&mut positions[i]);
+            }
 
-                let value = finite_or_neg_inf(fitness.fitness(&positions[i]));
-                evaluations += 1;
+            // Evaluation phase: the whole swarm in one `fitness_batch` pass.
+            let values = evaluate_swarm(fitness, &positions, threads);
+            evaluations += params.particles;
+
+            // Update phase, in particle order.
+            for (i, value) in values.into_iter().enumerate() {
+                let value = finite_or_neg_inf(value);
                 if value > personal_best_fitness[i] {
                     personal_best_fitness[i] = value;
                     personal_best[i] = positions[i].clone();
                     if value > global_best_fitness {
                         global_best_fitness = value;
-                        global_best_index = i;
                         global_best = positions[i].clone();
                     }
                 }
             }
-            let _ = global_best_index;
             history.push(global_best_fitness);
         }
 

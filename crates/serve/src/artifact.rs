@@ -32,8 +32,9 @@ use crate::error::ServeError;
 /// The artifact layout version this build reads and writes.
 ///
 /// Version history: `1` — initial layout; `2` — `GbrtParams` gained the `max_bins`
-/// histogram-engine knob (nested in `SurfState::config`), changing the fitted-state layout.
-pub const SCHEMA_VERSION: u64 = 2;
+/// histogram-engine knob (nested in `SurfState::config`), changing the fitted-state layout;
+/// `3` — `GbrtParams` gained the `colsample` per-tree feature-subsampling knob.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Descriptive metadata of a persisted surrogate, denormalized out of the fitted state so
 /// registries and `/models` listings can describe a model cheaply.

@@ -43,8 +43,10 @@ impl Default for CacheConfig {
 }
 
 /// A cache key: model name + the region bounds quantized onto the decimal lattice.
+/// `pub(crate)` (opaque) so the `/predict` handler can deduplicate a request's cache misses
+/// by the same identity the cache itself uses.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct CacheKey {
+pub(crate) struct CacheKey {
     model: String,
     /// Registration generation of the model (see `ModelRegistry`). A hot-swapped or
     /// re-registered model gets a fresh generation, so an in-flight request racing the swap
@@ -129,7 +131,7 @@ impl PredictionCache {
     }
 
     /// Builds the quantized key for a `(model, generation, region)` triple.
-    fn key(&self, model: &str, generation: u64, region: &Region) -> CacheKey {
+    pub(crate) fn key(&self, model: &str, generation: u64, region: &Region) -> CacheKey {
         let d = region.dimensions();
         let mut bounds = Vec::with_capacity(2 * d);
         for dim in 0..d {

@@ -207,9 +207,10 @@ fn predict(context: &ServeContext, body: &str) -> Result<String, ServeError> {
     }
 
     let model = context.registry.get(&request.model)?;
-    let mut predictions = Vec::with_capacity(specs.len());
-    let mut cache_hits = 0;
-    let mut cache_misses = 0;
+    // Validate every region up front, then split the batch into cache hits and misses; the
+    // misses are answered in one `Surrogate::predict_batch` call — a single blocked pass of
+    // the model's compiled ensemble instead of one tree-walk per region.
+    let mut regions = Vec::with_capacity(specs.len());
     for spec in &specs {
         let region = spec.to_region()?;
         if region.dimensions() != model.metadata.dimensions {
@@ -220,19 +221,59 @@ fn predict(context: &ServeContext, body: &str) -> Result<String, ServeError> {
                 model.metadata.dimensions
             )));
         }
-        match context.cache.get(&model.name, model.generation, &region) {
+        regions.push(region);
+    }
+    let mut predictions = vec![f64::NAN; regions.len()];
+    let mut miss_regions: Vec<Region> = Vec::new();
+    // (response slot, index into `miss_regions`): misses are deduplicated by the cache's own
+    // key, so a region repeated within one request is predicted once and its repeats take
+    // the cache-hit path — exactly as they did when misses were answered one by one.
+    let mut pending: Vec<(usize, usize)> = Vec::new();
+    let mut unique = std::collections::HashMap::new();
+    let mut cache_hits = 0;
+    let mut cache_misses = 0;
+    for (slot, region) in regions.iter().enumerate() {
+        match context.cache.get(&model.name, model.generation, region) {
             Some(value) => {
                 cache_hits += 1;
-                predictions.push(value);
+                predictions[slot] = value;
             }
             None => {
-                cache_misses += 1;
-                let value = surf_core::Surrogate::predict(model.engine.surrogate(), &region);
-                context
-                    .cache
-                    .insert(&model.name, model.generation, &region, value);
-                predictions.push(value);
+                let key = context.cache.key(&model.name, model.generation, region);
+                let index = *unique.entry(key).or_insert_with(|| {
+                    miss_regions.push(region.clone());
+                    miss_regions.len() - 1
+                });
+                pending.push((slot, index));
             }
+        }
+    }
+    if !miss_regions.is_empty() {
+        let values = surf_core::Surrogate::predict_batch(model.engine.surrogate(), &miss_regions);
+        let mut inserted = vec![false; miss_regions.len()];
+        for (slot, index) in pending {
+            if inserted[index] {
+                // A later duplicate: served from the cache entry its first occurrence just
+                // inserted (falling through to a re-insert on the rare concurrent eviction).
+                if let Some(value) =
+                    context
+                        .cache
+                        .get(&model.name, model.generation, &miss_regions[index])
+                {
+                    cache_hits += 1;
+                    predictions[slot] = value;
+                    continue;
+                }
+            }
+            inserted[index] = true;
+            cache_misses += 1;
+            context.cache.insert(
+                &model.name,
+                model.generation,
+                &miss_regions[index],
+                values[index],
+            );
+            predictions[slot] = values[index];
         }
     }
     to_json(&PredictResponse {

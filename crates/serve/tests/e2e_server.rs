@@ -168,6 +168,18 @@ fn end_to_end_serving() {
         );
     }
 
+    // --- batched predict with duplicates: one miss, repeats are hits --------------------
+    let fresh = Region::new(vec![0.42, 0.17], vec![0.04, 0.06]).unwrap();
+    let duplicates = vec![fresh.clone(), fresh.clone(), fresh.clone()];
+    let (status, body) = post(&addr, "/predict", &predict_body("hotspots", &duplicates));
+    assert_eq!(status, 200);
+    let response: PredictResponse = serde_json::from_str(&body).unwrap();
+    assert_eq!((response.cache_hits, response.cache_misses), (2, 1));
+    let expected_fresh = local_engine.surrogate().predict(&fresh);
+    for served in &response.predictions {
+        assert_eq!(served.to_bits(), expected_fresh.to_bits());
+    }
+
     // --- mine: the restored engine mines the exact same regions ------------------------
     let (status, body) = post(
         &addr,

@@ -75,6 +75,7 @@ pub mod prelude {
         workload::{Workload, WorkloadSpec},
     };
     pub use surf_ml::{
+        compiled::CompiledEnsemble,
         gbrt::{Gbrt, GbrtParams},
         kde::KernelDensity,
         matrix::FeatureMatrix,
