@@ -1,0 +1,195 @@
+//! Inline allowlist escape hatches: `// lint: allow(<rule>) — <reason>`.
+//!
+//! Every rule in this crate can be silenced at a specific site, but only with a written
+//! justification. A directive is a comment of the form
+//!
+//! ```text
+//! // lint: allow(panic-path) — poisoning here means the process is already dead
+//! ```
+//!
+//! and covers exactly one line of code:
+//!
+//! * a **trailing** directive (code precedes it on the same line) covers its own line;
+//! * a **standalone** directive covers the next line that contains code (skipping blank
+//!   lines and further comments).
+//!
+//! Several rules may be allowed at once (`allow(panic-path, lock-hygiene)`). A directive
+//! without a reason — nothing after the closing parenthesis beyond dashes/colons — is
+//! itself reported as a finding: the escape hatch *is* the documentation, so an
+//! undocumented escape defeats the point.
+
+use crate::lexer::{Comment, Scanned};
+use crate::Diagnostic;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The parsed allow directives of one file.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    /// rule name → set of covered 1-based lines.
+    covered: BTreeMap<String, BTreeSet<usize>>,
+    /// Malformed directives (missing reason, unparseable rule list).
+    pub problems: Vec<(usize, String)>,
+}
+
+impl Allowlist {
+    /// Extracts directives from a scanned file.
+    pub fn from_scanned(scanned: &Scanned) -> Self {
+        let mut list = Allowlist::default();
+        let code_lines: Vec<&str> = scanned.code.lines().collect();
+        for comment in &scanned.comments {
+            list.ingest(comment, &code_lines);
+        }
+        list
+    }
+
+    fn ingest(&mut self, comment: &Comment, code_lines: &[&str]) {
+        // Directives live in plain `//` / `/* */` comments only: doc comments are
+        // documentation (and may legitimately *describe* the directive syntax).
+        if comment.text.starts_with("///")
+            || comment.text.starts_with("//!")
+            || comment.text.starts_with("/**")
+            || comment.text.starts_with("/*!")
+        {
+            return;
+        }
+        let Some(pos) = comment.text.find("lint:") else {
+            return;
+        };
+        let rest = comment.text[pos + "lint:".len()..].trim_start();
+        let Some(rest) = rest.strip_prefix("allow") else {
+            self.problems.push((
+                comment.line,
+                format!("unrecognized lint directive `{}`", comment.text.trim()),
+            ));
+            return;
+        };
+        let rest = rest.trim_start();
+        let (rules, reason) = match rest.strip_prefix('(').and_then(|r| r.split_once(')')) {
+            Some((rules, reason)) => (rules, reason),
+            None => {
+                self.problems.push((
+                    comment.line,
+                    "malformed allow directive: expected `lint: allow(<rule>) — <reason>`"
+                        .to_string(),
+                ));
+                return;
+            }
+        };
+        let reason = reason
+            .trim_start_matches(|c: char| {
+                c.is_whitespace() || matches!(c, '—' | '–' | '-' | ':' | ',')
+            })
+            .trim_end_matches(['*', '/'])
+            .trim();
+        if reason.is_empty() {
+            self.problems.push((
+                comment.line,
+                format!(
+                    "allow({}) has no justification: write `lint: allow(...) — <reason>`",
+                    rules.trim()
+                ),
+            ));
+            return;
+        }
+        let target = if comment.trailing {
+            Some(comment.line)
+        } else {
+            // The next line (within a short window) that contains code.
+            (comment.line..comment.line + 10)
+                .find(|&l| {
+                    code_lines
+                        .get(l) // line l+1, 0-indexed access
+                        .is_some_and(|text| !text.trim().is_empty())
+                })
+                .map(|l| l + 1)
+        };
+        let Some(target) = target else {
+            self.problems.push((
+                comment.line,
+                "allow directive covers no code line within 10 lines".to_string(),
+            ));
+            return;
+        };
+        for rule in rules.split(',') {
+            let rule = rule.trim();
+            if rule.is_empty() {
+                continue;
+            }
+            self.covered
+                .entry(rule.to_string())
+                .or_default()
+                .insert(target);
+        }
+    }
+
+    /// Whether `rule` is allowed on `line`.
+    pub fn allowed(&self, rule: &str, line: usize) -> bool {
+        self.covered
+            .get(rule)
+            .is_some_and(|lines| lines.contains(&line))
+    }
+
+    /// Malformed directives as diagnostics under the given rule name.
+    pub fn problem_diagnostics(&self, file: &str) -> Vec<Diagnostic> {
+        self.problems
+            .iter()
+            .map(|(line, message)| Diagnostic::new("allow-directive", file, *line, message))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+
+    #[test]
+    fn trailing_directive_covers_its_own_line() {
+        let s = scan("let x = m.lock(); // lint: allow(lock-hygiene) — justified\n");
+        let a = Allowlist::from_scanned(&s);
+        assert!(a.allowed("lock-hygiene", 1));
+        assert!(!a.allowed("lock-hygiene", 2));
+        assert!(!a.allowed("panic-path", 1));
+    }
+
+    #[test]
+    fn standalone_directive_covers_next_code_line() {
+        let src = "// lint: allow(panic-path) — the process is unrecoverable here\n\n// another comment\nx.unwrap();\n";
+        let a = Allowlist::from_scanned(&scan(src));
+        assert!(a.allowed("panic-path", 4));
+        assert!(!a.allowed("panic-path", 1));
+    }
+
+    #[test]
+    fn multiple_rules_in_one_directive() {
+        let src = "y(); // lint: allow(panic-path, lock-hygiene) — both justified\n";
+        let a = Allowlist::from_scanned(&scan(src));
+        assert!(a.allowed("panic-path", 1));
+        assert!(a.allowed("lock-hygiene", 1));
+    }
+
+    #[test]
+    fn missing_reason_is_a_problem() {
+        let src = "x.unwrap(); // lint: allow(panic-path)\n";
+        let a = Allowlist::from_scanned(&scan(src));
+        assert!(!a.allowed("panic-path", 1));
+        assert_eq!(a.problems.len(), 1);
+    }
+
+    #[test]
+    fn doc_comments_describing_the_syntax_are_not_directives() {
+        let src = "/// Escape hatch: `// lint: allow(panic-path) — reason`.\n//! Same in `lint: allow` module docs.\nfn f() { x.unwrap(); }\n";
+        let a = Allowlist::from_scanned(&scan(src));
+        assert!(!a.allowed("panic-path", 3));
+        assert!(a.problems.is_empty(), "{:?}", a.problems);
+    }
+
+    #[test]
+    fn em_dash_and_plain_separators_both_work() {
+        for sep in ["—", "-", ":"] {
+            let src = format!("x(); // lint: allow(r) {sep} reason\n");
+            let a = Allowlist::from_scanned(&scan(&src));
+            assert!(a.allowed("r", 1), "separator {sep:?}");
+        }
+    }
+}

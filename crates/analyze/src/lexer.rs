@@ -1,0 +1,439 @@
+//! A small Rust source scanner — not a parser.
+//!
+//! The rules in this crate need exactly two views of a source file:
+//!
+//! 1. a **code view** — the original text with every comment and every string/char-literal
+//!    *body* blanked out (replaced byte-for-byte with spaces, newlines preserved), so that
+//!    naive token scans cannot be fooled by `"call .unwrap() here"` appearing inside a
+//!    string or a doc comment, and so byte offsets and line numbers stay identical to the
+//!    original file;
+//! 2. the **comments** — every `//`, `///`, `//!` and `/* ... */` comment with its starting
+//!    line and whether code precedes it on that line, which is where `// lint: allow(...)`
+//!    directives and `// SAFETY:` justifications live.
+//!
+//! The scanner understands escapes in string/char literals, raw strings (`r"…"`,
+//! `r#"…"#`, `br##"…"##`), nested block comments, and the `'a` lifetime-vs-`'a'`
+//! char-literal ambiguity. It deliberately does **not** build a syntax tree: every rule
+//! works on identifier scans plus brace/semicolon tracking over the code view, which is
+//! both auditable and fast.
+
+/// One comment extracted from a source file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: usize,
+    /// Full comment text, including the `//` / `/*` marker.
+    pub text: String,
+    /// Whether non-whitespace code precedes the comment on its starting line.
+    pub trailing: bool,
+}
+
+/// The two views of a scanned source file (see the module docs).
+#[derive(Debug, Clone)]
+pub struct Scanned {
+    /// The code view: same byte length and line structure as the input, with comments and
+    /// literal bodies blanked.
+    pub code: String,
+    /// Every comment, in file order.
+    pub comments: Vec<Comment>,
+}
+
+/// Scans a source file into its code view and comment list.
+pub fn scan(source: &str) -> Scanned {
+    let bytes = source.as_bytes();
+    let mut code = bytes.to_vec();
+    let mut comments = Vec::new();
+    let mut i = 0;
+    let mut line = 1usize;
+    let mut line_has_code = false;
+
+    // Blanks `code[from..to]`, preserving newlines so line numbers survive.
+    fn blank(code: &mut [u8], from: usize, to: usize) {
+        for b in &mut code[from..to] {
+            if *b != b'\n' {
+                *b = b' ';
+            }
+        }
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                line_has_code = false;
+                i += 1;
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                comments.push(Comment {
+                    line,
+                    text: source[start..i].to_string(),
+                    trailing: line_has_code,
+                });
+                blank(&mut code, start, i);
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                let start = i;
+                let start_line = line;
+                let trailing = line_has_code;
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                comments.push(Comment {
+                    line: start_line,
+                    text: source[start..i].to_string(),
+                    trailing,
+                });
+                blank(&mut code, start, i);
+                line_has_code = false;
+            }
+            b'"' => {
+                // Check for a raw-string opener ending at this quote: [b] r #* "
+                let mut back = i;
+                while back > 0 && bytes[back - 1] == b'#' {
+                    back -= 1;
+                }
+                let hashes = i - back;
+                let is_raw = back > 0
+                    && bytes[back - 1] == b'r'
+                    && (back < 2 || !is_ident_byte(bytes[back - 2]) || bytes[back - 2] == b'b')
+                    && (back < 2
+                        || bytes[back - 2] != b'b'
+                        || back < 3
+                        || !is_ident_byte(bytes[back - 3]));
+                i += 1;
+                let body_start = i;
+                if is_raw && hashes > 0 {
+                    // r#"..."# — closing is `"` followed by `hashes` hashes.
+                    loop {
+                        if i >= bytes.len() {
+                            break;
+                        }
+                        if bytes[i] == b'"'
+                            && bytes[i + 1..]
+                                .iter()
+                                .take(hashes)
+                                .filter(|&&c| c == b'#')
+                                .count()
+                                == hashes
+                        {
+                            break;
+                        }
+                        if bytes[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                    blank(&mut code, body_start, i.min(bytes.len()));
+                    i = (i + 1 + hashes).min(bytes.len());
+                } else {
+                    // Ordinary string (escapes honored) or hash-less raw string (no escapes).
+                    let escapes = !is_raw;
+                    while i < bytes.len() {
+                        if bytes[i] == b'"' {
+                            break;
+                        }
+                        if escapes && bytes[i] == b'\\' {
+                            i += 1;
+                        }
+                        if i < bytes.len() && bytes[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                    blank(&mut code, body_start, i.min(bytes.len()));
+                    i = (i + 1).min(bytes.len());
+                }
+                line_has_code = true;
+            }
+            b'\'' => {
+                // Lifetime (`'a`), loop label (`'outer:`) or char literal (`'a'`, `'\n'`)?
+                let rest = &source[i + 1..];
+                let mut chars = rest.chars();
+                match chars.next() {
+                    Some('\\') => {
+                        // Escaped char literal: scan to the closing quote.
+                        let start = i + 1;
+                        i += 2;
+                        while i < bytes.len() && bytes[i] != b'\'' {
+                            if bytes[i] == b'\\' {
+                                i += 1;
+                            }
+                            i += 1;
+                        }
+                        blank(&mut code, start, i.min(bytes.len()));
+                        i = (i + 1).min(bytes.len());
+                    }
+                    Some(c) if chars.next() == Some('\'') && c != '\'' => {
+                        // Plain char literal 'c' (possibly multi-byte).
+                        let start = i + 1;
+                        i += 1 + c.len_utf8() + 1;
+                        blank(&mut code, start, i - 1);
+                    }
+                    _ => {
+                        // Lifetime or label: leave it in the code view.
+                        i += 1;
+                    }
+                }
+                line_has_code = true;
+            }
+            _ => {
+                if !b.is_ascii_whitespace() {
+                    line_has_code = true;
+                }
+                i += 1;
+            }
+        }
+    }
+
+    Scanned {
+        // The blanking above only ever writes ASCII spaces over non-newline bytes; multi-byte
+        // UTF-8 sequences are either left intact or blanked whole, so this cannot fail.
+        code: String::from_utf8_lossy(&code).into_owned(),
+        comments,
+    }
+}
+
+/// Whether a byte can appear in an identifier.
+pub fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// An identifier occurrence in a code view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ident<'a> {
+    /// The identifier text.
+    pub text: &'a str,
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+/// Iterates every identifier (including keywords) in a code view.
+pub fn idents(code: &str) -> Vec<Ident<'_>> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i].is_ascii_alphabetic() || bytes[i] == b'_' {
+            let start = i;
+            while i < bytes.len() && is_ident_byte(bytes[i]) {
+                i += 1;
+            }
+            out.push(Ident {
+                text: &code[start..i],
+                start,
+                end: i,
+            });
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// 1-based line number of a byte offset.
+pub fn line_of(code: &str, offset: usize) -> usize {
+    code.as_bytes()[..offset.min(code.len())]
+        .iter()
+        .filter(|&&b| b == b'\n')
+        .count()
+        + 1
+}
+
+/// First non-whitespace byte at or after `from`, if any.
+pub fn next_nonspace(code: &str, from: usize) -> Option<(usize, u8)> {
+    code.as_bytes()
+        .iter()
+        .enumerate()
+        .skip(from)
+        .find(|(_, b)| !b.is_ascii_whitespace())
+        .map(|(i, b)| (i, *b))
+}
+
+/// Last non-whitespace byte strictly before `before`, if any.
+pub fn prev_nonspace(code: &str, before: usize) -> Option<(usize, u8)> {
+    code.as_bytes()[..before.min(code.len())]
+        .iter()
+        .enumerate()
+        .rev()
+        .find(|(_, b)| !b.is_ascii_whitespace())
+        .map(|(i, b)| (i, *b))
+}
+
+/// Byte offset of the matching `}`/`)`/`]` for the opener at `open` (which must point at
+/// one), or the end of the code if unbalanced.
+pub fn matching_close(code: &str, open: usize) -> usize {
+    let bytes = code.as_bytes();
+    let (o, c) = match bytes[open] {
+        b'{' => (b'{', b'}'),
+        b'(' => (b'(', b')'),
+        b'[' => (b'[', b']'),
+        _ => return open,
+    };
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        if b == o {
+            depth += 1;
+        } else if b == c {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    code.len()
+}
+
+/// Blanks every `#[cfg(test)]`-gated item (attribute through the end of the following
+/// brace-matched item or terminating semicolon) out of a code view, so rules that only
+/// govern production code skip test modules and test helpers.
+///
+/// `#[cfg(not(test))]` and other predicates are left untouched: only an attribute whose
+/// whitespace-stripped content is exactly `cfg(test)` counts.
+pub fn mask_cfg_test(code: &str) -> String {
+    let bytes = code.as_bytes();
+    let mut out = bytes.to_vec();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'#' {
+            // `#` then optional whitespace then `[`.
+            let Some((open, b'[')) = next_nonspace(code, i + 1) else {
+                i += 1;
+                continue;
+            };
+            let close = matching_close(code, open);
+            let content: String = code[open + 1..close]
+                .chars()
+                .filter(|c| !c.is_whitespace())
+                .collect();
+            if content != "cfg(test)" {
+                i = close + 1;
+                continue;
+            }
+            // Skip any further attributes between this one and the item it gates.
+            let mut cursor = close + 1;
+            while let Some((p, b)) = next_nonspace(code, cursor) {
+                if b == b'#' {
+                    if let Some((open2, b'[')) = next_nonspace(code, p + 1) {
+                        cursor = matching_close(code, open2) + 1;
+                        continue;
+                    }
+                }
+                break;
+            }
+            // The gated item extends to the first `;` at nesting depth zero or through the
+            // matching brace of the first `{` (whichever comes first in the token stream).
+            let mut j = cursor;
+            let mut end = code.len();
+            while j < bytes.len() {
+                match bytes[j] {
+                    b';' => {
+                        end = j + 1;
+                        break;
+                    }
+                    b'{' => {
+                        end = matching_close(code, j) + 1;
+                        break;
+                    }
+                    _ => j += 1,
+                }
+            }
+            let end = end.min(bytes.len());
+            for b in &mut out[i..end] {
+                if *b != b'\n' {
+                    *b = b' ';
+                }
+            }
+            i = end;
+        } else {
+            i += 1;
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked_but_lines_survive() {
+        let src = "let a = \"call .unwrap() here\"; // and .expect() there\nlet b = 1;\n";
+        let scanned = scan(src);
+        assert!(!scanned.code.contains("unwrap"));
+        assert!(!scanned.code.contains("expect"));
+        assert_eq!(scanned.code.len(), src.len());
+        assert_eq!(scanned.code.matches('\n').count(), 2);
+        assert_eq!(scanned.comments.len(), 1);
+        assert!(scanned.comments[0].trailing);
+        assert_eq!(scanned.comments[0].line, 1);
+    }
+
+    #[test]
+    fn raw_strings_and_char_literals() {
+        let src = r##"let r = r#"has .unwrap() and "quotes""#; let c = '\''; let l: &'static str = "x";"##;
+        let scanned = scan(src);
+        assert!(!scanned.code.contains("unwrap"));
+        assert!(scanned.code.contains("'static"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner .unwrap() */ still comment */ fn f() {}";
+        let scanned = scan(src);
+        assert!(!scanned.code.contains("unwrap"));
+        assert!(scanned.code.contains("fn f"));
+        assert_eq!(scanned.comments.len(), 1);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        let scanned = scan(src);
+        assert!(scanned.code.contains("'a"));
+        assert!(scanned.code.contains("{ x }"));
+    }
+
+    #[test]
+    fn cfg_test_blocks_are_masked() {
+        let src = "fn live() { a.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { b.unwrap(); }\n}\nfn after() { c(); }\n";
+        let masked = mask_cfg_test(&scan(src).code);
+        assert!(masked.contains("a.unwrap"));
+        assert!(!masked.contains("b.unwrap"));
+        assert!(masked.contains("fn after"));
+    }
+
+    #[test]
+    fn cfg_not_test_is_kept() {
+        let src = "#[cfg(not(test))]\nfn live() { a.unwrap(); }\n";
+        let masked = mask_cfg_test(&scan(src).code);
+        assert!(masked.contains("a.unwrap"));
+    }
+
+    #[test]
+    fn idents_and_lines() {
+        let code = "fn foo() {\n    bar.unwrap();\n}\n";
+        let ids = idents(code);
+        let unwrap = ids.iter().find(|i| i.text == "unwrap").unwrap();
+        assert_eq!(line_of(code, unwrap.start), 2);
+    }
+}

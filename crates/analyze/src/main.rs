@@ -1,0 +1,99 @@
+//! `surf-analyze` CLI: the static-analysis gate as a build step.
+//!
+//! ```text
+//! surf-analyze check [--root DIR]     # run all rules; exit 1 on any finding
+//! surf-analyze list                   # describe the rules and their escape hatches
+//! surf-analyze baseline [--root DIR]  # (re)generate vendor manifest + allowlist template
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use surf_analyze::{find_workspace_root, rules, run_baseline, run_check};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = args.first().map(String::as_str);
+    let root = match parse_root(&args) {
+        Ok(root) => root,
+        Err(msg) => {
+            eprintln!("surf-analyze: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match command {
+        Some("check") => match run_check(&root) {
+            Ok(diags) if diags.is_empty() => {
+                println!("surf-analyze: all rules clean ({})", root.display());
+                ExitCode::SUCCESS
+            }
+            Ok(diags) => {
+                for d in &diags {
+                    println!("{d}");
+                }
+                println!(
+                    "surf-analyze: {} finding(s); silence a site with \
+                     `// lint: allow(<rule>) — <reason>` or run `surf-analyze list`",
+                    diags.len()
+                );
+                ExitCode::FAILURE
+            }
+            Err(e) => {
+                eprintln!("surf-analyze: check failed: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("list") => {
+            for rule in rules::RULES {
+                println!("{}", rule.name);
+                println!("    invariant: {}", rule.summary);
+                println!("    escape:    {}", rule.escape);
+            }
+            ExitCode::SUCCESS
+        }
+        Some("baseline") => match run_baseline(&root) {
+            Ok(actions) => {
+                for action in actions {
+                    println!("surf-analyze: {action}");
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("surf-analyze: baseline failed: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        _ => {
+            eprintln!(
+                "usage: surf-analyze <check|list|baseline> [--root DIR]\n\
+                 \n\
+                 check     run every rule over the workspace; nonzero exit on findings\n\
+                 list      describe the rules and how to silence a finding\n\
+                 baseline  regenerate analyze/vendor_manifest.txt (and the unsafe-boundary\n\
+                 \u{20}         allowlist template if missing)"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Resolves `--root DIR` or discovers the workspace root from the current directory.
+fn parse_root(args: &[String]) -> Result<PathBuf, String> {
+    if let Some(pos) = args.iter().position(|a| a == "--root") {
+        let dir = args
+            .get(pos + 1)
+            .ok_or_else(|| "--root requires a directory argument".to_string())?;
+        let path = PathBuf::from(dir);
+        if !path.is_dir() {
+            return Err(format!("--root {dir}: not a directory"));
+        }
+        return Ok(path);
+    }
+    let cwd = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    find_workspace_root(&cwd).ok_or_else(|| {
+        "no workspace root found (no ancestor Cargo.toml with [workspace]); pass --root".to_string()
+    })
+}

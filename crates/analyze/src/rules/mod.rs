@@ -1,0 +1,53 @@
+//! The five invariants `surf-analyze` enforces. Each rule module exposes its `NAME`, a
+//! scope predicate (`governs` or crate-level targeting), and a pure `check_*` entry point
+//! over pre-lexed sources so the fixtures in its tests never touch the filesystem.
+
+pub mod float_determinism;
+pub mod lock_hygiene;
+pub mod panic_path;
+pub mod unsafe_boundary;
+pub mod vendor_integrity;
+
+/// Static description of one rule, for `surf-analyze list`.
+pub struct RuleInfo {
+    /// Rule name as used in diagnostics and `// lint: allow(<name>)` directives.
+    pub name: &'static str,
+    /// One-line statement of the invariant.
+    pub summary: &'static str,
+    /// How to legitimately get past the rule when it is wrong or deliberate.
+    pub escape: &'static str,
+}
+
+/// All rules, in the order `check` runs them.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        name: panic_path::NAME,
+        summary: "no unwrap/expect/panic!/unreachable!/todo!/unimplemented! in serve \
+                  request-handling modules (server, registry, cache, routes, http)",
+        escape: "// lint: allow(panic-path) — <reason>",
+    },
+    RuleInfo {
+        name: lock_hygiene::NAME,
+        summary: "no second lock acquisition or blocking I/O while a Mutex/RwLock guard is \
+                  live, and the cross-function lock acquisition-order graph must be acyclic",
+        escape: "// lint: allow(lock-hygiene) — <reason>  (order cycles cannot be allowed)",
+    },
+    RuleInfo {
+        name: unsafe_boundary::NAME,
+        summary: "every workspace crate root carries #![forbid(unsafe_code)] unless listed \
+                  in analyze/unsafe_boundary.toml, where each unsafe needs a // SAFETY: note",
+        escape: "add the crate to analyze/unsafe_boundary.toml with a written reason",
+    },
+    RuleInfo {
+        name: float_determinism::NAME,
+        summary: "no float accumulation over unordered HashMap/HashSet iteration in the \
+                  parity-critical modules (ml tree/compiled/matrix, data index*)",
+        escape: "// lint: allow(float-determinism) — <reason>",
+    },
+    RuleInfo {
+        name: vendor_integrity::NAME,
+        summary: "vendor/ matches the recorded content-hash manifest \
+                  (analyze/vendor_manifest.txt)",
+        escape: "regenerate the manifest: cargo run -p surf-analyze -- baseline",
+    },
+];

@@ -1,0 +1,243 @@
+//! **vendor-integrity** — vendored dependencies cannot drift silently.
+//!
+//! The workspace vendors every third-party crate under `vendor/` (no network at build
+//! time), which also means vendored code is exempt from the source rules: nobody reviews a
+//! vendor diff line by line. The compensating control is a checked-in content-hash
+//! manifest, `analyze/vendor_manifest.txt`: one `fnv1a64-hex  path` line per vendored
+//! file, sorted by path. Any edit, addition or deletion under `vendor/` changes the
+//! manifest, so it must be regenerated (`surf-analyze baseline`) and show up in review as
+//! an explicit, deliberate diff — a quiet one-character patch to a vendored crate fails
+//! the gate.
+//!
+//! The hash is FNV-1a (64-bit): trivially implementable without dependencies (this tool
+//! must not pull any in) and plenty for drift *detection*, which is an accident control,
+//! not a tamper-proof seal — the manifest lives in the same repository as the code it
+//! covers.
+
+use crate::Diagnostic;
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Rule name as used in diagnostics.
+pub const NAME: &str = "vendor-integrity";
+
+/// Workspace-relative path of the manifest.
+pub const MANIFEST_PATH: &str = "analyze/vendor_manifest.txt";
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64-bit over raw bytes.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Hashes every file under `vendor/`, keyed by workspace-relative path (sorted by the
+/// `BTreeMap`). An absent `vendor/` directory yields an empty map.
+pub fn hash_vendor_tree(root: &Path) -> io::Result<BTreeMap<String, u64>> {
+    let mut hashes = BTreeMap::new();
+    let vendor = root.join("vendor");
+    if vendor.is_dir() {
+        hash_dir(root, &vendor, &mut hashes)?;
+    }
+    Ok(hashes)
+}
+
+fn hash_dir(root: &Path, dir: &Path, out: &mut BTreeMap<String, u64>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            hash_dir(root, &path, out)?;
+        } else {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.insert(rel, fnv1a64(&fs::read(&path)?));
+        }
+    }
+    Ok(())
+}
+
+/// Renders a hash map in manifest format: `<hex16>  <path>\n`, sorted by path.
+pub fn render_manifest(hashes: &BTreeMap<String, u64>) -> String {
+    let mut out = String::from(
+        "# vendor-integrity manifest — FNV-1a-64 content hashes of every file under vendor/.\n\
+         # Regenerate after any deliberate vendor change:  cargo run -p surf-analyze -- baseline\n",
+    );
+    for (path, hash) in hashes {
+        out.push_str(&format!("{hash:016x}  {path}\n"));
+    }
+    out
+}
+
+/// Parses manifest text back into a hash map, reporting malformed lines.
+pub fn parse_manifest(text: &str) -> (BTreeMap<String, u64>, Vec<String>) {
+    let mut hashes = BTreeMap::new();
+    let mut problems = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parsed = line
+            .split_once(char::is_whitespace)
+            .and_then(|(hex, path)| {
+                let path = path.trim();
+                (!path.is_empty())
+                    .then(|| u64::from_str_radix(hex, 16).ok().map(|h| (h, path)))
+                    .flatten()
+            });
+        match parsed {
+            Some((hash, path)) => {
+                hashes.insert(path.to_string(), hash);
+            }
+            None => problems.push(format!("line {}: expected `<hex16>  <path>`", idx + 1)),
+        }
+    }
+    (hashes, problems)
+}
+
+/// Compares the recorded manifest against the vendor tree on disk.
+pub fn check(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let actual = hash_vendor_tree(root)?;
+    let manifest_path = root.join(MANIFEST_PATH);
+    let mut out = Vec::new();
+    let recorded = match fs::read_to_string(&manifest_path) {
+        Ok(text) => {
+            let (recorded, problems) = parse_manifest(&text);
+            for problem in problems {
+                out.push(Diagnostic::new(NAME, MANIFEST_PATH, 1, &problem));
+            }
+            recorded
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            if actual.is_empty() {
+                return Ok(out);
+            }
+            out.push(Diagnostic::new(
+                NAME,
+                MANIFEST_PATH,
+                1,
+                "missing vendor manifest: run `cargo run -p surf-analyze -- baseline` and \
+                 commit the result",
+            ));
+            return Ok(out);
+        }
+        Err(e) => return Err(e),
+    };
+    for (path, hash) in &actual {
+        match recorded.get(path) {
+            Some(recorded_hash) if recorded_hash == hash => {}
+            Some(_) => out.push(Diagnostic::new(
+                NAME,
+                path,
+                1,
+                "vendored file differs from the recorded hash: if the change is deliberate, \
+                 regenerate the manifest with `surf-analyze baseline`",
+            )),
+            None => out.push(Diagnostic::new(
+                NAME,
+                path,
+                1,
+                "vendored file is not in the manifest: regenerate with `surf-analyze baseline`",
+            )),
+        }
+    }
+    for path in recorded.keys() {
+        if !actual.contains_key(path) {
+            out.push(Diagnostic::new(
+                NAME,
+                path,
+                1,
+                "manifest records a vendored file that no longer exists: regenerate with \
+                 `surf-analyze baseline`",
+            ));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let mut hashes = BTreeMap::new();
+        hashes.insert("vendor/a/src/lib.rs".to_string(), 0x1234);
+        hashes.insert("vendor/b/Cargo.toml".to_string(), u64::MAX);
+        let text = render_manifest(&hashes);
+        let (parsed, problems) = parse_manifest(&text);
+        assert!(problems.is_empty(), "{problems:?}");
+        assert_eq!(parsed, hashes);
+    }
+
+    #[test]
+    fn malformed_lines_are_reported() {
+        let (parsed, problems) = parse_manifest("zzzz vendor/x\n0042\n");
+        assert!(parsed.is_empty());
+        assert_eq!(problems.len(), 2, "{problems:?}");
+    }
+
+    #[test]
+    fn drift_and_deletion_are_detected() {
+        let dir =
+            std::env::temp_dir().join(format!("surf-analyze-vendor-test-{}", std::process::id()));
+        let vendor = dir.join("vendor").join("tiny");
+        fs::create_dir_all(&vendor).unwrap();
+        fs::write(vendor.join("lib.rs"), "pub fn one() -> u32 { 1 }\n").unwrap();
+        fs::create_dir_all(dir.join("analyze")).unwrap();
+
+        // Baseline: record, then verify clean.
+        let hashes = hash_vendor_tree(&dir).unwrap();
+        fs::write(dir.join(MANIFEST_PATH), render_manifest(&hashes)).unwrap();
+        assert!(check(&dir).unwrap().is_empty());
+
+        // Drift: edit the vendored file.
+        fs::write(vendor.join("lib.rs"), "pub fn one() -> u32 { 2 }\n").unwrap();
+        let diags = check(&dir).unwrap();
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("differs"));
+
+        // Deletion: remove it entirely.
+        fs::remove_file(vendor.join("lib.rs")).unwrap();
+        let diags = check(&dir).unwrap();
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("no longer exists"));
+
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_manifest_with_vendor_tree_fires() {
+        let dir = std::env::temp_dir().join(format!(
+            "surf-analyze-vendor-missing-{}",
+            std::process::id()
+        ));
+        let vendor = dir.join("vendor").join("tiny");
+        fs::create_dir_all(&vendor).unwrap();
+        fs::write(vendor.join("lib.rs"), "x").unwrap();
+        let diags = check(&dir).unwrap();
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("missing vendor manifest"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

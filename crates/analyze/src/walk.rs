@@ -1,0 +1,145 @@
+//! Workspace file discovery: which files each rule sees.
+//!
+//! The walker hands rules a deterministic (path-sorted) list of non-vendored Rust sources
+//! and the set of workspace crates with their roots. `vendor/` is exempt from the source
+//! rules by design — vendored code is covered by the [vendor-integrity](crate::rules::vendor_integrity)
+//! content-hash manifest instead — and `target/` plus VCS/CI metadata are never scanned.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One discovered source file.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, with `/` separators.
+    pub rel: String,
+    /// File contents.
+    pub text: String,
+}
+
+/// One workspace crate (never a vendored one).
+#[derive(Debug, Clone)]
+pub struct WorkspaceCrate {
+    /// Package name from `Cargo.toml` (e.g. `surf-serve`).
+    pub name: String,
+    /// Workspace-relative path of the crate's `src/lib.rs`, if it has a library target.
+    pub lib_root: Option<String>,
+    /// Workspace-relative directory prefix owning the crate's sources (`crates/serve` or
+    /// `` for the root package).
+    pub dir: String,
+}
+
+/// Directory names that are never walked.
+fn skip_dir(name: &str) -> bool {
+    name == "vendor" || name == "target" || name.starts_with('.') || name == "node_modules"
+}
+
+/// Collects every non-vendored `.rs` file under the workspace root, path-sorted.
+pub fn rust_sources(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut paths = Vec::new();
+    collect(root, root, &mut paths)?;
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|p| {
+            let text = fs::read_to_string(root.join(&p))?;
+            Ok(SourceFile { rel: p, text })
+        })
+        .collect()
+}
+
+fn collect(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if path.is_dir() {
+            if !skip_dir(&name) {
+                collect(root, &path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_string_lossy().replace('\\', "/"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Discovers the workspace's own crates: the root package plus every `crates/*` member.
+/// Vendored members are deliberately excluded.
+pub fn workspace_crates(root: &Path) -> io::Result<Vec<WorkspaceCrate>> {
+    let mut crates = Vec::new();
+    if let Some(name) = package_name(&fs::read_to_string(root.join("Cargo.toml"))?) {
+        crates.push(WorkspaceCrate {
+            name,
+            lib_root: exists(root, "src/lib.rs"),
+            dir: String::new(),
+        });
+    }
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut entries: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        entries.sort();
+        for dir in entries {
+            let manifest = dir.join("Cargo.toml");
+            if !manifest.is_file() {
+                continue;
+            }
+            let Some(name) = package_name(&fs::read_to_string(&manifest)?) else {
+                continue;
+            };
+            let rel_dir = dir
+                .strip_prefix(root)
+                .unwrap_or(&dir)
+                .to_string_lossy()
+                .replace('\\', "/");
+            crates.push(WorkspaceCrate {
+                name,
+                lib_root: exists(root, &format!("{rel_dir}/src/lib.rs")),
+                dir: rel_dir,
+            });
+        }
+    }
+    Ok(crates)
+}
+
+fn exists(root: &Path, rel: &str) -> Option<String> {
+    root.join(rel).is_file().then(|| rel.to_string())
+}
+
+/// Extracts `name = "..."` from the `[package]` section of a manifest. Minimal on purpose:
+/// the workspace's manifests are all hand-written flat TOML.
+pub fn package_name(manifest: &str) -> Option<String> {
+    let mut in_package = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+            continue;
+        }
+        if in_package {
+            if let Some(value) = line.strip_prefix("name") {
+                let value = value.trim_start().strip_prefix('=')?.trim();
+                return Some(value.trim_matches('"').to_string());
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn package_name_parses_the_package_section_only() {
+        let manifest = "[workspace]\nmembers = []\n[package]\nname = \"surf-analyze\"\n";
+        assert_eq!(package_name(manifest).as_deref(), Some("surf-analyze"));
+        assert_eq!(package_name("[lib]\nname = \"x\"\n"), None);
+    }
+}

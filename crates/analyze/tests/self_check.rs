@@ -1,0 +1,42 @@
+//! The gate must be green at HEAD: running every rule over this workspace yields zero
+//! findings. This is the same check CI runs (`cargo run -p surf-analyze -- check`), done
+//! in-process so `cargo test` alone catches a red gate.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_clean_under_all_rules() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/analyze has a workspace root two levels up");
+    let diags = surf_analyze::run_check(root).expect("check runs");
+    assert!(
+        diags.is_empty(),
+        "surf-analyze found {} finding(s) at HEAD:\n{}",
+        diags.len(),
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn workspace_discovery_sees_the_expected_crates() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .unwrap();
+    let crates = surf_analyze::walk::workspace_crates(root).expect("walk");
+    let names: Vec<&str> = crates.iter().map(|k| k.name.as_str()).collect();
+    for expected in ["surf", "surf-serve", "surf-ml", "surf-analyze"] {
+        assert!(names.contains(&expected), "missing {expected} in {names:?}");
+    }
+    // Vendored crates must never be treated as workspace crates.
+    assert!(
+        !crates.iter().any(|k| k.dir.starts_with("vendor")),
+        "{names:?}"
+    );
+}

@@ -89,6 +89,11 @@ impl ModelArtifact {
     }
 
     /// Rebuilds a working engine from the artifact's fitted state.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Surf`] when the fitted state is internally inconsistent (e.g. a
+    /// truncated ensemble or dimension mismatch) and the pipeline refuses to rebuild.
     pub fn into_engine(self) -> Result<Surf, ServeError> {
         Ok(Surf::from_state(self.state)?)
     }
@@ -100,6 +105,12 @@ impl ModelArtifact {
 
     /// Parses an artifact from JSON, rejecting incompatible schema versions *before*
     /// attempting to decode the fitted state.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] when the JSON is unreadable, lacks a numeric
+    /// `schema_version`, or decodes to a malformed artifact;
+    /// [`ServeError::SchemaVersion`] when the version is not [`SCHEMA_VERSION`].
     pub fn from_json(json: &str) -> Result<Self, ServeError> {
         let value = serde_json::parse_value(json)
             .map_err(|e| ServeError::BadRequest(format!("unreadable artifact: {e}")))?;
@@ -120,12 +131,21 @@ impl ModelArtifact {
     }
 
     /// Writes the artifact to a JSON file.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the file cannot be written.
     pub fn save_json(&self, path: impl AsRef<Path>) -> Result<(), ServeError> {
         std::fs::write(path.as_ref(), self.to_json())?;
         Ok(())
     }
 
     /// Reads an artifact from a JSON file, enforcing the schema version.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the file cannot be read; otherwise any
+    /// [`Self::from_json`] error.
     pub fn load_json(path: impl AsRef<Path>) -> Result<Self, ServeError> {
         let json = std::fs::read_to_string(path.as_ref())?;
         Self::from_json(&json)

@@ -131,7 +131,7 @@ fn run_server(args: &[String]) -> Result<(), String> {
     let handle = serve(registry, &config).map_err(|e| e.to_string())?;
     eprintln!(
         "serving {} model(s) on http://{} with {} workers — Ctrl-C to stop",
-        handle.context().registry.len(),
+        handle.context().registry.len().unwrap_or(0),
         handle.addr(),
         handle.context().workers
     );

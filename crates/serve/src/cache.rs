@@ -16,7 +16,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use serde::{Deserialize, Serialize};
 use surf_data::region::Region;
@@ -159,6 +159,16 @@ impl PredictionCache {
         }
     }
 
+    /// Locks a shard, recovering from poisoning instead of propagating the panic. Sound
+    /// because a shard is a pure memo: every `(key, value)` pair already resident was a
+    /// correct prediction when inserted, and the mutations below (tick bump, insert,
+    /// remove, retain) each leave the map valid even if a previous holder panicked
+    /// mid-update — the worst case is a stale `last_used` stamp, which only skews LRU
+    /// victim choice, never correctness of served values.
+    fn lock_shard(shard: &Mutex<Shard>) -> MutexGuard<'_, Shard> {
+        shard.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     fn shard_for(&self, key: &CacheKey) -> &Mutex<Shard> {
         use std::hash::{DefaultHasher, Hash, Hasher};
         let mut hasher = DefaultHasher::new();
@@ -173,7 +183,7 @@ impl PredictionCache {
             return None;
         }
         let key = self.key(model, generation, region);
-        let mut shard = self.shard_for(&key).lock().expect("cache shard poisoned");
+        let mut shard = Self::lock_shard(self.shard_for(&key));
         shard.tick += 1;
         let tick = shard.tick;
         match shard.entries.get_mut(&key) {
@@ -203,7 +213,7 @@ impl PredictionCache {
             return;
         }
         let key = self.key(model, generation, region);
-        let mut shard = self.shard_for(&key).lock().expect("cache shard poisoned");
+        let mut shard = Self::lock_shard(self.shard_for(&key));
         shard.tick += 1;
         let tick = shard.tick;
         let is_new = !shard.entries.contains_key(&key);
@@ -237,7 +247,7 @@ impl PredictionCache {
     pub fn invalidate_model(&self, model: &str) {
         let mut dropped = 0u64;
         for shard in &self.shards {
-            let mut shard = shard.lock().expect("cache shard poisoned");
+            let mut shard = Self::lock_shard(shard);
             let before = shard.entries.len();
             shard.entries.retain(|key, _| key.model != model);
             dropped += (before - shard.entries.len()) as u64;
@@ -258,7 +268,7 @@ impl PredictionCache {
             entries: self
                 .shards
                 .iter()
-                .map(|s| s.lock().expect("cache shard poisoned").entries.len())
+                .map(|s| Self::lock_shard(s).entries.len())
                 .sum(),
         }
     }

@@ -38,6 +38,12 @@ pub enum ServeError {
     Surf(String),
     /// A filesystem or socket error.
     Io(String),
+    /// Shared state whose lock was poisoned by a panicking thread. Served as a structured
+    /// 500 instead of propagating the panic (and taking the worker down with it).
+    LockPoisoned {
+        /// Which piece of shared state was affected (e.g. `model registry`).
+        what: &'static str,
+    },
 }
 
 impl ServeError {
@@ -51,6 +57,7 @@ impl ServeError {
             ServeError::SchemaVersion { .. } => 409,
             ServeError::Surf(_) => 422,
             ServeError::Io(_) => 500,
+            ServeError::LockPoisoned { .. } => 500,
         }
     }
 
@@ -64,6 +71,7 @@ impl ServeError {
             ServeError::SchemaVersion { .. } => "schema_version_mismatch",
             ServeError::Surf(_) => "pipeline_error",
             ServeError::Io(_) => "io_error",
+            ServeError::LockPoisoned { .. } => "lock_poisoned",
         }
     }
 
@@ -98,6 +106,10 @@ impl fmt::Display for ServeError {
             ),
             ServeError::Surf(message) => write!(f, "pipeline error: {message}"),
             ServeError::Io(message) => write!(f, "i/o error: {message}"),
+            ServeError::LockPoisoned { what } => write!(
+                f,
+                "internal error: the {what} lock was poisoned by a panicking thread"
+            ),
         }
     }
 }
@@ -155,6 +167,12 @@ mod tests {
         assert_eq!(ServeError::Surf("x".into()).status(), 422);
         assert_eq!(ServeError::Io("x".into()).status(), 500);
         assert_eq!(ServeError::NotFound("x".into()).code(), "not_found");
+        let poisoned = ServeError::LockPoisoned {
+            what: "model registry",
+        };
+        assert_eq!(poisoned.status(), 500);
+        assert_eq!(poisoned.code(), "lock_poisoned");
+        assert!(poisoned.to_string().contains("model registry"));
     }
 
     #[test]

@@ -27,6 +27,13 @@ pub struct Request {
 }
 
 /// Reads and parses one request from the stream, enforcing the body-size limit.
+///
+/// # Errors
+///
+/// [`ServeError::BadRequest`] for malformed or truncated requests (oversized headers,
+/// connection closed mid-request, non-UTF-8 body, unparseable request line);
+/// [`ServeError::PayloadTooLarge`] when the declared or actual body exceeds
+/// `max_body_bytes`; [`ServeError::Io`] for socket errors.
 pub fn read_request(stream: &mut TcpStream, max_body_bytes: usize) -> Result<Request, ServeError> {
     // Accumulate bytes until the header terminator; the tail of the buffer past the
     // terminator is the start of the body.
@@ -118,6 +125,11 @@ fn find_header_end(buffer: &[u8]) -> Option<usize> {
 }
 
 /// Writes one JSON response and flushes it. Every response closes the connection.
+///
+/// # Errors
+///
+/// Any socket error from writing or flushing (the caller logs-and-drops: by this point
+/// there is no channel left to answer on).
 pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
     let head = format!(
         "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",

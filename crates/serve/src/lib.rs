@@ -35,6 +35,10 @@
 //! layout of [`surf_core::SurfState`] or the envelope changes.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Panicking constructs are banned from production serve code (a worker panic drops the
+// connection and poisons locks); tests keep them for brevity. `surf-analyze check`
+// enforces the same invariant per request-handling module even when clippy does not run.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod artifact;
 pub mod cache;

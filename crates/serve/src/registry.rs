@@ -54,9 +54,36 @@ impl ModelRegistry {
         Self::default()
     }
 
+    /// Takes the read lock, mapping poisoning to a structured 500 instead of panicking:
+    /// a panic on one worker must not cascade through every later request on the lock.
+    fn read_slots(
+        &self,
+    ) -> Result<std::sync::RwLockReadGuard<'_, HashMap<String, Arc<ServableModel>>>, ServeError>
+    {
+        self.slots.read().map_err(|_| ServeError::LockPoisoned {
+            what: "model registry",
+        })
+    }
+
+    /// Takes the write lock; same poisoning policy as [`Self::read_slots`].
+    fn write_slots(
+        &self,
+    ) -> Result<std::sync::RwLockWriteGuard<'_, HashMap<String, Arc<ServableModel>>>, ServeError>
+    {
+        self.slots.write().map_err(|_| ServeError::LockPoisoned {
+            what: "model registry",
+        })
+    }
+
     /// Loads an artifact into its named slot, rebuilding the engine. Replacing an existing
     /// name hot-swaps it: subsequent lookups see the new engine, requests already holding the
     /// old `Arc` finish undisturbed. Returns the previous occupant, if any.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] when the artifact's metadata disagrees with its fitted
+    /// state, any engine-rebuild error from the pipeline, and
+    /// [`ServeError::LockPoisoned`] when the registry lock is poisoned.
     pub fn register(
         &self,
         artifact: ModelArtifact,
@@ -86,32 +113,39 @@ impl ModelRegistry {
             schema_version,
             engine,
         });
-        let mut slots = self.slots.write().expect("registry lock poisoned");
+        let mut slots = self.write_slots()?;
         Ok(slots.insert(name, model))
     }
 
     /// Resolves a model by name.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NotFound`] when no model is registered under `name`;
+    /// [`ServeError::LockPoisoned`] when the registry lock is poisoned.
     pub fn get(&self, name: &str) -> Result<Arc<ServableModel>, ServeError> {
-        self.slots
-            .read()
-            .expect("registry lock poisoned")
+        self.read_slots()?
             .get(name)
             .cloned()
             .ok_or_else(|| ServeError::NotFound(format!("model `{name}`")))
     }
 
     /// Removes a model; returns whether a slot was occupied.
-    pub fn remove(&self, name: &str) -> bool {
-        self.slots
-            .write()
-            .expect("registry lock poisoned")
-            .remove(name)
-            .is_some()
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::LockPoisoned`] when the registry lock is poisoned.
+    pub fn remove(&self, name: &str) -> Result<bool, ServeError> {
+        Ok(self.write_slots()?.remove(name).is_some())
     }
 
     /// Lists registered models, sorted by name.
-    pub fn list(&self) -> Vec<ModelInfo> {
-        let slots = self.slots.read().expect("registry lock poisoned");
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::LockPoisoned`] when the registry lock is poisoned.
+    pub fn list(&self) -> Result<Vec<ModelInfo>, ServeError> {
+        let slots = self.read_slots()?;
         let mut infos: Vec<ModelInfo> = slots
             .values()
             .map(|m| ModelInfo {
@@ -121,17 +155,25 @@ impl ModelRegistry {
             })
             .collect();
         infos.sort_by(|a, b| a.name.cmp(&b.name));
-        infos
+        Ok(infos)
     }
 
     /// Number of registered models.
-    pub fn len(&self) -> usize {
-        self.slots.read().expect("registry lock poisoned").len()
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::LockPoisoned`] when the registry lock is poisoned.
+    pub fn len(&self) -> Result<usize, ServeError> {
+        Ok(self.read_slots()?.len())
     }
 
     /// Whether the registry is empty.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::LockPoisoned`] when the registry lock is poisoned.
+    pub fn is_empty(&self) -> Result<bool, ServeError> {
+        Ok(self.len()? == 0)
     }
 }
 
@@ -164,23 +206,28 @@ mod tests {
     #[test]
     fn register_get_list_remove() {
         let registry = ModelRegistry::new();
-        assert!(registry.is_empty());
+        assert!(registry.is_empty().unwrap());
         assert!(registry.get("missing").is_err());
 
         registry.register(artifact("beta", 1)).unwrap();
         registry.register(artifact("alpha", 2)).unwrap();
-        assert_eq!(registry.len(), 2);
+        assert_eq!(registry.len().unwrap(), 2);
 
         let model = registry.get("alpha").unwrap();
         assert_eq!(model.name, "alpha");
         assert_eq!(model.metadata.dimensions, 2);
 
-        let names: Vec<String> = registry.list().into_iter().map(|i| i.name).collect();
+        let names: Vec<String> = registry
+            .list()
+            .unwrap()
+            .into_iter()
+            .map(|i| i.name)
+            .collect();
         assert_eq!(names, vec!["alpha", "beta"]);
 
-        assert!(registry.remove("beta"));
-        assert!(!registry.remove("beta"));
-        assert_eq!(registry.len(), 1);
+        assert!(registry.remove("beta").unwrap());
+        assert!(!registry.remove("beta").unwrap());
+        assert_eq!(registry.len().unwrap(), 1);
     }
 
     #[test]
@@ -203,7 +250,7 @@ mod tests {
             .surrogate()
             .predict(&surf_data::region::Region::new(vec![0.5, 0.5], vec![0.1, 0.1]).unwrap());
         assert_eq!(old_prediction, still);
-        assert_eq!(registry.len(), 1);
+        assert_eq!(registry.len().unwrap(), 1);
     }
 
     #[test]
@@ -212,7 +259,7 @@ mod tests {
         bad.state.dimensions = 7;
         let registry = ModelRegistry::new();
         assert!(registry.register(bad).is_err());
-        assert!(registry.is_empty());
+        assert!(registry.is_empty().unwrap());
     }
 
     #[test]
@@ -225,7 +272,7 @@ mod tests {
             .err()
             .expect("registration must fail");
         assert!(matches!(err, ServeError::BadRequest(_)), "{err}");
-        assert!(registry.is_empty());
+        assert!(registry.is_empty().unwrap());
     }
 
     #[test]

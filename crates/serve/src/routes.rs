@@ -35,6 +35,11 @@ pub struct RegionSpec {
 
 impl RegionSpec {
     /// Validates the spec into a [`Region`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] when a center coordinate is non-finite, the vectors
+    /// disagree in length, or a half-length is not strictly positive.
     pub fn to_region(&self) -> Result<Region, ServeError> {
         if self.center.iter().any(|c| !c.is_finite()) {
             return Err(ServeError::BadRequest(
@@ -170,11 +175,11 @@ fn route(context: &ServeContext, request: &Request) -> Result<String, ServeError
         ("POST", "/predict") => predict(context, &request.body),
         ("POST", "/mine") => mine(context, &request.body),
         ("GET", "/models") => to_json(&ModelsResponse {
-            models: context.registry.list(),
+            models: context.registry.list()?,
         }),
         ("GET", "/healthz") => to_json(&HealthResponse {
             status: "ok".to_string(),
-            models: context.registry.len(),
+            models: context.registry.len()?,
         }),
         ("GET", "/stats") => to_json(&StatsResponse {
             uptime_secs: context.started.elapsed().as_secs(),

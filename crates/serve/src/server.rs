@@ -117,6 +117,11 @@ impl ServeContext {
     /// Correctness does not depend on the invalidation — cache keys carry the registration
     /// generation, so a new registration can never hit (or be polluted by) a predecessor's
     /// entries — but dropping them up front reclaims the retired generation's memory.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ModelRegistry::register`] error: a metadata/state mismatch, an engine-rebuild
+    /// failure, or a poisoned registry lock.
     pub fn register(
         &self,
         artifact: crate::artifact::ModelArtifact,
@@ -159,6 +164,11 @@ impl ServerHandle {
 }
 
 /// Binds the configured address and spawns the acceptor plus the worker pool.
+///
+/// # Errors
+///
+/// [`ServeError::Io`] when the address cannot be bound or the listener cannot be
+/// configured (non-blocking mode, local-address resolution).
 pub fn serve(
     registry: Arc<ModelRegistry>,
     config: &ServerConfig,
@@ -188,9 +198,19 @@ pub fn serve(
         let context = Arc::clone(&context);
         let max_body = config.max_body_bytes;
         threads.push(std::thread::spawn(move || loop {
-            // Holding the lock only for the recv keeps the other workers runnable.
+            // Holding the lock only for the recv keeps the other workers runnable. A
+            // poisoned mutex is recovered, not propagated: the receiver it protects stays
+            // valid (poisoning only means a sibling died between lock and unlock), and one
+            // worker's panic must not retire the whole pool.
             let stream = {
-                let guard = receiver.lock().expect("worker channel poisoned");
+                let guard = receiver
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                // Parking in recv *is* the idle state of a worker: the mutex is exactly
+                // the one-connection-per-wakeup handoff, so this "blocking call under a
+                // guard" is the design, not an accident. Siblings wait in lock(), not in
+                // recv(), and are woken one at a time as connections arrive.
+                // lint: allow(lock-hygiene) — recv-under-mutex is the worker handoff protocol
                 guard.recv()
             };
             match stream {
