@@ -25,6 +25,10 @@ pub const TARGET_FILES: &[&str] = &[
     "crates/serve/src/cache.rs",
     "crates/serve/src/routes.rs",
     "crates/serve/src/http.rs",
+    "crates/serve/src/conn.rs",
+    "crates/serve/src/coalesce.rs",
+    "crates/serve/src/event_loop.rs",
+    "crates/serve/src/queue.rs",
 ];
 
 /// Whether the rule governs this workspace-relative path.

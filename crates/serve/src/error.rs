@@ -36,6 +36,13 @@ pub enum ServeError {
     },
     /// An error bubbled up from the SuRF pipeline while rebuilding or querying an engine.
     Surf(String),
+    /// The server's pending-request queue is at capacity (admission control). Served as a
+    /// structured `503` with a `Retry-After` header so overload degrades into explicit
+    /// back-pressure instead of unbounded queueing.
+    Overloaded {
+        /// Suggested client back-off in seconds, emitted as `Retry-After`.
+        retry_after_secs: u64,
+    },
     /// A filesystem or socket error.
     Io(String),
     /// Shared state whose lock was poisoned by a panicking thread. Served as a structured
@@ -56,8 +63,17 @@ impl ServeError {
             ServeError::PayloadTooLarge { .. } => 413,
             ServeError::SchemaVersion { .. } => 409,
             ServeError::Surf(_) => 422,
+            ServeError::Overloaded { .. } => 503,
             ServeError::Io(_) => 500,
             ServeError::LockPoisoned { .. } => 500,
+        }
+    }
+
+    /// The `Retry-After` value (seconds) this error asks the client to honor, if any.
+    pub fn retry_after(&self) -> Option<u64> {
+        match self {
+            ServeError::Overloaded { retry_after_secs } => Some(*retry_after_secs),
+            _ => None,
         }
     }
 
@@ -70,6 +86,7 @@ impl ServeError {
             ServeError::PayloadTooLarge { .. } => "payload_too_large",
             ServeError::SchemaVersion { .. } => "schema_version_mismatch",
             ServeError::Surf(_) => "pipeline_error",
+            ServeError::Overloaded { .. } => "overloaded",
             ServeError::Io(_) => "io_error",
             ServeError::LockPoisoned { .. } => "lock_poisoned",
         }
@@ -105,6 +122,11 @@ impl fmt::Display for ServeError {
                  {supported})"
             ),
             ServeError::Surf(message) => write!(f, "pipeline error: {message}"),
+            ServeError::Overloaded { retry_after_secs } => write!(
+                f,
+                "server overloaded: the pending-request queue is full, retry in \
+                 {retry_after_secs}s"
+            ),
             ServeError::Io(message) => write!(f, "i/o error: {message}"),
             ServeError::LockPoisoned { what } => write!(
                 f,
@@ -165,6 +187,13 @@ mod tests {
             409
         );
         assert_eq!(ServeError::Surf("x".into()).status(), 422);
+        let overloaded = ServeError::Overloaded {
+            retry_after_secs: 1,
+        };
+        assert_eq!(overloaded.status(), 503);
+        assert_eq!(overloaded.code(), "overloaded");
+        assert_eq!(overloaded.retry_after(), Some(1));
+        assert_eq!(ServeError::Surf("x".into()).retry_after(), None);
         assert_eq!(ServeError::Io("x".into()).status(), 500);
         assert_eq!(ServeError::NotFound("x".into()).code(), "not_found");
         let poisoned = ServeError::LockPoisoned {

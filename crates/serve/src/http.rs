@@ -1,11 +1,18 @@
-//! Minimal HTTP/1.1 plumbing over `std::net` — request parsing, response writing and a tiny
-//! client.
+//! Minimal HTTP/1.1 plumbing over `std::net` — incremental request parsing, response
+//! rendering and a small keep-alive client.
 //!
 //! Hand-rolled for the same reason the workspace vendors serde: the build environment has no
 //! route to a crates registry. Only the slice of HTTP/1.1 the subsystem needs is implemented:
-//! one request per connection (`Connection: close`), `Content-Length` bodies (no chunked
-//! transfer), JSON payloads, and hard limits on header and body sizes so a misbehaving client
-//! cannot balloon server memory.
+//! `Content-Length` bodies (no chunked transfer), JSON payloads, persistent connections
+//! (keep-alive by default for HTTP/1.1, honoring `Connection: close`), and hard limits on
+//! header and body sizes so a misbehaving client cannot balloon server memory.
+//!
+//! The core of the module is [`parse_request`], an *incremental* parser over a byte buffer:
+//! it either produces a complete request plus the number of bytes it consumed, reports that
+//! more bytes are needed, or flags an oversized declared body for draining. The event-loop
+//! transport calls it directly on per-connection buffers (which is what makes pipelining
+//! work: whatever follows a parsed request in the buffer is simply the next request); the
+//! blocking transport wraps it in the read-until-complete loop of [`read_request`].
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -13,7 +20,7 @@ use std::net::TcpStream;
 use crate::error::ServeError;
 
 /// Cap on the request line + headers; anything longer is rejected as malformed.
-const MAX_HEADER_BYTES: usize = 16 * 1024;
+pub(crate) const MAX_HEADER_BYTES: usize = 16 * 1024;
 
 /// A parsed HTTP request.
 #[derive(Debug, Clone, PartialEq)]
@@ -24,36 +31,53 @@ pub struct Request {
     pub path: String,
     /// Decoded UTF-8 body (empty when the request carried none).
     pub body: String,
+    /// Whether the client asked for the connection to close after this request
+    /// (`Connection: close`, or HTTP/1.0 without `keep-alive`).
+    pub close: bool,
 }
 
-/// Reads and parses one request from the stream, enforcing the body-size limit.
+/// Outcome of one [`parse_request`] attempt over a byte buffer.
+#[derive(Debug)]
+pub enum Parsed {
+    /// A complete request; the first `consumed` bytes of the buffer belong to it (any
+    /// remainder is the start of the next pipelined request).
+    Complete {
+        /// The parsed request.
+        request: Request,
+        /// Bytes of the buffer consumed by this request (headers + body).
+        consumed: usize,
+    },
+    /// A syntactically valid prefix — feed more bytes and parse again.
+    Partial,
+    /// The declared body exceeds the limit. The headers span `consumed` bytes;
+    /// `body_bytes` bytes of body follow on the wire (possibly not yet received) and must
+    /// be discarded before a `413` can be delivered cleanly.
+    Oversized {
+        /// Bytes of the buffer holding the request line + headers + terminator.
+        consumed: usize,
+        /// The declared `Content-Length`.
+        body_bytes: usize,
+    },
+}
+
+/// Parses one request from the front of `buffer` without consuming it; the caller drains
+/// the reported `consumed` bytes. See [`Parsed`] for the three outcomes.
 ///
 /// # Errors
 ///
-/// [`ServeError::BadRequest`] for malformed or truncated requests (oversized headers,
-/// connection closed mid-request, non-UTF-8 body, unparseable request line);
-/// [`ServeError::PayloadTooLarge`] when the declared or actual body exceeds
-/// `max_body_bytes`; [`ServeError::Io`] for socket errors.
-pub fn read_request(stream: &mut TcpStream, max_body_bytes: usize) -> Result<Request, ServeError> {
-    // Accumulate bytes until the header terminator; the tail of the buffer past the
-    // terminator is the start of the body.
-    let mut buffer: Vec<u8> = Vec::with_capacity(1024);
-    let mut chunk = [0u8; 1024];
-    let header_end = loop {
-        if let Some(pos) = find_header_end(&buffer) {
-            break pos;
-        }
+/// [`ServeError::BadRequest`] for malformed requests: oversized or non-UTF-8 headers, an
+/// unparseable request line or `Content-Length`, an unsupported protocol version, or a
+/// non-UTF-8 body.
+pub fn parse_request(buffer: &[u8], max_body_bytes: usize) -> Result<Parsed, ServeError> {
+    let Some(header_end) = find_header_end(buffer) else {
         if buffer.len() > MAX_HEADER_BYTES {
             return Err(ServeError::BadRequest("request headers too large".into()));
         }
-        let n = stream.read(&mut chunk)?;
-        if n == 0 {
-            return Err(ServeError::BadRequest(
-                "connection closed mid-request".into(),
-            ));
-        }
-        buffer.extend_from_slice(&chunk[..n]);
+        return Ok(Parsed::Partial);
     };
+    if header_end > MAX_HEADER_BYTES {
+        return Err(ServeError::BadRequest("request headers too large".into()));
+    }
 
     let header_text = std::str::from_utf8(&buffer[..header_end])
         .map_err(|_| ServeError::BadRequest("headers are not valid UTF-8".into()))?;
@@ -76,68 +100,136 @@ pub fn read_request(stream: &mut TcpStream, max_body_bytes: usize) -> Result<Req
     let path = target.split('?').next().unwrap_or(target).to_string();
 
     let mut content_length = 0usize;
+    // HTTP/1.1 defaults to keep-alive; HTTP/1.0 defaults to close.
+    let mut close = version == "HTTP/1.0";
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
-                content_length = value.trim().parse().map_err(|_| {
-                    ServeError::BadRequest(format!("unparseable Content-Length `{}`", value.trim()))
+            let name = name.trim();
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.parse().map_err(|_| {
+                    ServeError::BadRequest(format!("unparseable Content-Length `{value}`"))
                 })?;
+            } else if name.eq_ignore_ascii_case("connection") {
+                if value.eq_ignore_ascii_case("close") {
+                    close = true;
+                } else if value.eq_ignore_ascii_case("keep-alive") {
+                    close = false;
+                }
             }
         }
     }
+
+    let body_start = header_end + 4;
     if content_length > max_body_bytes {
-        // Consume (and discard) the oversized body before erroring. Closing with unread
-        // bytes in the receive buffer makes the kernel send RST, which would tear the 413
-        // response away from the client. The drain is bounded: past the cap we give up and
-        // accept the reset.
-        const DRAIN_LIMIT: usize = 8 * 1024 * 1024;
-        let mut remaining = content_length
-            .min(DRAIN_LIMIT)
-            .saturating_sub(buffer.len() - (header_end + 4));
-        while remaining > 0 {
-            match stream.read(&mut chunk) {
-                Ok(0) | Err(_) => break,
-                Ok(n) => remaining = remaining.saturating_sub(n),
-            }
-        }
-        return Err(ServeError::PayloadTooLarge {
-            limit_bytes: max_body_bytes,
+        return Ok(Parsed::Oversized {
+            consumed: body_start,
+            body_bytes: content_length,
         });
     }
-
-    let mut body_bytes = buffer[header_end + 4..].to_vec();
-    while body_bytes.len() < content_length {
-        let n = stream.read(&mut chunk)?;
-        if n == 0 {
-            return Err(ServeError::BadRequest("connection closed mid-body".into()));
-        }
-        body_bytes.extend_from_slice(&chunk[..n]);
+    if buffer.len() < body_start + content_length {
+        return Ok(Parsed::Partial);
     }
-    body_bytes.truncate(content_length);
-    let body = String::from_utf8(body_bytes)
-        .map_err(|_| ServeError::BadRequest("body is not valid UTF-8".into()))?;
 
-    Ok(Request { method, path, body })
+    let body = std::str::from_utf8(&buffer[body_start..body_start + content_length])
+        .map_err(|_| ServeError::BadRequest("body is not valid UTF-8".into()))?
+        .to_string();
+    Ok(Parsed::Complete {
+        request: Request {
+            method,
+            path,
+            body,
+            close,
+        },
+        consumed: body_start + content_length,
+    })
+}
+
+/// Reads and parses one request from a blocking stream, enforcing the body-size limit.
+/// This is [`parse_request`] wrapped in a read-until-complete loop — the blocking
+/// transport's entry point.
+///
+/// # Errors
+///
+/// [`ServeError::BadRequest`] for malformed or truncated requests (oversized headers,
+/// connection closed mid-request, non-UTF-8 body, unparseable request line);
+/// [`ServeError::PayloadTooLarge`] when the declared body exceeds `max_body_bytes`;
+/// [`ServeError::Io`] for socket errors.
+pub fn read_request(stream: &mut TcpStream, max_body_bytes: usize) -> Result<Request, ServeError> {
+    let mut buffer: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    loop {
+        match parse_request(&buffer, max_body_bytes)? {
+            Parsed::Complete { request, .. } => return Ok(request),
+            Parsed::Oversized {
+                consumed,
+                body_bytes,
+            } => {
+                // Consume (and discard) the oversized body before erroring. Closing with
+                // unread bytes in the receive buffer makes the kernel send RST, which would
+                // tear the 413 response away from the client. The drain is bounded: past
+                // the cap we give up and accept the reset.
+                const DRAIN_LIMIT: usize = 8 * 1024 * 1024;
+                let mut remaining = body_bytes
+                    .min(DRAIN_LIMIT)
+                    .saturating_sub(buffer.len() - consumed);
+                while remaining > 0 {
+                    match stream.read(&mut chunk) {
+                        Ok(0) | Err(_) => break,
+                        Ok(n) => remaining = remaining.saturating_sub(n),
+                    }
+                }
+                return Err(ServeError::PayloadTooLarge {
+                    limit_bytes: max_body_bytes,
+                });
+            }
+            Parsed::Partial => {
+                let n = stream.read(&mut chunk)?;
+                if n == 0 {
+                    return Err(ServeError::BadRequest(
+                        "connection closed mid-request".into(),
+                    ));
+                }
+                buffer.extend_from_slice(&chunk[..n]);
+            }
+        }
+    }
 }
 
 fn find_header_end(buffer: &[u8]) -> Option<usize> {
     buffer.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-/// Writes one JSON response and flushes it. Every response closes the connection.
+/// Renders one JSON response head + body. `keep_alive` selects the `Connection` header;
+/// `retry_after_secs` adds a `Retry-After` header (the admission-control 503 contract).
+pub fn render_response(
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+    retry_after_secs: Option<u64>,
+) -> String {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let retry = retry_after_secs
+        .map(|secs| format!("Retry-After: {secs}\r\n"))
+        .unwrap_or_default();
+    format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{retry}Connection: {connection}\r\n\r\n{body}",
+        status_text(status),
+        body.len(),
+    )
+}
+
+/// Writes one JSON response and flushes it; the connection is marked `Connection: close`
+/// (the blocking transport serves one request per connection). A 503 body carries
+/// `Retry-After: 1`.
 ///
 /// # Errors
 ///
 /// Any socket error from writing or flushing (the caller logs-and-drops: by this point
 /// there is no channel left to answer on).
 pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        status_text(status),
-        body.len(),
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
+    let rendered = render_response(status, body, false, (status == 503).then_some(1));
+    stream.write_all(rendered.as_bytes())?;
     stream.flush()
 }
 
@@ -152,12 +244,171 @@ pub fn status_text(status: u16) -> &'static str {
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Unknown",
+    }
+}
+
+/// One parsed HTTP response, as returned by [`HttpClient`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: u16,
+    /// Response headers in wire order (names lower-cased).
+    pub headers: Vec<(String, String)>,
+    /// Decoded UTF-8 body.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// The first header with this (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A blocking keep-alive HTTP client: many requests over one connection. Used by the
+/// load-generator bench, the keep-alive/pipelining e2e tests and (one-shot) the
+/// `surf-serve query` subcommand.
+///
+/// Requests and responses may be decoupled — [`HttpClient::send`] twice, then
+/// [`HttpClient::read_response`] twice — which is exactly HTTP/1.1 pipelining; responses
+/// arrive in request order.
+pub struct HttpClient {
+    stream: TcpStream,
+    buffer: Vec<u8>,
+}
+
+impl HttpClient {
+    /// Connects to the server (30 s read/write timeouts, Nagle disabled).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the connection cannot be established or configured.
+    pub fn connect(addr: &str) -> Result<HttpClient, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(std::time::Duration::from_secs(30)))?;
+        stream.set_write_timeout(Some(std::time::Duration::from_secs(30)))?;
+        stream.set_nodelay(true)?;
+        Ok(HttpClient {
+            stream,
+            buffer: Vec::new(),
+        })
+    }
+
+    /// Writes one keep-alive request without waiting for the response.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] for socket errors.
+    pub fn send(&mut self, method: &str, path: &str, body: Option<&str>) -> Result<(), ServeError> {
+        let body = body.unwrap_or_default();
+        let request = format!(
+            "{method} {path} HTTP/1.1\r\nHost: surf\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len(),
+        );
+        self.stream.write_all(request.as_bytes())?;
+        Ok(())
+    }
+
+    /// Writes raw bytes to the connection (for tests that need exact wire control, e.g.
+    /// partial headers or back-to-back pipelined requests in one write).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] for socket errors.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> Result<(), ServeError> {
+        self.stream.write_all(bytes)?;
+        Ok(())
+    }
+
+    /// Reads one complete response (headers + `Content-Length` body). Bytes beyond it are
+    /// retained for the next call, so pipelined responses are read back one at a time.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the connection closes mid-response, the response is
+    /// malformed, or a socket error occurs.
+    pub fn read_response(&mut self) -> Result<HttpResponse, ServeError> {
+        let mut chunk = [0u8; 4096];
+        let header_end = loop {
+            if let Some(end) = find_header_end(&self.buffer) {
+                break end;
+            }
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(ServeError::Io("connection closed mid-response".into()));
+            }
+            self.buffer.extend_from_slice(&chunk[..n]);
+        };
+        let head = std::str::from_utf8(&self.buffer[..header_end])
+            .map_err(|_| ServeError::Io("response headers are not valid UTF-8".into()))?;
+        let mut lines = head.split("\r\n");
+        let status: u16 = lines
+            .next()
+            .unwrap_or_default()
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| ServeError::Io("malformed response status line".into()))?;
+        let mut headers = Vec::new();
+        let mut content_length = 0usize;
+        for line in lines {
+            if let Some((name, value)) = line.split_once(':') {
+                let name = name.trim().to_ascii_lowercase();
+                let value = value.trim().to_string();
+                if name == "content-length" {
+                    content_length = value.parse().map_err(|_| {
+                        ServeError::Io("unparseable response Content-Length".into())
+                    })?;
+                }
+                headers.push((name, value));
+            }
+        }
+        let body_start = header_end + 4;
+        while self.buffer.len() < body_start + content_length {
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(ServeError::Io("connection closed mid-response".into()));
+            }
+            self.buffer.extend_from_slice(&chunk[..n]);
+        }
+        let body = String::from_utf8(self.buffer[body_start..body_start + content_length].to_vec())
+            .map_err(|_| ServeError::Io("response body is not valid UTF-8".into()))?;
+        self.buffer.drain(..body_start + content_length);
+        Ok(HttpResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+
+    /// One request/response round trip over the persistent connection.
+    ///
+    /// # Errors
+    ///
+    /// Any [`HttpClient::send`] or [`HttpClient::read_response`] error.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<HttpResponse, ServeError> {
+        self.send(method, path, body)?;
+        self.read_response()
     }
 }
 
 /// Minimal blocking HTTP client: one request, one response, connection closed. Used by the
 /// `surf-serve query` subcommand and the end-to-end tests.
+///
+/// # Errors
+///
+/// [`ServeError::Io`] for connection/socket errors or a malformed response.
 pub fn http_request(
     addr: &str,
     method: &str,
@@ -194,9 +445,125 @@ mod tests {
 
     #[test]
     fn status_texts_cover_the_emitted_codes() {
-        for status in [200u16, 400, 404, 405, 409, 413, 422, 500] {
+        for status in [200u16, 400, 404, 405, 409, 413, 422, 500, 503] {
             assert_ne!(status_text(status), "Unknown");
         }
         assert_eq!(status_text(799), "Unknown");
+    }
+
+    #[test]
+    fn parse_complete_request_reports_consumed_bytes() {
+        let wire = b"POST /predict HTTP/1.1\r\nContent-Length: 4\r\n\r\n{\"x\"extra";
+        match parse_request(wire, 1024).unwrap() {
+            Parsed::Complete { request, consumed } => {
+                assert_eq!(request.method, "POST");
+                assert_eq!(request.path, "/predict");
+                assert_eq!(request.body, "{\"x\"");
+                assert!(!request.close, "HTTP/1.1 defaults to keep-alive");
+                assert_eq!(&wire[consumed..], b"extra");
+            }
+            other => panic!("expected Complete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_partial_until_body_arrives() {
+        let head = b"POST /p HTTP/1.1\r\nContent-Length: 10\r\n\r\n12345";
+        assert!(matches!(
+            parse_request(head, 1024).unwrap(),
+            Parsed::Partial
+        ));
+        assert!(matches!(
+            parse_request(b"GET /x HTT", 1024).unwrap(),
+            Parsed::Partial
+        ));
+        assert!(matches!(parse_request(b"", 1024).unwrap(), Parsed::Partial));
+    }
+
+    #[test]
+    fn connection_header_and_version_drive_the_close_flag() {
+        let close = b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n";
+        match parse_request(close, 1024).unwrap() {
+            Parsed::Complete { request, .. } => assert!(request.close),
+            other => panic!("{other:?}"),
+        }
+        let http10 = b"GET /healthz HTTP/1.0\r\n\r\n";
+        match parse_request(http10, 1024).unwrap() {
+            Parsed::Complete { request, .. } => assert!(request.close),
+            other => panic!("{other:?}"),
+        }
+        let http10_ka = b"GET /healthz HTTP/1.0\r\nConnection: keep-alive\r\n\r\n";
+        match parse_request(http10_ka, 1024).unwrap() {
+            Parsed::Complete { request, .. } => assert!(!request.close),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_body_is_flagged_with_its_length() {
+        let wire = b"POST /predict HTTP/1.1\r\nContent-Length: 9999\r\n\r\nstart";
+        match parse_request(wire, 100).unwrap() {
+            Parsed::Oversized {
+                consumed,
+                body_bytes,
+            } => {
+                assert_eq!(body_bytes, 9999);
+                assert_eq!(
+                    &wire[..consumed],
+                    b"POST /predict HTTP/1.1\r\nContent-Length: 9999\r\n\r\n"
+                );
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_requests_error() {
+        assert!(
+            parse_request(b"\r\n\r\n", 1024).is_err(),
+            "empty request line"
+        );
+        assert!(parse_request(b"GET\r\n\r\n", 1024).is_err(), "no path");
+        assert!(
+            parse_request(b"GET / SPDY/3\r\n\r\n", 1024).is_err(),
+            "bad protocol"
+        );
+        assert!(
+            parse_request(b"GET / HTTP/1.1\r\nContent-Length: abc\r\n\r\n", 1024).is_err(),
+            "bad content-length"
+        );
+        let long = vec![b'x'; MAX_HEADER_BYTES + 8];
+        assert!(parse_request(&long, 1024).is_err(), "oversized headers");
+    }
+
+    #[test]
+    fn pipelined_requests_parse_back_to_back() {
+        let wire: Vec<u8> =
+            b"GET /healthz HTTP/1.1\r\n\r\nPOST /predict HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}"
+                .to_vec();
+        let Parsed::Complete { request, consumed } = parse_request(&wire, 1024).unwrap() else {
+            panic!("first request should be complete");
+        };
+        assert_eq!(request.path, "/healthz");
+        let Parsed::Complete { request, consumed } =
+            parse_request(&wire[consumed..], 1024).unwrap()
+        else {
+            panic!("second request should be complete");
+        };
+        assert_eq!(request.path, "/predict");
+        assert_eq!(request.body, "{}");
+        assert_eq!(consumed, wire.len() - 25);
+    }
+
+    #[test]
+    fn render_response_headers() {
+        let ok = render_response(200, "{}", true, None);
+        assert!(ok.contains("Connection: keep-alive"));
+        assert!(!ok.contains("Retry-After"));
+        let busy = render_response(503, "{}", true, Some(2));
+        assert!(busy.contains("HTTP/1.1 503 Service Unavailable"));
+        assert!(busy.contains("Retry-After: 2"));
+        let closing = render_response(400, "{}", false, None);
+        assert!(closing.contains("Connection: close"));
     }
 }

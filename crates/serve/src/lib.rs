@@ -15,11 +15,14 @@
 //!   ([`registry::ModelRegistry`]) and a sharded LRU prediction cache
 //!   ([`cache::PredictionCache`]) keyed on quantized region bounds, with hit/miss/eviction
 //!   counters.
-//! * [`server`] + [`routes`] — a dependency-free HTTP/1.1 JSON API over `std::net` with a
-//!   fixed worker-thread pool (`workers = 0` resolves like `SurfConfig::threads`): `POST
+//! * [`server`] + [`routes`] — a dependency-free HTTP/1.1 JSON API over `std::net`: `POST
 //!   /predict` (single + batched region queries), `POST /mine` (GSO mining), `GET /models`,
-//!   `GET /healthz` and `GET /stats`. Errors map onto structured JSON bodies via
-//!   [`error::ServeError`].
+//!   `GET /healthz` and `GET /stats`. The default transport is a readiness-based epoll
+//!   event loop (built on the in-tree `surf-reactor` crate) with keep-alive, pipelining,
+//!   idle timeouts and bounded-queue admission control; the original blocking worker pool
+//!   survives as [`server::TransportMode::Blocking`]. A [`coalesce`] queue fuses concurrent
+//!   surrogate evaluations into shared compiled-ensemble batches with bit-identical
+//!   results. Errors map onto structured JSON bodies via [`error::ServeError`].
 //!
 //! The `surf-serve` binary wires the layers into `train` / `serve` / `query` subcommands; see
 //! the crate README section and `examples/serve.rs` for the full train → save → serve → query
@@ -33,7 +36,7 @@
 //! build, no migrations: surrogates retrain in minutes, so "retrain and re-save" beats
 //! carrying decode paths for every historical layout. Bump the constant whenever the JSON
 //! layout of [`surf_core::SurfState`] or the envelope changes.
-#![forbid(unsafe_code)]
+#![forbid(unsafe_code)] // raw FFI lives in `surf-reactor`, behind its safe Poller/Waker API
 #![warn(missing_docs)]
 // Panicking constructs are banned from production serve code (a worker panic drops the
 // connection and poisons locks); tests keep them for brevity. `surf-analyze check`
@@ -42,14 +45,19 @@
 
 pub mod artifact;
 pub mod cache;
+pub mod coalesce;
+mod conn;
 pub mod error;
+mod event_loop;
 pub mod http;
+mod queue;
 pub mod registry;
 pub mod routes;
 pub mod server;
 
 pub use artifact::{ModelArtifact, SCHEMA_VERSION};
 pub use cache::{CacheConfig, CacheStats, PredictionCache};
+pub use coalesce::{BatchQueue, CoalesceConfig, CoalesceStats};
 pub use error::ServeError;
 pub use registry::{ModelInfo, ModelRegistry, ServableModel};
-pub use server::{serve, ServeContext, ServerConfig, ServerHandle};
+pub use server::{serve, ServeContext, ServerConfig, ServerHandle, TransportMode};

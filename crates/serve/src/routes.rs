@@ -19,6 +19,7 @@ use surf_data::region::Region;
 use surf_data::statistic::Statistic;
 
 use crate::cache::CacheStats;
+use crate::coalesce::{CoalesceStats, QueuedSurrogate};
 use crate::error::ServeError;
 use crate::http::Request;
 use crate::registry::ModelInfo;
@@ -152,8 +153,20 @@ pub struct StatsResponse {
     pub uptime_secs: u64,
     /// Worker-pool size.
     pub workers: usize,
+    /// The running transport (`"blocking"` or `"event_loop"`).
+    pub transport: String,
+    /// Currently open client connections.
+    pub open_connections: u64,
+    /// Requests served over a reused keep-alive connection.
+    pub keepalive_reuses: u64,
+    /// Heavy requests currently queued for the handler pool.
+    pub queue_depth: u64,
+    /// Requests refused by admission control with a `503`.
+    pub admission_rejects: u64,
     /// Prediction-cache counters.
     pub cache: CacheStats,
+    /// Coalescing-queue counters (batch-size histogram included).
+    pub coalesce: CoalesceStats,
     /// `/predict` latency counters.
     pub predict: EndpointSnapshot,
     /// `/mine` latency counters.
@@ -184,7 +197,19 @@ fn route(context: &ServeContext, request: &Request) -> Result<String, ServeError
         ("GET", "/stats") => to_json(&StatsResponse {
             uptime_secs: context.started.elapsed().as_secs(),
             workers: context.workers,
+            transport: context.transport.label().to_string(),
+            open_connections: context
+                .open_connections
+                .load(std::sync::atomic::Ordering::Relaxed),
+            keepalive_reuses: context
+                .keepalive_reuses
+                .load(std::sync::atomic::Ordering::Relaxed),
+            queue_depth: context.queue_depth(),
+            admission_rejects: context
+                .admission_rejects
+                .load(std::sync::atomic::Ordering::Relaxed),
             cache: context.cache.stats(),
+            coalesce: context.coalesce_stats(),
             predict: context.predict_stats.snapshot(),
             mine: context.mine_stats.snapshot(),
             other: context.other_stats.snapshot(),
@@ -254,7 +279,9 @@ fn predict(context: &ServeContext, body: &str) -> Result<String, ServeError> {
         }
     }
     if !miss_regions.is_empty() {
-        let values = surf_core::Surrogate::predict_batch(model.engine.surrogate(), &miss_regions);
+        // Through the coalescing queue when one is running: this request's misses fuse with
+        // concurrent traffic into one compiled-ensemble pass, with bit-identical values.
+        let values = context.evaluate_regions(&model, &miss_regions);
         let mut inserted = vec![false; miss_regions.len()];
         for (slot, index) in pending {
             if inserted[index] {
@@ -293,9 +320,20 @@ fn predict(context: &ServeContext, body: &str) -> Result<String, ServeError> {
 fn mine(context: &ServeContext, body: &str) -> Result<String, ServeError> {
     let request: MineRequest = serde_json::from_str(body)?;
     let model = context.registry.get(&request.model)?;
-    let mut outcome = match &request.threshold {
-        Some(spec) => model.engine.mine_with(spec.to_threshold()?),
-        None => model.engine.mine(),
+    let threshold = match &request.threshold {
+        Some(spec) => spec.to_threshold()?,
+        None => model.engine.config().threshold,
+    };
+    // With a coalescing queue running, mining evaluates through a transport wrapper that
+    // fuses each GSO iteration's whole-swarm batch with concurrent requests — the outcome
+    // is bit-identical to `mine_with` (fused per-row evaluation is bit-identical, and the
+    // mining policy itself is unchanged).
+    let mut outcome = match &context.batch {
+        Some(queue) => {
+            let wrapped = QueuedSurrogate::new(&model, queue);
+            model.engine.mine_with_surrogate(threshold, &wrapped)
+        }
+        None => model.engine.mine_with(threshold),
     };
     if let Some(top) = request.top {
         outcome.regions.truncate(top);

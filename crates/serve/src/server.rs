@@ -1,28 +1,66 @@
-//! The serving loop: a `TcpListener` acceptor feeding a fixed pool of worker threads.
+//! The serving front end: transport selection, shared state and lifecycle.
 //!
-//! The pool mirrors the semantics of `surf_ml::parallel`: a `workers` knob where `0` means
-//! "automatic" (available parallelism, capped at 8) and any other value is taken literally,
-//! resolved through the same [`surf_ml::parallel::resolve_threads`]. Each worker owns one
-//! connection at a time end to end — read, dispatch, respond, close — so `w` workers serve
-//! `w` requests concurrently while excess connections queue in the accept channel.
+//! Two transports share one dispatch layer ([`crate::routes`]):
 //!
-//! Shutdown is cooperative: [`ServerHandle::shutdown`] flips an atomic flag that the
-//! (non-blocking) acceptor polls, the accept channel is dropped, and every thread is joined
-//! before the call returns — no request in flight is abandoned mid-write.
+//! * [`TransportMode::EventLoop`] (the default) — a single reactor thread multiplexes
+//!   every connection over an epoll [`surf_reactor::Poller`]: non-blocking accept, read
+//!   and write, HTTP/1.1 keep-alive and pipelining, idle timeouts, and admission control.
+//!   Heavy routes (`POST /predict`, `POST /mine`) run on a handler pool fed through a
+//!   bounded [`WorkQueue`]; see [`crate::event_loop`].
+//! * [`TransportMode::Blocking`] — the original fixed pool: each worker owns one
+//!   connection end to end (read, dispatch, respond, close). Kept as the baseline the
+//!   serve benchmark compares against and as the conservative fallback.
+//!
+//! Both pools size with the `workers` knob where `0` means "automatic" (available
+//! parallelism, capped at 8), resolved through [`surf_ml::parallel::resolve_threads`] —
+//! the same semantics as `SurfConfig::threads`.
+//!
+//! When [`ServerConfig::coalesce`] is enabled a [`BatchQueue`] sits between the handlers
+//! and the compiled ensembles: concurrent `/predict` cache misses and `/mine` swarm
+//! iterations are gathered for a bounded window and fused into shared `predict_batch`
+//! calls (see [`crate::coalesce`] — results stay bit-identical to solo evaluation).
+//!
+//! Shutdown is cooperative: [`ServerHandle::shutdown`] flips an atomic flag, wakes the
+//! reactor, closes the queues and joins every thread — requests in flight are drained,
+//! not abandoned mid-write.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{self, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
+use surf_data::region::Region;
 
 use crate::cache::{CacheConfig, PredictionCache};
+use crate::coalesce::{BatchQueue, CoalesceConfig, CoalesceStats};
 use crate::error::ServeError;
+use crate::event_loop::{spawn_event_transport, EventLoopSettings, HandlerJob};
 use crate::http::{read_request, write_response};
-use crate::registry::ModelRegistry;
+use crate::queue::WorkQueue;
+use crate::registry::{ModelRegistry, ServableModel};
 use crate::routes::handle_request;
+
+/// Which connection-handling strategy the server runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum TransportMode {
+    /// Fixed worker pool, one blocking connection per worker, close after each response.
+    Blocking,
+    /// Readiness-based reactor: multiplexed non-blocking connections with keep-alive,
+    /// pipelining and admission control (the default).
+    #[default]
+    EventLoop,
+}
+
+impl TransportMode {
+    /// The wire/CLI name of the mode.
+    pub fn label(self) -> &'static str {
+        match self {
+            TransportMode::Blocking => "blocking",
+            TransportMode::EventLoop => "event_loop",
+        }
+    }
+}
 
 /// Configuration of a serving process.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -30,12 +68,26 @@ pub struct ServerConfig {
     /// Address to bind (`127.0.0.1:0` picks an ephemeral port).
     pub addr: String,
     /// Worker threads (`0` = automatic: available parallelism capped at 8, exactly like
-    /// `SurfConfig::threads`).
+    /// `SurfConfig::threads`). Handler threads under the event loop, connection threads
+    /// under the blocking transport.
     pub workers: usize,
     /// Largest accepted request body; larger requests are answered with `413`.
     pub max_body_bytes: usize,
     /// Prediction-cache sizing.
     pub cache: CacheConfig,
+    /// Connection-handling strategy.
+    pub transport: TransportMode,
+    /// Close keep-alive connections idle for longer than this (event loop only). Also the
+    /// ceiling a slowloris client can dribble header bytes without completing a request.
+    pub idle_timeout_ms: u64,
+    /// Most concurrent connections the event loop holds; accepts beyond it are answered
+    /// `503` and dropped.
+    pub max_connections: usize,
+    /// Most heavy requests (`/predict`, `/mine`) queued for the handler pool; requests
+    /// arriving past it are answered `503` with `Retry-After` (event loop only).
+    pub max_pending_requests: usize,
+    /// Cross-request coalescing of surrogate evaluations.
+    pub coalesce: CoalesceConfig,
 }
 
 impl Default for ServerConfig {
@@ -45,6 +97,11 @@ impl Default for ServerConfig {
             workers: 0,
             max_body_bytes: 1024 * 1024,
             cache: CacheConfig::default(),
+            transport: TransportMode::default(),
+            idle_timeout_ms: 5_000,
+            max_connections: 1_024,
+            max_pending_requests: 256,
+            coalesce: CoalesceConfig::default(),
         }
     }
 }
@@ -94,7 +151,7 @@ pub struct EndpointSnapshot {
     pub mean_micros: u64,
 }
 
-/// Shared state of a serving process: registry, cache and counters.
+/// Shared state of a serving process: registry, cache, queues and counters.
 pub struct ServeContext {
     /// The models being served.
     pub registry: Arc<ModelRegistry>,
@@ -108,8 +165,22 @@ pub struct ServeContext {
     pub other_stats: EndpointStats,
     /// Resolved worker-pool size.
     pub workers: usize,
+    /// The transport this server runs.
+    pub transport: TransportMode,
     /// When the server started.
     pub started: Instant,
+    /// Currently open client connections (gauge).
+    pub open_connections: AtomicU64,
+    /// Requests served over a reused keep-alive connection (the second and later requests
+    /// on each connection).
+    pub keepalive_reuses: AtomicU64,
+    /// Requests (or accepts) refused by admission control with a `503`.
+    pub admission_rejects: AtomicU64,
+    /// The coalescing queue, when enabled.
+    pub(crate) batch: Option<Arc<BatchQueue>>,
+    /// The handler-pool job queue (event loop only) — exposed for `/stats` depth reads
+    /// and admission checks.
+    pub(crate) jobs: Option<Arc<WorkQueue<HandlerJob>>>,
 }
 
 impl ServeContext {
@@ -125,13 +196,49 @@ impl ServeContext {
     pub fn register(
         &self,
         artifact: crate::artifact::ModelArtifact,
-    ) -> Result<Option<Arc<crate::registry::ServableModel>>, ServeError> {
+    ) -> Result<Option<Arc<ServableModel>>, ServeError> {
         let name = artifact.name.clone();
         let previous = self.registry.register(artifact)?;
         if previous.is_some() {
             self.cache.invalidate_model(&name);
         }
         Ok(previous)
+    }
+
+    /// The endpoint counter bucket for a request path.
+    pub(crate) fn stats_for(&self, path: &str) -> &EndpointStats {
+        match path {
+            "/predict" => &self.predict_stats,
+            "/mine" => &self.mine_stats,
+            _ => &self.other_stats,
+        }
+    }
+
+    /// Evaluates regions against a model's surrogate — through the coalescing queue when
+    /// one is running (fusing with concurrent traffic), directly otherwise. Either way the
+    /// values are bit-identical.
+    pub(crate) fn evaluate_regions(
+        &self,
+        model: &Arc<ServableModel>,
+        regions: &[Region],
+    ) -> Vec<f64> {
+        match &self.batch {
+            Some(queue) => queue.evaluate(model, regions),
+            None => surf_core::Surrogate::predict_batch(model.engine.surrogate(), regions),
+        }
+    }
+
+    /// Heavy requests currently queued for the handler pool (0 under the blocking
+    /// transport, which has no such queue).
+    pub fn queue_depth(&self) -> u64 {
+        self.jobs.as_ref().map_or(0, |jobs| jobs.len())
+    }
+
+    /// The coalescing queue's counters ([`CoalesceStats::disabled`] when off).
+    pub fn coalesce_stats(&self) -> CoalesceStats {
+        self.batch
+            .as_ref()
+            .map_or_else(CoalesceStats::disabled, |batch| batch.stats())
     }
 }
 
@@ -141,6 +248,8 @@ pub struct ServerHandle {
     shutdown: Arc<AtomicBool>,
     threads: Vec<std::thread::JoinHandle<()>>,
     context: Arc<ServeContext>,
+    waker: Option<Arc<surf_reactor::Waker>>,
+    batch: Option<Arc<BatchQueue>>,
 }
 
 impl ServerHandle {
@@ -154,21 +263,32 @@ impl ServerHandle {
         &self.context
     }
 
-    /// Stops accepting, drains the workers and joins every thread.
+    /// Stops accepting, drains in-flight work and joins every thread (reactor or acceptor,
+    /// handlers, batchers).
     pub fn shutdown(self) {
         self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(waker) = &self.waker {
+            // Interrupt the reactor's poll so it observes the flag now, not a tick later.
+            let _ = waker.wake();
+        }
+        if let Some(batch) = &self.batch {
+            // In-flight evaluations fall back to direct (bit-identical) evaluation.
+            batch.shutdown();
+        }
         for thread in self.threads {
             let _ = thread.join();
         }
     }
 }
 
-/// Binds the configured address and spawns the acceptor plus the worker pool.
+/// Binds the configured address and spawns the configured transport (plus the coalescing
+/// batchers when enabled).
 ///
 /// # Errors
 ///
-/// [`ServeError::Io`] when the address cannot be bound or the listener cannot be
-/// configured (non-blocking mode, local-address resolution).
+/// [`ServeError::Io`] when the address cannot be bound, the listener cannot be configured
+/// (non-blocking mode, local-address resolution), or the event loop's poller cannot be
+/// created.
 pub fn serve(
     registry: Arc<ModelRegistry>,
     config: &ServerConfig,
@@ -177,6 +297,22 @@ pub fn serve(
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
     let workers = surf_ml::parallel::resolve_threads(config.workers);
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let mut threads = Vec::new();
+
+    let batch = if config.coalesce.enabled {
+        // The handler pool bounds concurrent submitters, so the gathering window can
+        // close as soon as `workers` jobs are in — see `BatchQueue::start`.
+        let (queue, batchers) = BatchQueue::start(&config.coalesce, workers);
+        threads.extend(batchers);
+        Some(queue)
+    } else {
+        None
+    };
+    let jobs = match config.transport {
+        TransportMode::EventLoop => Some(Arc::new(WorkQueue::new())),
+        TransportMode::Blocking => None,
+    };
 
     let context = Arc::new(ServeContext {
         registry,
@@ -185,59 +321,56 @@ pub fn serve(
         mine_stats: EndpointStats::default(),
         other_stats: EndpointStats::default(),
         workers,
+        transport: config.transport,
         started: Instant::now(),
+        open_connections: AtomicU64::new(0),
+        keepalive_reuses: AtomicU64::new(0),
+        admission_rejects: AtomicU64::new(0),
+        batch: batch.clone(),
+        jobs: jobs.clone(),
     });
 
-    let shutdown = Arc::new(AtomicBool::new(false));
-    let (sender, receiver): (Sender<TcpStream>, Receiver<TcpStream>) = mpsc::channel();
-    let receiver = Arc::new(Mutex::new(receiver));
-
-    let mut threads = Vec::with_capacity(workers + 1);
-    for _ in 0..workers {
-        let receiver = Arc::clone(&receiver);
-        let context = Arc::clone(&context);
-        let max_body = config.max_body_bytes;
-        threads.push(std::thread::spawn(move || loop {
-            // Holding the lock only for the recv keeps the other workers runnable. A
-            // poisoned mutex is recovered, not propagated: the receiver it protects stays
-            // valid (poisoning only means a sibling died between lock and unlock), and one
-            // worker's panic must not retire the whole pool.
-            let stream = {
-                let guard = receiver
-                    .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner);
-                // Parking in recv *is* the idle state of a worker: the mutex is exactly
-                // the one-connection-per-wakeup handoff, so this "blocking call under a
-                // guard" is the design, not an accident. Siblings wait in lock(), not in
-                // recv(), and are woken one at a time as connections arrive.
-                // lint: allow(lock-hygiene) — recv-under-mutex is the worker handoff protocol
-                guard.recv()
+    let mut waker = None;
+    match (config.transport, jobs) {
+        (TransportMode::EventLoop, Some(jobs)) => {
+            let settings = EventLoopSettings {
+                workers,
+                max_body_bytes: config.max_body_bytes,
+                idle_timeout: Duration::from_millis(config.idle_timeout_ms.max(1)),
+                max_connections: config.max_connections.max(1),
+                max_pending_requests: config.max_pending_requests as u64,
             };
-            match stream {
-                Ok(stream) => handle_connection(stream, &context, max_body),
-                Err(_) => return, // acceptor dropped the sender: shutdown
-            }
-        }));
-    }
-
-    {
-        let shutdown = Arc::clone(&shutdown);
-        threads.push(std::thread::spawn(move || {
-            while !shutdown.load(Ordering::SeqCst) {
-                match listener.accept() {
-                    Ok((stream, _)) => {
-                        if sender.send(stream).is_err() {
-                            return;
-                        }
+            match spawn_event_transport(
+                listener,
+                Arc::clone(&context),
+                Arc::clone(&shutdown),
+                jobs,
+                settings,
+            ) {
+                Ok((event_waker, transport_threads)) => {
+                    waker = Some(event_waker);
+                    threads.extend(transport_threads);
+                }
+                Err(e) => {
+                    // Don't leak the already-running batchers on a failed poller setup.
+                    if let Some(batch) = &batch {
+                        batch.shutdown();
                     }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(5));
+                    for thread in threads {
+                        let _ = thread.join();
                     }
-                    Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                    return Err(e);
                 }
             }
-            // Dropping `sender` here disconnects the channel and releases the workers.
-        }));
+        }
+        _ => spawn_blocking_transport(
+            listener,
+            &context,
+            &shutdown,
+            workers,
+            config.max_body_bytes,
+            &mut threads,
+        ),
     }
 
     Ok(ServerHandle {
@@ -245,27 +378,71 @@ pub fn serve(
         shutdown,
         threads,
         context,
+        waker,
+        batch,
     })
+}
+
+/// The baseline transport: an acceptor feeding blocking workers through a [`WorkQueue`],
+/// one connection per worker end to end.
+fn spawn_blocking_transport(
+    listener: TcpListener,
+    context: &Arc<ServeContext>,
+    shutdown: &Arc<AtomicBool>,
+    workers: usize,
+    max_body_bytes: usize,
+    threads: &mut Vec<std::thread::JoinHandle<()>>,
+) {
+    let queue: Arc<WorkQueue<TcpStream>> = Arc::new(WorkQueue::new());
+    for _ in 0..workers {
+        let queue = Arc::clone(&queue);
+        let context = Arc::clone(context);
+        threads.push(std::thread::spawn(move || {
+            while let Some(stream) = queue.pop() {
+                handle_connection(stream, &context, max_body_bytes);
+            }
+        }));
+    }
+    let shutdown = Arc::clone(shutdown);
+    threads.push(std::thread::spawn(move || {
+        while !shutdown.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    queue.push(stream);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(5)),
+            }
+        }
+        // Closing the queue drains pending connections and releases the workers.
+        queue.close();
+    }));
 }
 
 /// Serves one connection: read, dispatch, respond, close. Parse failures still produce a
 /// structured JSON error response rather than a dropped connection.
 fn handle_connection(mut stream: TcpStream, context: &ServeContext, max_body: usize) {
+    context.open_connections.fetch_add(1, Ordering::Relaxed);
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
     let started = Instant::now();
     let (status, body, stats) = match read_request(&mut stream, max_body) {
         Ok(request) => {
+            // Heavy dispatches register with the coalescing queue (when one is running) so
+            // gathering rounds know how many requests can still contribute rows.
+            let heavy =
+                request.method == "POST" && matches!(request.path.as_str(), "/predict" | "/mine");
+            let _flight = heavy
+                .then(|| context.batch.as_ref().map(|batch| batch.flight()))
+                .flatten();
             let (status, body) = handle_request(context, &request);
-            let stats = match request.path.as_str() {
-                "/predict" => &context.predict_stats,
-                "/mine" => &context.mine_stats,
-                _ => &context.other_stats,
-            };
-            (status, body, stats)
+            (status, body, context.stats_for(&request.path))
         }
         Err(e) => (e.status(), e.to_body(), &context.other_stats),
     };
     stats.record(status, started.elapsed());
     let _ = write_response(&mut stream, status, &body);
+    context.open_connections.fetch_sub(1, Ordering::Relaxed);
 }

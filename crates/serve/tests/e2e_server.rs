@@ -63,6 +63,7 @@ fn start_server() -> (ServerHandle, Surf) {
             shards: 4,
             quantize_decimals: 9,
         },
+        ..ServerConfig::default()
     };
     let handle = serve(registry, &config).unwrap();
     (handle, engine)

@@ -1,0 +1,369 @@
+//! End-to-end tests of the event-loop transport over real TCP: keep-alive reuse,
+//! pipelining, slow/partial clients hitting the idle timeout, oversized-body draining,
+//! admission control, and — the load-bearing invariant of the coalescing queue —
+//! bit-identity of coalesced responses against both solo evaluation and the blocking
+//! baseline transport.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use surf_core::objective::Threshold;
+use surf_core::{Surf, SurfConfig, Surrogate};
+use surf_data::region::Region;
+use surf_data::statistic::Statistic;
+use surf_data::synthetic::{SyntheticDataset, SyntheticSpec};
+use surf_optim::gso::GsoParams;
+use surf_serve::cache::CacheConfig;
+use surf_serve::http::HttpClient;
+use surf_serve::routes::{
+    MineResponse, PredictRequest, PredictResponse, RegionSpec, StatsResponse,
+};
+use surf_serve::{
+    serve, CoalesceConfig, ModelArtifact, ModelRegistry, ServerConfig, ServerHandle, TransportMode,
+};
+
+fn quick_engine(seed: u64) -> Surf {
+    let synthetic = SyntheticDataset::generate(
+        &SyntheticSpec::density(2, 1)
+            .with_points(1_500)
+            .with_seed(seed),
+    );
+    let config = SurfConfig::builder()
+        .statistic(Statistic::Count)
+        .threshold(Threshold::above(200.0))
+        .training_queries(300)
+        .gbrt(surf_ml::gbrt::GbrtParams::quick().with_n_estimators(10))
+        .gso(GsoParams::quick().with_iterations(25))
+        .kde_sample(96)
+        .seed(seed)
+        .build();
+    Surf::fit(&synthetic.dataset, &config).unwrap()
+}
+
+fn start(engine: &Surf, config: ServerConfig) -> ServerHandle {
+    let registry = Arc::new(ModelRegistry::new());
+    registry
+        .register(ModelArtifact::from_engine("m", engine))
+        .unwrap();
+    serve(registry, &config).unwrap()
+}
+
+/// An event-loop server with the cache off, so every `/predict` exercises the surrogate.
+fn event_config(coalesce: CoalesceConfig) -> ServerConfig {
+    ServerConfig {
+        workers: 4,
+        cache: CacheConfig {
+            capacity: 0,
+            ..CacheConfig::default()
+        },
+        transport: TransportMode::EventLoop,
+        coalesce,
+        ..ServerConfig::default()
+    }
+}
+
+fn predict_body(regions: &[Region]) -> String {
+    serde_json::to_string(&PredictRequest {
+        model: "m".to_string(),
+        region: None,
+        regions: Some(regions.iter().map(RegionSpec::from_region).collect()),
+    })
+    .unwrap()
+}
+
+fn probe_regions(offset: usize, count: usize) -> Vec<Region> {
+    (0..count)
+        .map(|i| {
+            let t = (offset + i) as f64 * 0.31;
+            Region::new(
+                vec![
+                    0.15 + 0.7 * (t.sin() * 0.5 + 0.5),
+                    0.2 + 0.6 * (t.cos() * 0.5 + 0.5),
+                ],
+                vec![0.05 + 0.02 * ((i % 3) as f64), 0.07],
+            )
+            .unwrap()
+        })
+        .collect()
+}
+
+#[test]
+fn keep_alive_connection_serves_a_request_sequence() {
+    let engine = quick_engine(31);
+    let handle = start(&engine, event_config(CoalesceConfig::default()));
+    let addr = handle.addr().to_string();
+
+    let mut client = HttpClient::connect(&addr).unwrap();
+    let regions = probe_regions(0, 2);
+    for i in 0..5 {
+        let response = if i % 2 == 0 {
+            client.request("GET", "/healthz", None).unwrap()
+        } else {
+            client
+                .request("POST", "/predict", Some(&predict_body(&regions)))
+                .unwrap()
+        };
+        assert_eq!(response.status, 200, "request {i}: {}", response.body);
+        assert_eq!(response.header("connection"), Some("keep-alive"));
+    }
+
+    let stats: StatsResponse =
+        serde_json::from_str(&client.request("GET", "/stats", None).unwrap().body).unwrap();
+    assert_eq!(stats.transport, "event_loop");
+    assert!(
+        stats.keepalive_reuses >= 5,
+        "six requests on one connection should count ≥5 reuses, got {}",
+        stats.keepalive_reuses
+    );
+    assert!(stats.open_connections >= 1);
+    handle.shutdown();
+}
+
+#[test]
+fn pipelined_requests_are_answered_in_order() {
+    let engine = quick_engine(33);
+    let handle = start(&engine, event_config(CoalesceConfig::default()));
+    let addr = handle.addr().to_string();
+
+    let first = probe_regions(0, 1);
+    let second = probe_regions(7, 1);
+    let (b1, b2) = (predict_body(&first), predict_body(&second));
+    let wire = format!(
+        "POST /predict HTTP/1.1\r\nHost: surf\r\nContent-Length: {}\r\n\r\n{b1}\
+         POST /predict HTTP/1.1\r\nHost: surf\r\nContent-Length: {}\r\n\r\n{b2}",
+        b1.len(),
+        b2.len()
+    );
+
+    let mut client = HttpClient::connect(&addr).unwrap();
+    client.send_raw(wire.as_bytes()).unwrap();
+    let r1 = client.read_response().unwrap();
+    let r2 = client.read_response().unwrap();
+    assert_eq!(
+        (r1.status, r2.status),
+        (200, 200),
+        "{} / {}",
+        r1.body,
+        r2.body
+    );
+
+    let p1: PredictResponse = serde_json::from_str(&r1.body).unwrap();
+    let p2: PredictResponse = serde_json::from_str(&r2.body).unwrap();
+    assert_eq!(
+        p1.predictions[0].to_bits(),
+        engine.surrogate().predict(&first[0]).to_bits(),
+        "first pipelined response must answer the first request"
+    );
+    assert_eq!(
+        p2.predictions[0].to_bits(),
+        engine.surrogate().predict(&second[0]).to_bits(),
+        "second pipelined response must answer the second request"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn slowloris_partial_header_is_cut_off_by_the_idle_timeout() {
+    let engine = quick_engine(35);
+    let mut config = event_config(CoalesceConfig::default());
+    config.idle_timeout_ms = 200;
+    let handle = start(&engine, config);
+    let addr = handle.addr().to_string();
+
+    let mut client = HttpClient::connect(&addr).unwrap();
+    client.send_raw(b"GET /healthz HT").unwrap(); // never completes the header
+    let result = client.read_response();
+    assert!(
+        result.is_err(),
+        "a dribbled partial header must be disconnected, got {result:?}"
+    );
+
+    // The server is still healthy for well-behaved clients.
+    let mut fresh = HttpClient::connect(&addr).unwrap();
+    assert_eq!(fresh.request("GET", "/healthz", None).unwrap().status, 200);
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_body_is_drained_and_answered_413() {
+    let engine = quick_engine(37);
+    let mut config = event_config(CoalesceConfig::default());
+    config.max_body_bytes = 16 * 1024;
+    let handle = start(&engine, config);
+    let addr = handle.addr().to_string();
+
+    let huge = format!(
+        "{{\"model\": \"m\", \"pad\": \"{}\"}}",
+        "x".repeat(64 * 1024)
+    );
+    let mut client = HttpClient::connect(&addr).unwrap();
+    client.send("POST", "/predict", Some(&huge)).unwrap();
+    let response = client.read_response().unwrap();
+    assert_eq!(response.status, 413, "{}", response.body);
+    assert!(response.body.contains("payload_too_large"));
+    assert_eq!(
+        response.header("connection"),
+        Some("close"),
+        "a 413 closes the connection"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn admission_control_answers_503_with_retry_after() {
+    let engine = quick_engine(39);
+    let mut config = event_config(CoalesceConfig::default());
+    config.max_pending_requests = 0; // every heavy request is over capacity
+    let handle = start(&engine, config);
+    let addr = handle.addr().to_string();
+
+    let mut client = HttpClient::connect(&addr).unwrap();
+    let response = client
+        .request(
+            "POST",
+            "/predict",
+            Some(&predict_body(&probe_regions(0, 1))),
+        )
+        .unwrap();
+    assert_eq!(response.status, 503, "{}", response.body);
+    assert!(response.body.contains("overloaded"));
+    assert_eq!(response.header("retry-after"), Some("1"));
+    assert_eq!(
+        response.header("connection"),
+        Some("keep-alive"),
+        "back-pressure must not cost the client its connection"
+    );
+
+    // Cheap routes stay up, on the same connection.
+    assert_eq!(client.request("GET", "/healthz", None).unwrap().status, 200);
+    let stats: StatsResponse =
+        serde_json::from_str(&client.request("GET", "/stats", None).unwrap().body).unwrap();
+    assert!(stats.admission_rejects >= 1);
+    handle.shutdown();
+}
+
+/// The acceptance invariant of the coalescing queue: responses produced under concurrent,
+/// coalesced load are bit-identical to solo in-process evaluation AND to the blocking
+/// baseline transport answering the same requests.
+#[test]
+fn coalesced_responses_are_bit_identical_to_solo_and_blocking_baseline() {
+    let engine = quick_engine(41);
+    // Wide window so concurrent submissions actually fuse.
+    let coalescing = start(
+        &engine,
+        event_config(CoalesceConfig {
+            enabled: true,
+            window_micros: 20_000,
+            max_batch_rows: 4_096,
+            batchers: 1,
+        }),
+    );
+    let baseline = start(
+        &engine,
+        ServerConfig {
+            workers: 4,
+            cache: CacheConfig {
+                capacity: 0,
+                ..CacheConfig::default()
+            },
+            transport: TransportMode::Blocking,
+            coalesce: CoalesceConfig {
+                enabled: false,
+                ..CoalesceConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    );
+    let coalescing_addr = coalescing.addr().to_string();
+    let baseline_addr = baseline.addr().to_string();
+
+    let clients = 6usize;
+    let fused: Vec<(Vec<Region>, Vec<f64>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|k| {
+                let addr = coalescing_addr.clone();
+                scope.spawn(move || {
+                    let regions = probe_regions(k * 10, 3);
+                    let mut client = HttpClient::connect(&addr).unwrap();
+                    let response = client
+                        .request("POST", "/predict", Some(&predict_body(&regions)))
+                        .unwrap();
+                    assert_eq!(response.status, 200, "{}", response.body);
+                    let parsed: PredictResponse = serde_json::from_str(&response.body).unwrap();
+                    (regions, parsed.predictions)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (regions, coalesced) in &fused {
+        let solo = engine.surrogate().predict_batch(regions);
+        let baseline_response = surf_serve::http::http_request(
+            &baseline_addr,
+            "POST",
+            "/predict",
+            Some(&predict_body(regions)),
+        )
+        .unwrap();
+        assert_eq!(baseline_response.0, 200);
+        let baseline_parsed: PredictResponse = serde_json::from_str(&baseline_response.1).unwrap();
+        for ((c, s), b) in coalesced
+            .iter()
+            .zip(&solo)
+            .zip(&baseline_parsed.predictions)
+        {
+            assert_eq!(c.to_bits(), s.to_bits(), "coalesced != solo");
+            assert_eq!(c.to_bits(), b.to_bits(), "coalesced != blocking baseline");
+        }
+    }
+
+    // The queue really fused cross-request work (not a vacuous pass).
+    let stats: StatsResponse = serde_json::from_str(
+        &surf_serve::http::http_request(&coalescing_addr, "GET", "/stats", None)
+            .unwrap()
+            .1,
+    )
+    .unwrap();
+    assert!(stats.coalesce.enabled);
+    assert_eq!(stats.coalesce.fused_jobs, clients as u64);
+    assert_eq!(stats.coalesce.fused_rows, (clients * 3) as u64);
+    assert!(
+        stats.coalesce.fused_batches <= stats.coalesce.fused_jobs,
+        "{:?}",
+        stats.coalesce
+    );
+
+    // Mining through the coalescing queue is bit-identical to mining in-process.
+    let mine_response = surf_serve::http::http_request(
+        &coalescing_addr,
+        "POST",
+        "/mine",
+        Some("{\"model\": \"m\", \"threshold\": {\"value\": 250.0, \"direction\": \"above\"}}"),
+    )
+    .unwrap();
+    assert_eq!(mine_response.0, 200, "{}", mine_response.1);
+    let mined: MineResponse = serde_json::from_str(&mine_response.1).unwrap();
+    let local = engine.mine_with(Threshold::above(250.0));
+    assert_eq!(
+        mined.outcome.regions, local.regions,
+        "coalesced mining must match in-process mining exactly"
+    );
+
+    coalescing.shutdown();
+    baseline.shutdown();
+}
+
+/// Shutdown with idle keep-alive connections open must not hang or panic.
+#[test]
+fn shutdown_with_open_keepalive_connections_is_clean() {
+    let engine = quick_engine(43);
+    let handle = start(&engine, event_config(CoalesceConfig::default()));
+    let addr = handle.addr().to_string();
+
+    let mut open = HttpClient::connect(&addr).unwrap();
+    assert_eq!(open.request("GET", "/healthz", None).unwrap().status, 200);
+    // Leave the connection open and idle.
+    std::thread::sleep(Duration::from_millis(30));
+    handle.shutdown();
+}
