@@ -169,13 +169,18 @@ pub fn scan(source: &str) -> Scanned {
                 let mut chars = rest.chars();
                 match chars.next() {
                     Some('\\') => {
-                        // Escaped char literal: scan to the closing quote.
+                        // Escaped char literal: `'\n'`, `'\\'`, `'\''`, `'\u{1F600}'`.
+                        // Step past the backslash AND the character it escapes before
+                        // looking for the closing quote — `'\\'` and `'\''` put the
+                        // escaped byte itself in the way, and treating it as the start
+                        // of a fresh escape (or as the close) desynchronizes the scan
+                        // for the rest of the file.
                         let start = i + 1;
                         i += 2;
+                        if i < bytes.len() {
+                            i += 1; // the escaped character (ASCII for every valid escape)
+                        }
                         while i < bytes.len() && bytes[i] != b'\'' {
-                            if bytes[i] == b'\\' {
-                                i += 1;
-                            }
                             i += 1;
                         }
                         blank(&mut code, start, i.min(bytes.len()));
@@ -394,6 +399,17 @@ mod tests {
         let scanned = scan(src);
         assert!(!scanned.code.contains("unwrap"));
         assert!(scanned.code.contains("'static"));
+    }
+
+    #[test]
+    fn escaped_backslash_char_literal_does_not_desync_the_scan() {
+        // `'\\'` ends at its own closing quote; everything after must still be scanned
+        // normally (a regression here silently un-blanks the rest of the file, including
+        // `#[cfg(test)]` modules, and parity-inverts later string blanking).
+        let src = "let a = '\\\\'; let b = '\\''; s.push('\"'); x.unwrap_in_string(\" .unwrap() \"); y.unwrap();";
+        let scanned = scan(src);
+        assert!(scanned.code.contains("y.unwrap()"), "{}", scanned.code);
+        assert!(!scanned.code.contains(" .unwrap() "), "{}", scanned.code);
     }
 
     #[test]

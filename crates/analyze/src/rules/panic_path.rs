@@ -29,6 +29,11 @@ pub const TARGET_FILES: &[&str] = &[
     "crates/serve/src/coalesce.rs",
     "crates/serve/src/event_loop.rs",
     "crates/serve/src/queue.rs",
+    "crates/serve/src/obs.rs",
+    "crates/obs/src/lib.rs",
+    "crates/obs/src/metrics.rs",
+    "crates/obs/src/trace.rs",
+    "crates/obs/src/expo.rs",
 ];
 
 /// Whether the rule governs this workspace-relative path.

@@ -39,7 +39,9 @@ use surf_core::{Surf, SurfConfig};
 use surf_data::region::Region;
 use surf_data::statistic::Statistic;
 use surf_data::synthetic::{SyntheticDataset, SyntheticSpec};
+use surf_obs::expo;
 use surf_serve::cache::CacheConfig;
+use surf_serve::http::HttpClient;
 use surf_serve::routes::{PredictRequest, RegionSpec};
 use surf_serve::{
     serve, CoalesceConfig, ModelArtifact, ModelRegistry, ServerConfig, ServerHandle, TransportMode,
@@ -70,6 +72,15 @@ struct Rung {
     p50_ms: f64,
     p90_ms: f64,
     p99_ms: f64,
+    /// Server-side handler-queue wait for this rung only (delta of the
+    /// `surf_serve_queue_wait_nanos` histogram scraped from `/metrics` before and after
+    /// the rung). `None` when the stage recorded nothing during the rung.
+    queue_wait_p50_us: Option<f64>,
+    queue_wait_p99_us: Option<f64>,
+    /// Server-side coalescing batch-window wait for this rung only (delta of
+    /// `surf_serve_batch_wait_nanos`); `None` for transports without the batch queue.
+    batch_wait_p50_us: Option<f64>,
+    batch_wait_p99_us: Option<f64>,
     sustained: bool,
 }
 
@@ -350,6 +361,43 @@ fn run_rung(
     )
 }
 
+/// Scrapes `/metrics` (off the timed path — rungs are bracketed, not interleaved) and
+/// returns the cumulative `(le, count)` bucket points of the named histograms. Scrape
+/// failures degrade to empty points — the latency columns become `None`, the rung's
+/// client-side numbers are unaffected.
+fn scrape_buckets(addr: &str, names: &[&str]) -> Vec<Vec<(f64, f64)>> {
+    let body = HttpClient::connect(addr)
+        .and_then(|mut client| client.request("GET", "/metrics", None))
+        .map(|response| response.body)
+        .unwrap_or_default();
+    let samples = expo::parse(&body).unwrap_or_default();
+    names
+        .iter()
+        .map(|name| expo::bucket_points(&samples, name))
+        .collect()
+}
+
+/// Cumulative bucket counts observed *during* a rung: `after - before` per bound. Bounds
+/// are fixed at registration, so the two scrapes always expose the same `le` grid.
+fn bucket_delta(before: &[(f64, f64)], after: &[(f64, f64)]) -> Vec<(f64, f64)> {
+    after
+        .iter()
+        .map(|&(le, count)| {
+            let prior = before
+                .iter()
+                .find(|&&(b, _)| b == le)
+                .map_or(0.0, |&(_, c)| c);
+            (le, (count - prior).max(0.0))
+        })
+        .collect()
+}
+
+/// Quantile of a rung-delta histogram, converted from the nanosecond bounds the serve
+/// histograms use to microseconds.
+fn delta_quantile_us(delta: &[(f64, f64)], q: f64) -> Option<f64> {
+    expo::histogram_quantile(delta, q).map(|nanos| nanos / 1_000.0)
+}
+
 fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
         return f64::NAN;
@@ -408,6 +456,8 @@ fn main() {
             // flake doesn't zero out a cell's sustained figure.
             let mut consecutive_failures = 0u32;
             for &target in targets {
+                let scraped_names = ["surf_serve_queue_wait_nanos", "surf_serve_batch_wait_nanos"];
+                let before = scrape_buckets(&addr, &scraped_names);
                 let (completed, errors, mut lat, elapsed) = run_rung(
                     &addr,
                     transport,
@@ -416,6 +466,9 @@ fn main() {
                     target,
                     rung_duration,
                 );
+                let after = scrape_buckets(&addr, &scraped_names);
+                let queue_wait = bucket_delta(&before[0], &after[0]);
+                let batch_wait = bucket_delta(&before[1], &after[1]);
                 lat.sort_by(|a, b| a.total_cmp(b));
                 let achieved = completed as f64 / elapsed;
                 let attempted = completed + errors;
@@ -430,7 +483,9 @@ fn main() {
                     consecutive_failures += 1;
                 }
                 eprintln!(
-                    "{label:>14} conns={connections:<4} target={target:>8.0} -> {achieved:>9.1} qps  p99={p99:>8.2}ms  errors={errors}  {}",
+                    "{label:>14} conns={connections:<4} target={target:>8.0} -> {achieved:>9.1} qps  p99={p99:>8.2}ms  qwait_p99={}  errors={errors}  {}",
+                    delta_quantile_us(&queue_wait, 0.99)
+                        .map_or_else(|| "-".to_string(), |us| format!("{us:.0}us")),
                     if sustained { "SUSTAINED" } else { "failed" }
                 );
                 rungs.push(Rung {
@@ -443,6 +498,10 @@ fn main() {
                     p50_ms: percentile(&lat, 0.50),
                     p90_ms: percentile(&lat, 0.90),
                     p99_ms: p99,
+                    queue_wait_p50_us: delta_quantile_us(&queue_wait, 0.50),
+                    queue_wait_p99_us: delta_quantile_us(&queue_wait, 0.99),
+                    batch_wait_p50_us: delta_quantile_us(&batch_wait, 0.50),
+                    batch_wait_p99_us: delta_quantile_us(&batch_wait, 0.99),
                     sustained,
                 });
                 if consecutive_failures >= 2 {

@@ -490,7 +490,10 @@ impl Gbrt {
                 all_features.clone()
             };
 
+            let obs = surf_obs::global();
+            let round_span = obs.timer();
             let tree = source.fit_round(&residuals, &sample, &feature_sample, &tree_params)?;
+            obs.record(&obs.ml_round_fit, round_span);
             for &i in rows {
                 predictions[i] += params.learning_rate * tree.predict_row(source, i)?;
             }

@@ -578,6 +578,8 @@ fn build_histogram(
     threads: usize,
     feature_subset: &[usize],
 ) -> Vec<HistBin> {
+    let obs = surf_obs::global();
+    let span = obs.timer();
     let d = feature_subset.len();
     let mut hist = vec![HistBin::default(); matrix.total_bins()];
     if threads > 1 && d > 1 && indices.len().saturating_mul(d) >= PARALLEL_HIST_CELLS {
@@ -593,6 +595,7 @@ fn build_histogram(
             hist[matrix.offset(f)..matrix.offset(f + 1)].copy_from_slice(&column);
         }
     }
+    obs.record(&obs.ml_hist_build, span);
     hist
 }
 
@@ -800,6 +803,8 @@ fn best_split_histogram(
     params: &TreeParams,
     feature_subset: &[usize],
 ) -> Option<BestBinnedSplit> {
+    let obs = surf_obs::global();
+    let span = obs.timer();
     let n = count;
     let parent_sse = total_sq - total_sum * total_sum / n as f64;
     let mut best: Option<BestBinnedSplit> = None;
@@ -842,6 +847,7 @@ fn best_split_histogram(
             left_bin = Some(b);
         }
     }
+    obs.record(&obs.ml_split_search, span);
     best
 }
 

@@ -1,0 +1,47 @@
+//! `expocheck` — validate a Prometheus text-exposition document.
+//!
+//! Usage: `expocheck <file>` (or `-` for stdin). Exits 0 when the document is
+//! well-formed per [`surf_obs::expo::validate`], 1 with one violation per line on
+//! stderr otherwise. CI curls `/metrics` from the e2e server and pipes it here.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: expocheck <file|->");
+        return ExitCode::from(2);
+    };
+    let text = if path == "-" {
+        let mut buf = String::new();
+        match std::io::stdin().read_to_string(&mut buf) {
+            Ok(_) => buf,
+            Err(e) => {
+                eprintln!("expocheck: reading stdin: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("expocheck: reading {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    };
+    match surf_obs::expo::validate(&text) {
+        Ok(()) => {
+            let samples = surf_obs::expo::parse(&text).map(|s| s.len()).unwrap_or(0);
+            println!("expocheck: OK ({samples} samples)");
+            ExitCode::SUCCESS
+        }
+        Err(errors) => {
+            for error in &errors {
+                eprintln!("expocheck: {error}");
+            }
+            eprintln!("expocheck: {} violation(s)", errors.len());
+            ExitCode::FAILURE
+        }
+    }
+}

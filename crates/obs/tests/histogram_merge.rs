@@ -1,0 +1,96 @@
+//! Property tests: histogram recording is deterministic under concurrency.
+//!
+//! The determinism claim the crate makes — integer atomic adds commute, so a snapshot
+//! taken after concurrent recording depends only on the multiset of observations, never
+//! on thread interleaving — is exactly the kind of claim that deserves a property test
+//! rather than one example.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use surf_obs::expo;
+use surf_obs::metrics::{default_duration_bounds, Histogram, MetricsRegistry};
+
+/// Splits `values` into `threads` chunks, records each chunk from its own thread, and
+/// returns the snapshot.
+fn record_concurrently(values: &[u64], threads: usize) -> surf_obs::metrics::HistogramSnapshot {
+    let histogram = Arc::new(Histogram::new(&default_duration_bounds()));
+    let chunk = values.len().div_ceil(threads).max(1);
+    std::thread::scope(|scope| {
+        for piece in values.chunks(chunk) {
+            let histogram = Arc::clone(&histogram);
+            scope.spawn(move || {
+                for &value in piece {
+                    histogram.observe(value);
+                }
+            });
+        }
+    });
+    histogram.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn concurrent_recording_matches_sequential(
+        pool in prop::collection::vec(0u64..50_000_000_000, 400),
+        len in 1usize..400,
+        threads in 1usize..8,
+    ) {
+        let values = &pool[..len];
+        let sequential = {
+            let h = Histogram::new(&default_duration_bounds());
+            for &v in values {
+                h.observe(v);
+            }
+            h.snapshot()
+        };
+        let concurrent = record_concurrently(values, threads);
+        prop_assert_eq!(&concurrent.counts, &sequential.counts);
+        prop_assert_eq!(concurrent.sum, sequential.sum);
+        prop_assert_eq!(concurrent.count, sequential.count);
+        prop_assert_eq!(concurrent.count as usize, values.len());
+    }
+
+    #[test]
+    fn snapshot_count_always_equals_bucket_total(
+        pool in prop::collection::vec(0u64..u64::MAX / 2, 200),
+        len in 0usize..200,
+    ) {
+        let h = Histogram::new(&[1_000, 1_000_000, 1_000_000_000]);
+        for &v in &pool[..len] {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        let bucket_total: u64 = snap.counts.iter().sum();
+        prop_assert_eq!(snap.count, bucket_total);
+        prop_assert_eq!(snap.count as usize, len);
+    }
+
+    #[test]
+    fn rendered_exposition_always_validates(
+        observations in prop::collection::vec(0u64..10_000_000_000, 64),
+        counter_value in 0u64..u64::MAX / 2,
+        gauge_value in -1_000_000i64..1_000_000,
+    ) {
+        let registry = MetricsRegistry::new();
+        registry.counter("surf_prop_total", "prop counter").add(counter_value);
+        registry.gauge("surf_prop_gauge", "prop gauge").set(gauge_value);
+        let h = registry.histogram("surf_prop_nanos", "prop histogram", &default_duration_bounds());
+        for &v in &observations {
+            h.observe(v);
+        }
+        let text = expo::render(&registry.snapshot());
+        if let Err(errors) = expo::validate(&text) {
+            panic!("rendered exposition failed validation: {errors:?}\n{text}");
+        }
+        // Parse back and check the counter survived the round trip exactly.
+        let samples = expo::parse(&text).unwrap();
+        let counter = samples
+            .iter()
+            .find(|s| s.name == "surf_prop_total")
+            .expect("counter sample present");
+        prop_assert_eq!(counter.value, counter_value as f64);
+    }
+}

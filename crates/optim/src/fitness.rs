@@ -112,6 +112,10 @@ pub fn evaluate_swarm<F: FitnessFunction + ?Sized>(
     if n == 0 {
         return Vec::new();
     }
+    // One coarse span per whole-swarm evaluation (the mining hot loop's unit of work);
+    // a disabled global recorder costs one relaxed load here.
+    let obs = surf_obs::global();
+    let span = obs.timer();
     let dim = positions[0].len();
     if dim == 0 {
         return positions.iter().map(|p| fitness.fitness(p)).collect();
@@ -125,6 +129,7 @@ pub fn evaluate_swarm<F: FitnessFunction + ?Sized>(
     let threads = threads.max(1);
     if threads == 1 || n == 1 {
         fitness.fitness_batch(&flat, dim, &mut out);
+        obs.record(&obs.optim_swarm_fitness, span);
         return out;
     }
     let chunk = n.div_ceil(threads);
@@ -133,6 +138,7 @@ pub fn evaluate_swarm<F: FitnessFunction + ?Sized>(
             scope.spawn(move || fitness.fitness_batch(candidates, dim, slots));
         }
     });
+    obs.record(&obs.optim_swarm_fitness, span);
     out
 }
 

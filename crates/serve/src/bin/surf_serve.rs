@@ -7,6 +7,7 @@
 //!                  [--workers 0] [--transport event_loop|blocking] [--no-coalesce]
 //!                  [--coalesce-window-us 1000] [--idle-timeout-ms 5000]
 //!                  [--max-conns 1024] [--max-pending 256]
+//!                  [--no-metrics] [--no-tracing] [--trace-sample-every 16]
 //! surf-serve query --addr 127.0.0.1:7878 --model demo --center 0.5,0.5 --half 0.1,0.1
 //! ```
 //!
@@ -52,6 +53,7 @@ const USAGE: &str = "usage:
   surf-serve serve --artifact <file> [--artifact <file> ...] [--addr 127.0.0.1:7878] [--workers 0]
                    [--transport event_loop|blocking] [--no-coalesce] [--coalesce-window-us 1000]
                    [--idle-timeout-ms 5000] [--max-conns 1024] [--max-pending 256]
+                   [--no-metrics] [--no-tracing] [--trace-sample-every 16]
   surf-serve query --addr <host:port> --model <name> --center x,y,... --half l1,l2,...
 ";
 
@@ -146,6 +148,15 @@ fn run_server(args: &[String]) -> Result<(), String> {
     if args.iter().any(|a| a == "--no-coalesce") {
         coalesce.enabled = false;
     }
+    let obs = surf_serve::ObsConfig {
+        metrics: !args.iter().any(|a| a == "--no-metrics"),
+        tracing: !args.iter().any(|a| a == "--no-tracing"),
+        trace_sample_every: parse(
+            flag(args, "--trace-sample-every", "16"),
+            "--trace-sample-every",
+        )?,
+        ..surf_serve::ObsConfig::default()
+    };
     let config = ServerConfig {
         addr: flag(args, "--addr", "127.0.0.1:7878").to_string(),
         workers: parse(flag(args, "--workers", "0"), "--workers")?,
@@ -154,6 +165,7 @@ fn run_server(args: &[String]) -> Result<(), String> {
         max_connections: parse(flag(args, "--max-conns", "1024"), "--max-conns")?,
         max_pending_requests: parse(flag(args, "--max-pending", "256"), "--max-pending")?,
         coalesce,
+        obs,
         ..ServerConfig::default()
     };
     let handle = serve(registry, &config).map_err(|e| e.to_string())?;
@@ -164,6 +176,12 @@ fn run_server(args: &[String]) -> Result<(), String> {
         handle.context().transport.label(),
         handle.context().workers,
         if config.coalesce.enabled { "on" } else { "off" }
+    );
+    eprintln!(
+        "observability: metrics {} (GET /metrics), tracing {} (GET /trace, 1 in {} requests)",
+        if config.obs.metrics { "on" } else { "off" },
+        if config.obs.tracing { "on" } else { "off" },
+        config.obs.trace_sample_every.max(1)
     );
     // Serve until the process is killed.
     loop {

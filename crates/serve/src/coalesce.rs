@@ -24,11 +24,12 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
+use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 use surf_data::region::Region;
+use surf_obs::Histogram;
 
 use crate::registry::ServableModel;
 
@@ -75,6 +76,23 @@ pub struct HistogramBucket {
     pub batches: u64,
 }
 
+/// Why gathering rounds ended, one counter per exit of [`BatchQueue::gather`]'s wait
+/// loop. The split tells an operator *which* knob is binding: `window`-dominated rounds
+/// under load suggest raising `max_batch_rows` does nothing, `rows`-dominated rounds mean
+/// the window never expires, `waiters`-dominated rounds mean the handler pool (not the
+/// window) is what bounds batch size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CloseCauses {
+    /// Rounds closed because the gathering window expired.
+    pub window: u64,
+    /// Rounds closed early at the `max_batch_rows` budget.
+    pub rows: u64,
+    /// Rounds closed early because every possible submitter was already waiting.
+    pub waiters: u64,
+    /// Rounds closed by shutdown (final drain).
+    pub shutdown: u64,
+}
+
 /// A `/stats` snapshot of the queue's counters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CoalesceStats {
@@ -92,6 +110,8 @@ pub struct CoalesceStats {
     pub max_batch_rows: u64,
     /// Distribution of fused-batch sizes.
     pub batch_rows_histogram: Vec<HistogramBucket>,
+    /// Why gathering rounds ended, by cause.
+    pub close_causes: CloseCauses,
 }
 
 impl CoalesceStats {
@@ -105,8 +125,19 @@ impl CoalesceStats {
             fused_rows: 0,
             max_batch_rows: 0,
             batch_rows_histogram: Vec::new(),
+            close_causes: CloseCauses::default(),
         }
     }
+}
+
+/// Registry-backed duration histograms the queue feeds when the serve layer enables
+/// metrics; absent (the [`OnceLock`] stays empty), the queue takes **zero** extra clock
+/// reads per submission.
+pub struct BatchInstruments {
+    /// Time each submission spent parked in the queue before its fused call started.
+    pub batch_wait: Arc<Histogram>,
+    /// Wall time of each fused `predict_batch` call.
+    pub kernel: Arc<Histogram>,
 }
 
 /// One caller's evaluation request, parked until a batcher fuses it.
@@ -114,6 +145,9 @@ struct Submission {
     model: Arc<ServableModel>,
     regions: Vec<Region>,
     reply: mpsc::Sender<Vec<f64>>,
+    // Set only when instruments are installed, so the uninstrumented queue never reads
+    // the clock on the submit path.
+    enqueued_at: Option<Instant>,
 }
 
 struct QueueState {
@@ -141,6 +175,11 @@ pub struct BatchQueue {
     fused_rows: AtomicU64,
     max_rows_seen: AtomicU64,
     histogram: [AtomicU64; HISTOGRAM_BOUNDS.len() + 1],
+    close_window: AtomicU64,
+    close_rows: AtomicU64,
+    close_waiters: AtomicU64,
+    close_shutdown: AtomicU64,
+    instruments: OnceLock<BatchInstruments>,
 }
 
 impl BatchQueue {
@@ -179,6 +218,11 @@ impl BatchQueue {
             fused_rows: AtomicU64::new(0),
             max_rows_seen: AtomicU64::new(0),
             histogram: Default::default(),
+            close_window: AtomicU64::new(0),
+            close_rows: AtomicU64::new(0),
+            close_waiters: AtomicU64::new(0),
+            close_shutdown: AtomicU64::new(0),
+            instruments: OnceLock::new(),
         });
         let handles = (0..config.batchers.max(1))
             .map(|_| {
@@ -214,6 +258,7 @@ impl BatchQueue {
                     model: Arc::clone(model),
                     regions: regions.to_vec(),
                     reply,
+                    enqueued_at: self.instruments.get().map(|_| Instant::now()),
                 });
                 state.pending_rows += regions.len();
                 self.pending_rows
@@ -242,6 +287,13 @@ impl BatchQueue {
     pub fn flight(&self) -> FlightGuard<'_> {
         self.in_flight.fetch_add(1, Ordering::Relaxed);
         FlightGuard { queue: self }
+    }
+
+    /// Installs the registry-backed wait/kernel histograms; first call wins. Until (and
+    /// unless) this is called the queue records no durations and reads no clocks beyond
+    /// its gathering deadline — the serve layer only calls it when metrics are enabled.
+    pub fn set_instruments(&self, instruments: BatchInstruments) {
+        let _ = self.instruments.set(instruments);
     }
 
     /// Signals the batchers to drain what is queued and exit; concurrent and subsequent
@@ -273,6 +325,12 @@ impl BatchQueue {
             fused_rows: self.fused_rows.load(Ordering::Relaxed),
             max_batch_rows: self.max_rows_seen.load(Ordering::Relaxed),
             batch_rows_histogram: buckets,
+            close_causes: CloseCauses {
+                window: self.close_window.load(Ordering::Relaxed),
+                rows: self.close_rows.load(Ordering::Relaxed),
+                waiters: self.close_waiters.load(Ordering::Relaxed),
+                shutdown: self.close_shutdown.load(Ordering::Relaxed),
+            },
         }
     }
 
@@ -294,9 +352,15 @@ impl BatchQueue {
                 .unwrap_or_else(PoisonError::into_inner);
         }
         let deadline = Instant::now() + self.window;
-        loop {
-            if state.shutdown || state.pending_rows >= self.max_batch_rows {
-                break;
+        // Each exit of this loop is one gathering round closing; the matching cause
+        // counter feeds `close_causes` in `/stats` and the labelled
+        // `surf_serve_coalesce_batch_close_total` family in `/metrics`.
+        let cause = loop {
+            if state.shutdown {
+                break &self.close_shutdown;
+            }
+            if state.pending_rows >= self.max_batch_rows {
+                break &self.close_rows;
             }
             // No further company can arrive once every thread that could submit already
             // has a job queued: the static pool bound, refined by the live request gauge.
@@ -307,11 +371,11 @@ impl BatchQueue {
                 in_flight.min(self.max_waiters)
             };
             if state.jobs.len() >= bound {
-                break;
+                break &self.close_waiters;
             }
             let now = Instant::now();
             if now >= deadline {
-                break;
+                break &self.close_window;
             }
             let (guard, wait) = self
                 .arrived
@@ -319,9 +383,10 @@ impl BatchQueue {
                 .unwrap_or_else(PoisonError::into_inner);
             state = guard;
             if wait.timed_out() {
-                break;
+                break &self.close_window;
             }
-        }
+        };
+        cause.fetch_add(1, Ordering::Relaxed);
         let jobs: Vec<Submission> = state.jobs.drain(..).collect();
         state.pending_rows = 0;
         self.pending_rows.store(0, Ordering::Relaxed);
@@ -379,6 +444,17 @@ fn fuse_and_reply(queue: &BatchQueue, jobs: Vec<Submission>) {
     for (_, group) in groups {
         let rows: usize = group.iter().map(|job| job.regions.len()).sum();
         queue.record_batch(group.len() as u64, rows as u64);
+        let instruments = queue.instruments.get();
+        if let Some(instruments) = instruments {
+            let now = Instant::now();
+            for job in &group {
+                if let Some(enqueued) = job.enqueued_at {
+                    instruments
+                        .batch_wait
+                        .observe_duration(now.saturating_duration_since(enqueued));
+                }
+            }
+        }
         let mut fused: Vec<Region> = Vec::with_capacity(rows);
         for job in &group {
             fused.extend(job.regions.iter().cloned());
@@ -387,7 +463,11 @@ fn fuse_and_reply(queue: &BatchQueue, jobs: Vec<Submission>) {
         // any solo call runs, just over more rows — per-row results are bit-identical to
         // solo evaluation regardless of what the batch happens to contain.
         let surrogate = group[0].model.engine.surrogate();
+        let kernel_started = instruments.map(|_| Instant::now());
         let values = surf_core::Surrogate::predict_batch(surrogate, &fused);
+        if let (Some(instruments), Some(started)) = (instruments, kernel_started) {
+            instruments.kernel.observe_duration(started.elapsed());
+        }
         if values.len() != rows {
             // Defensive: a surrogate violating the one-value-per-region contract must not
             // misalign every caller in the batch; answer each solo instead.
@@ -562,7 +642,13 @@ mod tests {
             started.elapsed() < Duration::from_secs(5),
             "a saturated waiter set must not stall for the window"
         );
-        assert_eq!(queue.stats().fused_jobs, 5);
+        let stats = queue.stats();
+        assert_eq!(stats.fused_jobs, 5);
+        assert!(
+            stats.close_causes.waiters >= 1,
+            "saturated-waiter rounds must attribute to the waiters cause: {:?}",
+            stats.close_causes
+        );
         queue.shutdown();
         for handle in handles {
             handle.join().unwrap();
@@ -598,6 +684,89 @@ mod tests {
             "the only registered request was waiting; the round must close"
         );
         assert_eq!(queue.stats().fused_jobs, 1);
+        queue.shutdown();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn close_causes_attribute_rows_and_window_breaks() {
+        let model = model(13);
+        let probe = regions(6, 2);
+        // A one-row budget closes every round by `rows` before the (enormous) window can.
+        let (queue, handles) = BatchQueue::start(
+            &CoalesceConfig {
+                enabled: true,
+                window_micros: 10_000_000,
+                max_batch_rows: 1,
+                batchers: 1,
+            },
+            0,
+        );
+        queue.evaluate(&model, &probe);
+        let stats = queue.stats();
+        assert!(
+            stats.close_causes.rows >= 1,
+            "budget-bound round must attribute to rows: {:?}",
+            stats.close_causes
+        );
+        assert_eq!(stats.close_causes.window, 0);
+        queue.shutdown();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+
+        // A tiny window with an unlimited waiter bound idles out: `window` cause.
+        let (queue, handles) = BatchQueue::start(
+            &CoalesceConfig {
+                enabled: true,
+                window_micros: 200,
+                max_batch_rows: 4_096,
+                batchers: 1,
+            },
+            0,
+        );
+        queue.evaluate(&model, &probe);
+        assert!(
+            queue.stats().close_causes.window >= 1,
+            "idled-out round must attribute to window: {:?}",
+            queue.stats().close_causes
+        );
+        queue.shutdown();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn instrumented_queue_records_wait_and_kernel_histograms() {
+        let model = model(17);
+        let (queue, handles) = BatchQueue::start(
+            &CoalesceConfig {
+                enabled: true,
+                window_micros: 200,
+                max_batch_rows: 4_096,
+                batchers: 1,
+            },
+            0,
+        );
+        let registry = surf_obs::MetricsRegistry::new();
+        let bounds = surf_obs::metrics::default_duration_bounds();
+        queue.set_instruments(BatchInstruments {
+            batch_wait: registry.histogram("test_batch_wait_nanos", "wait", &bounds),
+            kernel: registry.histogram("test_kernel_nanos", "kernel", &bounds),
+        });
+        let probe = regions(9, 3);
+        queue.evaluate(&model, &probe);
+        let wait = registry
+            .histogram("test_batch_wait_nanos", "wait", &bounds)
+            .snapshot();
+        let kernel = registry
+            .histogram("test_kernel_nanos", "kernel", &bounds)
+            .snapshot();
+        assert_eq!(wait.count, 1, "one submission, one wait observation");
+        assert_eq!(kernel.count, 1, "one fused call, one kernel observation");
         queue.shutdown();
         for handle in handles {
             handle.join().unwrap();

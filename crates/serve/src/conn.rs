@@ -43,6 +43,12 @@ pub(crate) struct Connection {
     queued_errors: Vec<u16>,
     /// Last moment bytes arrived or a response was queued (drives the idle timeout).
     last_activity: Instant,
+    /// When the first byte of the request currently being received arrived — the start of
+    /// the `recv_parse` latency span.
+    recv_started: Option<Instant>,
+    /// The `recv_started` of the request just returned by [`Connection::next_request`],
+    /// handed to the transport through [`Connection::take_recv_started`].
+    parsed_recv_started: Option<Instant>,
 }
 
 impl Connection {
@@ -60,11 +66,16 @@ impl Connection {
             requests_parsed: 0,
             queued_errors: Vec::new(),
             last_activity: now,
+            recv_started: None,
+            parsed_recv_started: None,
         }
     }
 
     /// Appends bytes read from the socket.
     pub(crate) fn ingest(&mut self, bytes: &[u8], now: Instant) {
+        if self.recv_started.is_none() && !bytes.is_empty() {
+            self.recv_started = Some(now);
+        }
         self.read_buf.extend_from_slice(bytes);
         self.last_activity = now;
     }
@@ -113,6 +124,7 @@ impl Connection {
                     self.requests_parsed += 1;
                     self.pending_close = request.close;
                     self.busy = true;
+                    self.parsed_recv_started = self.recv_started.take();
                     return Some(request);
                 }
                 Ok(Parsed::Partial) => {
@@ -142,6 +154,13 @@ impl Connection {
         }
     }
 
+    /// When the first byte of the request just parsed arrived (consumed on read; the
+    /// transport turns it into the `recv_parse` span). `None` when the request's bytes
+    /// were already buffered when parsing ran (pipelined follow-ups).
+    pub(crate) fn take_recv_started(&mut self) -> Option<Instant> {
+        self.parsed_recv_started.take()
+    }
+
     /// Queues the response to the in-flight request, honoring its keep-alive preference,
     /// and resumes parsing. `requests_parsed` beyond the first on this connection are
     /// keep-alive reuses.
@@ -150,10 +169,12 @@ impl Connection {
         status: u16,
         body: &str,
         retry_after_secs: Option<u64>,
+        content_type: &str,
     ) {
         let keep_alive = !self.pending_close;
         self.write_buf.extend_from_slice(
-            http::render_response(status, body, keep_alive, retry_after_secs).as_bytes(),
+            http::render_response(status, body, keep_alive, retry_after_secs, content_type)
+                .as_bytes(),
         );
         self.busy = false;
         self.last_activity = Instant::now();
@@ -172,7 +193,14 @@ impl Connection {
         retry_after_secs: Option<u64>,
     ) {
         self.write_buf.extend_from_slice(
-            http::render_response(status, body, false, retry_after_secs).as_bytes(),
+            http::render_response(
+                status,
+                body,
+                false,
+                retry_after_secs,
+                http::CONTENT_TYPE_JSON,
+            )
+            .as_bytes(),
         );
         self.busy = false;
         self.close_after_write = true;
@@ -258,6 +286,31 @@ mod tests {
     }
 
     #[test]
+    fn recv_started_tracks_first_byte_of_each_request() {
+        let mut c = conn();
+        assert!(c.take_recv_started().is_none(), "nothing parsed yet");
+        let first_byte = Instant::now();
+        c.ingest(b"GET /health", first_byte);
+        // Later bytes of the same request must not move the start-of-receive mark.
+        c.ingest(b"z HTTP/1.1\r\n\r\n", Instant::now());
+        assert!(c.next_request(1024).is_some());
+        assert_eq!(
+            c.take_recv_started(),
+            Some(first_byte),
+            "the mark is the FIRST byte's arrival"
+        );
+        assert!(c.take_recv_started().is_none(), "take is a take, not a get");
+
+        // A second keep-alive request gets its own mark.
+        c.queue_response(200, "{}", None, http::CONTENT_TYPE_JSON);
+        flush_all(&mut c);
+        let second_byte = Instant::now();
+        c.ingest(b"GET /models HTTP/1.1\r\n\r\n", second_byte);
+        assert!(c.next_request(1024).is_some());
+        assert_eq!(c.take_recv_started(), Some(second_byte));
+    }
+
+    #[test]
     fn keep_alive_sequence_parses_requests_in_turn() {
         let mut c = conn();
         let request = drive(&mut c, b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
@@ -265,7 +318,7 @@ mod tests {
         assert!(c.busy());
         assert!(c.next_request(1024).is_none(), "busy until response queued");
 
-        c.queue_response(200, "{}", None);
+        c.queue_response(200, "{}", None, http::CONTENT_TYPE_JSON);
         assert!(!c.busy());
         let out = flush_all(&mut c);
         assert!(out.contains("Connection: keep-alive"));
@@ -284,10 +337,10 @@ mod tests {
         let first = drive(&mut c, wire).unwrap();
         assert_eq!(first.body, "one");
         assert!(c.next_request(1024).is_none(), "second waits for first");
-        c.queue_response(200, "r1", None);
+        c.queue_response(200, "r1", None, http::CONTENT_TYPE_JSON);
         let second = c.next_request(1024).unwrap();
         assert_eq!(second.body, "two");
-        c.queue_response(200, "r2", None);
+        c.queue_response(200, "r2", None, http::CONTENT_TYPE_JSON);
         let out = flush_all(&mut c);
         let p1 = out.find("r1").unwrap();
         let p2 = out.find("r2").unwrap();
@@ -303,7 +356,7 @@ mod tests {
         )
         .unwrap();
         assert!(request.close);
-        c.queue_response(200, "{}", None);
+        c.queue_response(200, "{}", None, http::CONTENT_TYPE_JSON);
         assert!(!c.finished(), "response must flush first");
         let out = flush_all(&mut c);
         assert!(out.contains("Connection: close"));
@@ -385,7 +438,7 @@ mod tests {
             !c.idle_expired(later, Duration::from_secs(5)),
             "in-flight request is exempt"
         );
-        c.queue_response(200, "{}", None);
+        c.queue_response(200, "{}", None, http::CONTENT_TYPE_JSON);
         assert!(
             c.idle_expired(later + Duration::from_secs(60), Duration::from_secs(5)),
             "idle keep-alive connection expires"

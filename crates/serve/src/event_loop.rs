@@ -29,11 +29,13 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
+use surf_obs::Trace;
 use surf_reactor::{Event, Poller, Waker};
 
 use crate::conn::Connection;
 use crate::error::ServeError;
-use crate::http::{render_response, Request};
+use crate::http::{render_response, Request, CONTENT_TYPE_JSON};
+use crate::obs::ServeObs;
 use crate::queue::WorkQueue;
 use crate::routes::handle_request;
 use crate::server::ServeContext;
@@ -60,6 +62,8 @@ pub(crate) struct HandlerJob {
     request: Request,
     /// When the request was parsed; `/stats` latency includes the queue wait.
     accepted: Instant,
+    /// The flight-recorder trace riding with this request, if it was sampled.
+    trace: Option<Trace>,
 }
 
 /// A handler's finished response, addressed back to its connection.
@@ -67,6 +71,7 @@ struct Completion {
     token: u64,
     status: u16,
     body: String,
+    content_type: &'static str,
     retry_after: Option<u64>,
 }
 
@@ -138,19 +143,31 @@ fn handler_worker(
     completions: &mpsc::Sender<Completion>,
     waker: &Waker,
 ) {
-    while let Some(job) = jobs.pop() {
+    while let Some(mut job) = jobs.pop() {
+        // Time between the reactor parsing the request and a handler picking it up.
+        context
+            .obs
+            .observe_since(&context.obs.queue_wait, job.accepted);
+        if let Some(trace) = &mut job.trace {
+            trace.record_span("queue_wait", job.accepted);
+        }
+        if let Some(trace) = job.trace.take() {
+            let _ = surf_obs::trace::install(trace);
+        }
         // Register with the coalescing queue for the span of the dispatch, so gathering
         // rounds know how many heavy requests can still contribute rows.
         let _flight = context.batch.as_ref().map(|batch| batch.flight());
-        let (status, body) = handle_request(context, &job.request);
+        let reply = handle_request(context, &job.request);
+        context.obs.finish_trace(surf_obs::trace::take());
         context
             .stats_for(&job.request.path)
-            .record(status, job.accepted.elapsed());
+            .record(reply.status, job.accepted.elapsed());
         let sent = completions.send(Completion {
             token: job.token,
-            status,
-            body,
-            retry_after: (status == 503).then_some(1),
+            status: reply.status,
+            body: reply.body,
+            content_type: reply.content_type,
+            retry_after: (reply.status == 503).then_some(1),
         });
         if sent.is_err() {
             return; // reactor gone: shutdown already past the drain
@@ -195,7 +212,7 @@ impl Reactor {
                                 fill_read(entry, self.settings.max_body_bytes);
                             }
                             if event.writable {
-                                flush_write(entry);
+                                flush_write(entry, &self.context.obs);
                             }
                             self.dirty.push(token);
                         }
@@ -229,12 +246,16 @@ impl Reactor {
                             retry_after_secs: 1,
                         };
                         let _ = stream.write(
-                            render_response(e.status(), &e.to_body(), false, e.retry_after())
-                                .as_bytes(),
+                            render_response(
+                                e.status(),
+                                &e.to_body(),
+                                false,
+                                e.retry_after(),
+                                CONTENT_TYPE_JSON,
+                            )
+                            .as_bytes(),
                         );
-                        self.context
-                            .admission_rejects
-                            .fetch_add(1, Ordering::Relaxed);
+                        self.context.obs.rejects_connections.inc();
                         continue; // drop the stream: connection refused under load
                     }
                     if stream.set_nonblocking(true).is_err() {
@@ -260,9 +281,7 @@ impl Reactor {
                         },
                     );
                     self.dirty.push(token);
-                    self.context
-                        .open_connections
-                        .fetch_add(1, Ordering::Relaxed);
+                    self.context.obs.open_connections.inc();
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
@@ -276,9 +295,12 @@ impl Reactor {
     fn attach_completions(&mut self) {
         while let Ok(done) = self.completions.try_recv() {
             if let Some(entry) = self.conns.get_mut(&done.token) {
-                entry
-                    .conn
-                    .queue_response(done.status, &done.body, done.retry_after);
+                entry.conn.queue_response(
+                    done.status,
+                    &done.body,
+                    done.retry_after,
+                    done.content_type,
+                );
                 self.dirty.push(done.token);
             }
         }
@@ -308,7 +330,7 @@ impl Reactor {
                     self.settings.max_body_bytes,
                     self.settings.max_pending_requests,
                 );
-                flush_write(entry);
+                flush_write(entry, &self.context.obs);
             }
             if entry.dead
                 || entry.conn.finished()
@@ -361,9 +383,7 @@ impl Reactor {
     fn close(&mut self, token: u64) {
         if let Some(entry) = self.conns.remove(&token) {
             let _ = self.poller.deregister(entry.stream.as_raw_fd());
-            self.context
-                .open_connections
-                .fetch_sub(1, Ordering::Relaxed);
+            self.context.obs.open_connections.dec();
         }
     }
 
@@ -379,7 +399,7 @@ impl Reactor {
                 if entry.dead {
                     continue;
                 }
-                flush_write(entry);
+                flush_write(entry, &self.context.obs);
                 if entry.conn.busy() || entry.conn.wants_write() {
                     waiting = true;
                 }
@@ -407,11 +427,23 @@ fn process_requests(
         // Protocol-level failures (400 framing errors, 413 oversized bodies) are answered
         // by the state machine itself and never reach dispatch; count them here.
         for status in entry.conn.take_errors() {
-            context.other_stats.record(status, Duration::ZERO);
+            context.obs.other.record(status, Duration::ZERO);
         }
         let Some(request) = request else { break };
         if entry.conn.requests_parsed() > 1 {
-            context.keepalive_reuses.fetch_add(1, Ordering::Relaxed);
+            context.obs.keepalive_reuses.inc();
+        }
+        // Time from the first byte of this request arriving to the parse completing,
+        // recorded here (the reactor) — the only thread that sees both ends.
+        let recv_started = entry.conn.take_recv_started();
+        if let Some(started) = recv_started {
+            context.obs.observe_since(&context.obs.recv_parse, started);
+        }
+        let mut trace = context
+            .obs
+            .begin_trace(&format!("{} {}", request.method, request.path));
+        if let (Some(trace), Some(started)) = (&mut trace, recv_started) {
+            trace.record_span("recv_parse", started);
         }
         let heavy =
             request.method == "POST" && matches!(request.path.as_str(), "/predict" | "/mine");
@@ -423,26 +455,37 @@ fn process_requests(
                     token,
                     request,
                     accepted,
+                    trace: trace.take(),
                 });
             if !admitted {
                 let e = ServeError::Overloaded {
                     retry_after_secs: 1,
                 };
-                context.admission_rejects.fetch_add(1, Ordering::Relaxed);
+                context.obs.rejects_queue.inc();
+                context.obs.finish_trace(trace.take());
                 context
                     .stats_for(&path)
                     .record(e.status(), accepted.elapsed());
-                entry
-                    .conn
-                    .queue_response(e.status(), &e.to_body(), e.retry_after());
+                entry.conn.queue_response(
+                    e.status(),
+                    &e.to_body(),
+                    e.retry_after(),
+                    CONTENT_TYPE_JSON,
+                );
             }
         } else {
             let started = Instant::now();
-            let (status, body) = handle_request(context, &request);
+            if let Some(trace) = trace.take() {
+                let _ = surf_obs::trace::install(trace);
+            }
+            let reply = handle_request(context, &request);
+            context.obs.finish_trace(surf_obs::trace::take());
             context
                 .stats_for(&request.path)
-                .record(status, started.elapsed());
-            entry.conn.queue_response(status, &body, None);
+                .record(reply.status, started.elapsed());
+            entry
+                .conn
+                .queue_response(reply.status, &reply.body, None, reply.content_type);
         }
     }
 }
@@ -468,8 +511,14 @@ fn fill_read(entry: &mut ConnEntry, max_body_bytes: usize) {
     }
 }
 
-/// Writes buffered response bytes until drained or the socket would block.
-fn flush_write(entry: &mut ConnEntry) {
+/// Writes buffered response bytes until drained or the socket would block. Each pass with
+/// bytes to move lands one observation in the `write_flush` histogram (an aggregate of
+/// flush passes, not a per-response figure — one response can take several passes).
+fn flush_write(entry: &mut ConnEntry, obs: &ServeObs) {
+    if !entry.conn.wants_write() {
+        return;
+    }
+    let timer = obs.timer();
     while entry.conn.wants_write() {
         match entry.stream.write(entry.conn.pending_write()) {
             Ok(0) => {
@@ -485,4 +534,5 @@ fn flush_write(entry: &mut ConnEntry) {
             }
         }
     }
+    obs.observe(&obs.write_flush, timer);
 }

@@ -200,26 +200,33 @@ fn find_header_end(buffer: &[u8]) -> Option<usize> {
     buffer.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-/// Renders one JSON response head + body. `keep_alive` selects the `Connection` header;
-/// `retry_after_secs` adds a `Retry-After` header (the admission-control 503 contract).
+/// `Content-Type` of the JSON endpoints (every route except `/metrics`).
+pub const CONTENT_TYPE_JSON: &str = "application/json";
+/// `Content-Type` of the Prometheus text exposition served by `GET /metrics`.
+pub const CONTENT_TYPE_METRICS: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Renders one response head + body. `keep_alive` selects the `Connection` header;
+/// `retry_after_secs` adds a `Retry-After` header (the admission-control 503 contract);
+/// `content_type` is [`CONTENT_TYPE_JSON`] for every route except `/metrics`.
 pub fn render_response(
     status: u16,
     body: &str,
     keep_alive: bool,
     retry_after_secs: Option<u64>,
+    content_type: &str,
 ) -> String {
     let connection = if keep_alive { "keep-alive" } else { "close" };
     let retry = retry_after_secs
         .map(|secs| format!("Retry-After: {secs}\r\n"))
         .unwrap_or_default();
     format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{retry}Connection: {connection}\r\n\r\n{body}",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n{retry}Connection: {connection}\r\n\r\n{body}",
         status_text(status),
         body.len(),
     )
 }
 
-/// Writes one JSON response and flushes it; the connection is marked `Connection: close`
+/// Writes one response and flushes it; the connection is marked `Connection: close`
 /// (the blocking transport serves one request per connection). A 503 body carries
 /// `Retry-After: 1`.
 ///
@@ -227,8 +234,19 @@ pub fn render_response(
 ///
 /// Any socket error from writing or flushing (the caller logs-and-drops: by this point
 /// there is no channel left to answer on).
-pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
-    let rendered = render_response(status, body, false, (status == 503).then_some(1));
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    content_type: &str,
+) -> std::io::Result<()> {
+    let rendered = render_response(
+        status,
+        body,
+        false,
+        (status == 503).then_some(1),
+        content_type,
+    );
     stream.write_all(rendered.as_bytes())?;
     stream.flush()
 }
@@ -557,13 +575,16 @@ mod tests {
 
     #[test]
     fn render_response_headers() {
-        let ok = render_response(200, "{}", true, None);
+        let ok = render_response(200, "{}", true, None, CONTENT_TYPE_JSON);
         assert!(ok.contains("Connection: keep-alive"));
+        assert!(ok.contains("Content-Type: application/json"));
         assert!(!ok.contains("Retry-After"));
-        let busy = render_response(503, "{}", true, Some(2));
+        let busy = render_response(503, "{}", true, Some(2), CONTENT_TYPE_JSON);
         assert!(busy.contains("HTTP/1.1 503 Service Unavailable"));
         assert!(busy.contains("Retry-After: 2"));
-        let closing = render_response(400, "{}", false, None);
+        let closing = render_response(400, "{}", false, None, CONTENT_TYPE_JSON);
         assert!(closing.contains("Connection: close"));
+        let text = render_response(200, "a 1\n", true, None, CONTENT_TYPE_METRICS);
+        assert!(text.contains("Content-Type: text/plain; version=0.0.4"));
     }
 }

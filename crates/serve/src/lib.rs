@@ -50,6 +50,7 @@ mod conn;
 pub mod error;
 mod event_loop;
 pub mod http;
+pub mod obs;
 mod queue;
 pub mod registry;
 pub mod routes;
@@ -57,7 +58,9 @@ pub mod server;
 
 pub use artifact::{ModelArtifact, SCHEMA_VERSION};
 pub use cache::{CacheConfig, CacheStats, PredictionCache};
-pub use coalesce::{BatchQueue, CoalesceConfig, CoalesceStats};
+pub use coalesce::{BatchQueue, CloseCauses, CoalesceConfig, CoalesceStats};
 pub use error::ServeError;
+pub use obs::ServeObs;
 pub use registry::{ModelInfo, ModelRegistry, ServableModel};
 pub use server::{serve, ServeContext, ServerConfig, ServerHandle, TransportMode};
+pub use surf_obs::ObsConfig;

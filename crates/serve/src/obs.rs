@@ -1,0 +1,411 @@
+//! Per-server observability: the metrics registry, latency-breakdown histograms and
+//! flight recorder behind `GET /metrics`, `GET /trace` and `GET /stats`.
+//!
+//! One [`ServeObs`] is owned by each [`ServeContext`] — servers in the same process (the
+//! e2e suite runs several) never share counters. The registry is the **single source of
+//! truth**: `/stats` reads the same instruments `/metrics` renders, and component
+//! counters that predate this module (cache, coalescing queue, job queue) are appended to
+//! the snapshot as adapter families so every number `/stats` serves has a Prometheus
+//! series with a stable name.
+//!
+//! Cost model: counters and gauges are always recorded — they are the same relaxed
+//! atomics the `/stats` endpoint has always been built on. What [`ObsConfig::metrics`]
+//! gates is the *new* clock reads behind the latency-breakdown histograms
+//! (`recv_parse`, `queue_wait`, `batch_wait`, `kernel`, `write_flush`), via the
+//! [`ServeObs::timer`] → [`ServeObs::observe`] pair whose disabled path never touches the
+//! clock. [`ObsConfig::tracing`] independently gates the flight recorder's sampled
+//! per-request traces.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use surf_obs::metrics::{default_duration_bounds, Counter, Gauge, Histogram, MetricsRegistry};
+use surf_obs::trace::{FlightRecorder, Trace};
+use surf_obs::{ObsConfig, Snapshot};
+
+use crate::server::{EndpointSnapshot, ServeContext};
+
+/// Request/error counters and a latency histogram for one route family, all registered
+/// instruments — the `/stats` endpoint snapshot and the `/metrics` exposition read the
+/// same cells.
+pub struct RouteStats {
+    requests: Arc<Counter>,
+    errors: Arc<Counter>,
+    latency: Arc<Histogram>,
+}
+
+impl RouteStats {
+    fn new(registry: &MetricsRegistry, route: &'static str) -> Self {
+        let labels = [("route", route)];
+        RouteStats {
+            requests: registry.counter_with(
+                "surf_serve_requests_total",
+                "Requests handled, by route family",
+                &labels,
+            ),
+            errors: registry.counter_with(
+                "surf_serve_errors_total",
+                "Requests answered with a 4xx/5xx status, by route family",
+                &labels,
+            ),
+            latency: registry.histogram_with(
+                "surf_serve_request_nanos",
+                "End-to-end request handling time (parse to response queued), by route family",
+                &default_duration_bounds(),
+                &labels,
+            ),
+        }
+    }
+
+    /// Records one handled request. The elapsed time was already being measured before
+    /// this module existed, so the histogram add costs what the old sum-of-micros did.
+    pub fn record(&self, status: u16, elapsed: Duration) {
+        self.requests.inc();
+        if status >= 400 {
+            self.errors.inc();
+        }
+        self.latency.observe_duration(elapsed);
+    }
+
+    /// The `/stats` view over the same instruments.
+    pub fn snapshot(&self) -> EndpointSnapshot {
+        let requests = self.requests.get();
+        let total_micros = self.latency.snapshot().sum / 1_000;
+        EndpointSnapshot {
+            requests,
+            errors: self.errors.get(),
+            total_micros,
+            mean_micros: total_micros.checked_div(requests).unwrap_or(0),
+        }
+    }
+}
+
+/// The per-server observability state: registry, route stats, breakdown histograms,
+/// connection instruments and the flight recorder.
+pub struct ServeObs {
+    config: ObsConfig,
+    registry: MetricsRegistry,
+    recorder: FlightRecorder,
+    /// `/predict` counters.
+    pub predict: RouteStats,
+    /// `/mine` counters.
+    pub mine: RouteStats,
+    /// Counters for every other route (listings, health, stats, metrics, errors).
+    pub other: RouteStats,
+    /// First request byte to complete parse (event loop; read-until-parsed under the
+    /// blocking transport).
+    pub recv_parse: Arc<Histogram>,
+    /// Parsed request to handler-pool dequeue.
+    pub queue_wait: Arc<Histogram>,
+    /// Coalescing submission to fuse start (recorded by the batcher).
+    pub batch_wait: Arc<Histogram>,
+    /// Compiled-ensemble `predict_batch` wall time (solo and fused calls alike).
+    pub kernel: Arc<Histogram>,
+    /// One reactor write-flush pass over a connection with pending bytes.
+    pub write_flush: Arc<Histogram>,
+    /// Currently open client connections.
+    pub open_connections: Arc<Gauge>,
+    /// Requests served over a reused keep-alive connection.
+    pub keepalive_reuses: Arc<Counter>,
+    /// Accepts refused at the connection cap.
+    pub rejects_connections: Arc<Counter>,
+    /// Heavy requests refused at the handler-queue cap.
+    pub rejects_queue: Arc<Counter>,
+}
+
+impl ServeObs {
+    /// Builds the registry, registers every serve instrument, and sizes the flight
+    /// recorder from the config.
+    pub fn new(config: &ObsConfig) -> Self {
+        let registry = MetricsRegistry::new();
+        let bounds = default_duration_bounds();
+        let recorder = if config.tracing {
+            FlightRecorder::new(config.trace_sample_every, config.trace_capacity)
+        } else {
+            FlightRecorder::new(0, 0)
+        };
+        let predict = RouteStats::new(&registry, "/predict");
+        let mine = RouteStats::new(&registry, "/mine");
+        let other = RouteStats::new(&registry, "other");
+        ServeObs {
+            recv_parse: registry.histogram(
+                "surf_serve_recv_parse_nanos",
+                "First request byte to complete parse",
+                &bounds,
+            ),
+            queue_wait: registry.histogram(
+                "surf_serve_queue_wait_nanos",
+                "Parsed heavy request to handler-pool dequeue",
+                &bounds,
+            ),
+            batch_wait: registry.histogram(
+                "surf_serve_batch_wait_nanos",
+                "Coalescing submission to fuse start (the gathering-window wait)",
+                &bounds,
+            ),
+            kernel: registry.histogram(
+                "surf_serve_kernel_nanos",
+                "Compiled-ensemble predict_batch wall time",
+                &bounds,
+            ),
+            write_flush: registry.histogram(
+                "surf_serve_write_flush_nanos",
+                "One write-flush pass over a connection with pending response bytes",
+                &bounds,
+            ),
+            open_connections: registry.gauge(
+                "surf_serve_open_connections",
+                "Currently open client connections",
+            ),
+            keepalive_reuses: registry.counter(
+                "surf_serve_keepalive_reuses_total",
+                "Requests served over a reused keep-alive connection",
+            ),
+            rejects_connections: registry.counter_with(
+                "surf_serve_admission_rejects_total",
+                "Requests refused by admission control with a 503, by cause",
+                &[("cause", "connections")],
+            ),
+            rejects_queue: registry.counter_with(
+                "surf_serve_admission_rejects_total",
+                "Requests refused by admission control with a 503, by cause",
+                &[("cause", "queue")],
+            ),
+            predict,
+            mine,
+            other,
+            config: config.clone(),
+            registry,
+            recorder,
+        }
+    }
+
+    /// The configuration this server was started with.
+    pub fn config(&self) -> &ObsConfig {
+        &self.config
+    }
+
+    /// The flight recorder (`/trace` reads it; transports finish traces into it).
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// Starts a breakdown-histogram timer, or `None` when [`ObsConfig::metrics`] is off —
+    /// the disabled path reads no clock.
+    pub fn timer(&self) -> Option<Instant> {
+        if self.config.metrics {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Completes a [`ServeObs::timer`] measurement into `histogram`.
+    pub fn observe(&self, histogram: &Histogram, started: Option<Instant>) {
+        if let Some(started) = started {
+            histogram.observe_duration(started.elapsed());
+        }
+    }
+
+    /// Records the time since `started` into `histogram` — for intervals whose start the
+    /// transport already had on hand (an accept or parse timestamp) regardless of
+    /// metrics. Gated the same as [`ServeObs::timer`]: off, no clock read happens here.
+    pub fn observe_since(&self, histogram: &Histogram, started: Instant) {
+        if self.config.metrics {
+            histogram.observe_duration(started.elapsed());
+        }
+    }
+
+    /// Starts a sampled request trace, or `None` when tracing is off or this request was
+    /// not sampled.
+    pub fn begin_trace(&self, label: &str) -> Option<Trace> {
+        if self.config.tracing {
+            self.recorder.begin(label)
+        } else {
+            None
+        }
+    }
+
+    /// Finishes a trace (if one was being carried) into the flight recorder.
+    pub fn finish_trace(&self, trace: Option<Trace>) {
+        if let Some(trace) = trace {
+            self.recorder.finish(trace);
+        }
+    }
+
+    /// Total admission-control rejections across causes (the `/stats` aggregate).
+    pub fn admission_rejects(&self) -> u64 {
+        self.rejects_connections.get() + self.rejects_queue.get()
+    }
+}
+
+/// Assembles the full `/metrics` snapshot for a server: the serve registry, adapter
+/// families for the component counters that keep their own atomics (cache, coalescing
+/// queue, job queue, uptime), and the process-wide [`surf_obs::global`] registry
+/// (training/mining spans). Deterministically ordered.
+pub fn metrics_snapshot(context: &ServeContext) -> Snapshot {
+    let mut snapshot = context.obs.registry.snapshot();
+
+    snapshot.push_gauge(
+        "surf_serve_uptime_seconds",
+        "Seconds since the server started",
+        &[],
+        context.started.elapsed().as_secs() as i64,
+    );
+    snapshot.push_gauge(
+        "surf_serve_workers",
+        "Resolved worker-pool size",
+        &[],
+        context.workers as i64,
+    );
+    snapshot.push_gauge(
+        "surf_serve_queue_depth",
+        "Heavy requests currently queued for the handler pool",
+        &[],
+        context.queue_depth() as i64,
+    );
+    snapshot.push_gauge(
+        "surf_serve_models",
+        "Registered models",
+        &[],
+        context.registry.len().unwrap_or(0) as i64,
+    );
+
+    let cache = context.cache.stats();
+    snapshot.push_counter(
+        "surf_serve_cache_hits_total",
+        "Prediction-cache lookups answered from the cache",
+        &[],
+        cache.hits,
+    );
+    snapshot.push_counter(
+        "surf_serve_cache_misses_total",
+        "Prediction-cache lookups that missed",
+        &[],
+        cache.misses,
+    );
+    snapshot.push_counter(
+        "surf_serve_cache_insertions_total",
+        "Prediction-cache entries inserted",
+        &[],
+        cache.insertions,
+    );
+    snapshot.push_counter(
+        "surf_serve_cache_evictions_total",
+        "Prediction-cache entries evicted to respect the capacity",
+        &[],
+        cache.evictions,
+    );
+    snapshot.push_counter(
+        "surf_serve_cache_invalidations_total",
+        "Prediction-cache entries dropped by model invalidation",
+        &[],
+        cache.invalidations,
+    );
+    snapshot.push_gauge(
+        "surf_serve_cache_entries",
+        "Prediction-cache entries currently resident",
+        &[],
+        cache.entries as i64,
+    );
+
+    let coalesce = context.coalesce_stats();
+    snapshot.push_gauge(
+        "surf_serve_coalesce_enabled",
+        "Whether a coalescing queue is running (1/0)",
+        &[],
+        i64::from(coalesce.enabled),
+    );
+    snapshot.push_gauge(
+        "surf_serve_coalesce_pending_rows",
+        "Rows gathered but not yet fused",
+        &[],
+        coalesce.pending_rows as i64,
+    );
+    snapshot.push_counter(
+        "surf_serve_coalesce_fused_batches_total",
+        "Fused predict_batch calls issued",
+        &[],
+        coalesce.fused_batches,
+    );
+    snapshot.push_counter(
+        "surf_serve_coalesce_fused_jobs_total",
+        "Submissions served through fused predict_batch calls",
+        &[],
+        coalesce.fused_jobs,
+    );
+    snapshot.push_counter(
+        "surf_serve_coalesce_fused_rows_total",
+        "Rows evaluated through fused predict_batch calls",
+        &[],
+        coalesce.fused_rows,
+    );
+    snapshot.push_gauge(
+        "surf_serve_coalesce_max_batch_rows",
+        "Largest single fused batch seen, in rows",
+        &[],
+        coalesce.max_batch_rows as i64,
+    );
+    let close_help = "Gathering-window closes, by cause";
+    let close_name = "surf_serve_coalesce_batch_close_total";
+    snapshot.push_counter(
+        close_name,
+        close_help,
+        &[("cause", "window")],
+        coalesce.close_causes.window,
+    );
+    snapshot.push_counter(
+        close_name,
+        close_help,
+        &[("cause", "rows")],
+        coalesce.close_causes.rows,
+    );
+    snapshot.push_counter(
+        close_name,
+        close_help,
+        &[("cause", "waiters")],
+        coalesce.close_causes.waiters,
+    );
+    snapshot.push_counter(
+        close_name,
+        close_help,
+        &[("cause", "shutdown")],
+        coalesce.close_causes.shutdown,
+    );
+    // The batch-size distribution re-expressed as a Prometheus histogram: per-batch row
+    // counts are the observations, so sum = fused rows and count = fused batches.
+    let bounds: Vec<u64> = coalesce
+        .batch_rows_histogram
+        .iter()
+        .map(|b| b.le_rows)
+        .filter(|&le| le != u64::MAX)
+        .collect();
+    let mut counts: Vec<u64> = coalesce
+        .batch_rows_histogram
+        .iter()
+        .map(|b| b.batches)
+        .collect();
+    if coalesce.batch_rows_histogram.is_empty() {
+        counts = vec![0];
+    }
+    snapshot.push_histogram(
+        "surf_serve_coalesce_batch_rows",
+        "Rows per fused predict_batch call",
+        &[],
+        surf_obs::metrics::HistogramSnapshot {
+            count: counts.iter().sum(),
+            sum: coalesce.fused_rows,
+            bounds,
+            counts,
+        },
+    );
+
+    snapshot.merge(surf_obs::global().registry.snapshot());
+    snapshot.sort();
+    snapshot
+}
+
+/// Renders the assembled snapshot as Prometheus text (the `GET /metrics` body).
+pub fn render_metrics(context: &ServeContext) -> String {
+    surf_obs::expo::render(&metrics_snapshot(context))
+}

@@ -6,22 +6,26 @@
 //! | `/mine`          | POST   | GSO region mining against a registered surrogate     |
 //! | `/models`        | GET    | List registered models                               |
 //! | `/healthz`       | GET    | Liveness + model count                               |
-//! | `/stats`         | GET    | Cache and per-endpoint latency counters              |
+//! | `/stats`         | GET    | JSON view over the metrics registry                  |
+//! | `/metrics`       | GET    | Prometheus text exposition of the same registry      |
+//! | `/trace`         | GET    | Flight-recorder samples (recent request traces)      |
 //!
 //! Every error path returns `{"error": {"code", "message"}}` with the status from
 //! [`ServeError::status`] — handlers never panic on user input and never drop the connection
-//! without a response.
+//! without a response. `/stats` and `/metrics` are two renderings of the **same**
+//! instruments (see [`crate::obs`]): a counter visible in one is visible in the other.
 
 use serde::{Deserialize, Serialize};
 use surf_core::finder::MiningOutcome;
 use surf_core::objective::Threshold;
 use surf_data::region::Region;
 use surf_data::statistic::Statistic;
+use surf_obs::TraceSample;
 
 use crate::cache::CacheStats;
 use crate::coalesce::{CoalesceStats, QueuedSurrogate};
 use crate::error::ServeError;
-use crate::http::Request;
+use crate::http::{Request, CONTENT_TYPE_JSON, CONTENT_TYPE_METRICS};
 use crate::registry::ModelInfo;
 use crate::server::{EndpointSnapshot, ServeContext};
 
@@ -175,50 +179,112 @@ pub struct StatsResponse {
     pub other: EndpointSnapshot,
 }
 
-/// Dispatches one request; always returns a status and a JSON body.
-pub fn handle_request(context: &ServeContext, request: &Request) -> (u16, String) {
+/// Response of `GET /trace`: the flight recorder's most recent sampled request traces.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TraceResponse {
+    /// Whether tracing is enabled on this server.
+    pub enabled: bool,
+    /// One request in this many is sampled (0 = none).
+    pub sample_every: u64,
+    /// Requests that passed through the sampling decision (sampled or not).
+    pub requests_seen: u64,
+    /// Recorded traces, newest first.
+    pub samples: Vec<TraceSample>,
+}
+
+/// A dispatched response: status, body, and the body's `Content-Type` (JSON everywhere
+/// except the Prometheus text of `GET /metrics`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reply {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body.
+    pub body: String,
+    /// `Content-Type` of the body.
+    pub content_type: &'static str,
+}
+
+/// Dispatches one request; always returns a complete [`Reply`] (errors become structured
+/// JSON bodies, never dropped connections).
+pub fn handle_request(context: &ServeContext, request: &Request) -> Reply {
     match route(context, request) {
-        Ok(body) => (200, body),
-        Err(e) => (e.status(), e.to_body()),
+        Ok(reply) => reply,
+        Err(e) => Reply {
+            status: e.status(),
+            body: e.to_body(),
+            content_type: CONTENT_TYPE_JSON,
+        },
     }
 }
 
-fn route(context: &ServeContext, request: &Request) -> Result<String, ServeError> {
+fn json_reply(body: String) -> Reply {
+    Reply {
+        status: 200,
+        body,
+        content_type: CONTENT_TYPE_JSON,
+    }
+}
+
+fn route(context: &ServeContext, request: &Request) -> Result<Reply, ServeError> {
     match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/predict") => predict(context, &request.body),
-        ("POST", "/mine") => mine(context, &request.body),
+        ("POST", "/predict") => predict(context, &request.body).map(json_reply),
+        ("POST", "/mine") => mine(context, &request.body).map(json_reply),
         ("GET", "/models") => to_json(&ModelsResponse {
             models: context.registry.list()?,
-        }),
+        })
+        .map(json_reply),
         ("GET", "/healthz") => to_json(&HealthResponse {
             status: "ok".to_string(),
             models: context.registry.len()?,
+        })
+        .map(json_reply),
+        ("GET", "/stats") => stats(context).map(json_reply),
+        ("GET", "/metrics") => Ok(Reply {
+            status: 200,
+            body: crate::obs::render_metrics(context),
+            content_type: CONTENT_TYPE_METRICS,
         }),
-        ("GET", "/stats") => to_json(&StatsResponse {
-            uptime_secs: context.started.elapsed().as_secs(),
-            workers: context.workers,
-            transport: context.transport.label().to_string(),
-            open_connections: context
-                .open_connections
-                .load(std::sync::atomic::Ordering::Relaxed),
-            keepalive_reuses: context
-                .keepalive_reuses
-                .load(std::sync::atomic::Ordering::Relaxed),
-            queue_depth: context.queue_depth(),
-            admission_rejects: context
-                .admission_rejects
-                .load(std::sync::atomic::Ordering::Relaxed),
-            cache: context.cache.stats(),
-            coalesce: context.coalesce_stats(),
-            predict: context.predict_stats.snapshot(),
-            mine: context.mine_stats.snapshot(),
-            other: context.other_stats.snapshot(),
-        }),
-        (_, "/predict" | "/mine" | "/models" | "/healthz" | "/stats") => {
+        ("GET", "/trace") => {
+            let obs = &context.obs;
+            let config = obs.config();
+            to_json(&TraceResponse {
+                enabled: config.tracing && config.trace_sample_every > 0,
+                sample_every: if config.tracing {
+                    config.trace_sample_every
+                } else {
+                    0
+                },
+                requests_seen: obs.recorder().requests_seen(),
+                samples: obs.recorder().samples(config.trace_capacity.max(1)),
+            })
+            .map(json_reply)
+        }
+        (_, "/predict" | "/mine" | "/models" | "/healthz" | "/stats" | "/metrics" | "/trace") => {
             Err(ServeError::MethodNotAllowed(request.method.clone()))
         }
         (_, path) => Err(ServeError::NotFound(format!("route `{path}`"))),
     }
+}
+
+/// `/stats` is a *view* over the same instruments `/metrics` renders: every number below
+/// is read from the [`crate::obs::ServeObs`] registry or from the component stats structs
+/// the `/metrics` adapter families are built from.
+fn stats(context: &ServeContext) -> Result<String, ServeError> {
+    let obs = &context.obs;
+    to_json(&StatsResponse {
+        uptime_secs: context.started.elapsed().as_secs(),
+        workers: context.workers,
+        transport: context.transport.label().to_string(),
+        open_connections: obs.open_connections.get().max(0) as u64,
+        keepalive_reuses: obs.keepalive_reuses.get(),
+        queue_depth: context.queue_depth(),
+        admission_rejects: obs.admission_rejects(),
+        cache: context.cache.stats(),
+        coalesce: context.coalesce_stats(),
+        predict: obs.predict.snapshot(),
+        mine: obs.mine.snapshot(),
+        other: obs.other.snapshot(),
+    })
 }
 
 fn predict(context: &ServeContext, body: &str) -> Result<String, ServeError> {
@@ -345,5 +411,10 @@ fn mine(context: &ServeContext, body: &str) -> Result<String, ServeError> {
 }
 
 fn to_json<T: serde::Serialize>(value: &T) -> Result<String, ServeError> {
-    serde_json::to_string(value).map_err(|e| ServeError::Io(e.to_string()))
+    // When this thread carries a sampled trace, the serialization cost shows up as its
+    // own span; untraced requests pay two thread-local reads.
+    let span = surf_obs::trace::span_timer();
+    let rendered = serde_json::to_string(value).map_err(|e| ServeError::Io(e.to_string()));
+    surf_obs::trace::record_span("serialize", span);
+    rendered
 }

@@ -25,18 +25,20 @@
 //! not abandoned mid-write.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 use surf_data::region::Region;
+use surf_obs::ObsConfig;
 
 use crate::cache::{CacheConfig, PredictionCache};
-use crate::coalesce::{BatchQueue, CoalesceConfig, CoalesceStats};
+use crate::coalesce::{BatchInstruments, BatchQueue, CoalesceConfig, CoalesceStats};
 use crate::error::ServeError;
 use crate::event_loop::{spawn_event_transport, EventLoopSettings, HandlerJob};
-use crate::http::{read_request, write_response};
+use crate::http::{read_request, write_response, CONTENT_TYPE_JSON};
+use crate::obs::{RouteStats, ServeObs};
 use crate::queue::WorkQueue;
 use crate::registry::{ModelRegistry, ServableModel};
 use crate::routes::handle_request;
@@ -88,6 +90,8 @@ pub struct ServerConfig {
     pub max_pending_requests: usize,
     /// Cross-request coalescing of surrogate evaluations.
     pub coalesce: CoalesceConfig,
+    /// Observability: metrics registry and flight-recorder tracing (see [`crate::obs`]).
+    pub obs: ObsConfig,
 }
 
 impl Default for ServerConfig {
@@ -102,43 +106,13 @@ impl Default for ServerConfig {
             max_connections: 1_024,
             max_pending_requests: 256,
             coalesce: CoalesceConfig::default(),
+            obs: ObsConfig::default(),
         }
     }
 }
 
-/// Per-endpoint request counters (monotonic).
-#[derive(Default)]
-pub struct EndpointStats {
-    requests: AtomicU64,
-    errors: AtomicU64,
-    total_micros: AtomicU64,
-}
-
-impl EndpointStats {
-    /// Records one handled request.
-    pub fn record(&self, status: u16, elapsed: Duration) {
-        self.requests.fetch_add(1, Ordering::Relaxed);
-        if status >= 400 {
-            self.errors.fetch_add(1, Ordering::Relaxed);
-        }
-        self.total_micros
-            .fetch_add(elapsed.as_micros() as u64, Ordering::Relaxed);
-    }
-
-    /// A snapshot for `/stats`.
-    pub fn snapshot(&self) -> EndpointSnapshot {
-        let requests = self.requests.load(Ordering::Relaxed);
-        let total_micros = self.total_micros.load(Ordering::Relaxed);
-        EndpointSnapshot {
-            requests,
-            errors: self.errors.load(Ordering::Relaxed),
-            total_micros,
-            mean_micros: total_micros.checked_div(requests).unwrap_or(0),
-        }
-    }
-}
-
-/// Serializable form of [`EndpointStats`].
+/// Per-endpoint counters as served by `/stats` — derived from the
+/// [`crate::obs::RouteStats`] instruments, which also feed `/metrics`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EndpointSnapshot {
     /// Requests handled.
@@ -151,31 +125,21 @@ pub struct EndpointSnapshot {
     pub mean_micros: u64,
 }
 
-/// Shared state of a serving process: registry, cache, queues and counters.
+/// Shared state of a serving process: registry, cache, queues and instruments.
 pub struct ServeContext {
     /// The models being served.
     pub registry: Arc<ModelRegistry>,
     /// The shared prediction cache.
     pub cache: PredictionCache,
-    /// `/predict` counters.
-    pub predict_stats: EndpointStats,
-    /// `/mine` counters.
-    pub mine_stats: EndpointStats,
-    /// Counters for every other route (listings, health, stats, errors).
-    pub other_stats: EndpointStats,
+    /// Every instrument this server records — the single source `/stats`, `/metrics` and
+    /// `/trace` all read from.
+    pub obs: ServeObs,
     /// Resolved worker-pool size.
     pub workers: usize,
     /// The transport this server runs.
     pub transport: TransportMode,
     /// When the server started.
     pub started: Instant,
-    /// Currently open client connections (gauge).
-    pub open_connections: AtomicU64,
-    /// Requests served over a reused keep-alive connection (the second and later requests
-    /// on each connection).
-    pub keepalive_reuses: AtomicU64,
-    /// Requests (or accepts) refused by admission control with a `503`.
-    pub admission_rejects: AtomicU64,
     /// The coalescing queue, when enabled.
     pub(crate) batch: Option<Arc<BatchQueue>>,
     /// The handler-pool job queue (event loop only) — exposed for `/stats` depth reads
@@ -206,11 +170,11 @@ impl ServeContext {
     }
 
     /// The endpoint counter bucket for a request path.
-    pub(crate) fn stats_for(&self, path: &str) -> &EndpointStats {
+    pub(crate) fn stats_for(&self, path: &str) -> &RouteStats {
         match path {
-            "/predict" => &self.predict_stats,
-            "/mine" => &self.mine_stats,
-            _ => &self.other_stats,
+            "/predict" => &self.obs.predict,
+            "/mine" => &self.obs.mine,
+            _ => &self.obs.other,
         }
     }
 
@@ -223,8 +187,22 @@ impl ServeContext {
         regions: &[Region],
     ) -> Vec<f64> {
         match &self.batch {
-            Some(queue) => queue.evaluate(model, regions),
-            None => surf_core::Surrogate::predict_batch(model.engine.surrogate(), regions),
+            Some(queue) => {
+                // The batcher thread records the precise batch-wait and kernel time; the
+                // submitter's trace gets the whole round trip as one span.
+                let span = surf_obs::trace::span_timer();
+                let values = queue.evaluate(model, regions);
+                surf_obs::trace::record_span("coalesce_evaluate", span);
+                values
+            }
+            None => {
+                let timer = self.obs.timer();
+                let span = surf_obs::trace::span_timer();
+                let values = surf_core::Surrogate::predict_batch(model.engine.surrogate(), regions);
+                self.obs.observe(&self.obs.kernel, timer);
+                surf_obs::trace::record_span("kernel", span);
+                values
+            }
         }
     }
 
@@ -300,10 +278,19 @@ pub fn serve(
     let shutdown = Arc::new(AtomicBool::new(false));
     let mut threads = Vec::new();
 
+    let obs = ServeObs::new(&config.obs);
     let batch = if config.coalesce.enabled {
         // The handler pool bounds concurrent submitters, so the gathering window can
         // close as soon as `workers` jobs are in — see `BatchQueue::start`.
         let (queue, batchers) = BatchQueue::start(&config.coalesce, workers);
+        if config.obs.metrics {
+            // The batcher thread is where batch-window wait and fused-kernel time are
+            // actually known; hand it the registry's histograms.
+            queue.set_instruments(BatchInstruments {
+                batch_wait: Arc::clone(&obs.batch_wait),
+                kernel: Arc::clone(&obs.kernel),
+            });
+        }
         threads.extend(batchers);
         Some(queue)
     } else {
@@ -317,15 +304,10 @@ pub fn serve(
     let context = Arc::new(ServeContext {
         registry,
         cache: PredictionCache::new(&config.cache),
-        predict_stats: EndpointStats::default(),
-        mine_stats: EndpointStats::default(),
-        other_stats: EndpointStats::default(),
+        obs,
         workers,
         transport: config.transport,
         started: Instant::now(),
-        open_connections: AtomicU64::new(0),
-        keepalive_reuses: AtomicU64::new(0),
-        admission_rejects: AtomicU64::new(0),
         batch: batch.clone(),
         jobs: jobs.clone(),
     });
@@ -393,13 +375,13 @@ fn spawn_blocking_transport(
     max_body_bytes: usize,
     threads: &mut Vec<std::thread::JoinHandle<()>>,
 ) {
-    let queue: Arc<WorkQueue<TcpStream>> = Arc::new(WorkQueue::new());
+    let queue: Arc<WorkQueue<(TcpStream, Instant)>> = Arc::new(WorkQueue::new());
     for _ in 0..workers {
         let queue = Arc::clone(&queue);
         let context = Arc::clone(context);
         threads.push(std::thread::spawn(move || {
-            while let Some(stream) = queue.pop() {
-                handle_connection(stream, &context, max_body_bytes);
+            while let Some((stream, accepted)) = queue.pop() {
+                handle_connection(stream, accepted, &context, max_body_bytes);
             }
         }));
     }
@@ -408,7 +390,7 @@ fn spawn_blocking_transport(
         while !shutdown.load(Ordering::SeqCst) {
             match listener.accept() {
                 Ok((stream, _)) => {
-                    queue.push(stream);
+                    queue.push((stream, Instant::now()));
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(5));
@@ -422,14 +404,43 @@ fn spawn_blocking_transport(
 }
 
 /// Serves one connection: read, dispatch, respond, close. Parse failures still produce a
-/// structured JSON error response rather than a dropped connection.
-fn handle_connection(mut stream: TcpStream, context: &ServeContext, max_body: usize) {
-    context.open_connections.fetch_add(1, Ordering::Relaxed);
+/// structured JSON error response rather than a dropped connection. Records the same
+/// breakdown histograms (and span names) as the event transport: `queue_wait` is the time
+/// the accepted socket sat in the [`WorkQueue`], `recv_parse` covers `read_request`, and
+/// `write_flush` the blocking response write.
+fn handle_connection(
+    mut stream: TcpStream,
+    accepted: Instant,
+    context: &ServeContext,
+    max_body: usize,
+) {
+    let obs = &context.obs;
+    obs.open_connections.inc();
+    obs.observe_since(&obs.queue_wait, accepted);
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
     let started = Instant::now();
-    let (status, body, stats) = match read_request(&mut stream, max_body) {
+    match read_request(&mut stream, max_body) {
         Ok(request) => {
+            obs.observe_since(&obs.recv_parse, started);
+            let parse_done = Instant::now();
+            let mut trace = obs.begin_trace(&format!("{} {}", request.method, request.path));
+            if let Some(trace) = &mut trace {
+                // Both happened before the trace existed; record them at offset zero.
+                trace.record_measured(
+                    "queue_wait",
+                    0,
+                    started.saturating_duration_since(accepted).as_nanos() as u64,
+                );
+                trace.record_measured(
+                    "recv_parse",
+                    0,
+                    parse_done.saturating_duration_since(started).as_nanos() as u64,
+                );
+            }
+            if let Some(trace) = trace.take() {
+                let _ = surf_obs::trace::install(trace);
+            }
             // Heavy dispatches register with the coalescing queue (when one is running) so
             // gathering rounds know how many requests can still contribute rows.
             let heavy =
@@ -437,12 +448,19 @@ fn handle_connection(mut stream: TcpStream, context: &ServeContext, max_body: us
             let _flight = heavy
                 .then(|| context.batch.as_ref().map(|batch| batch.flight()))
                 .flatten();
-            let (status, body) = handle_request(context, &request);
-            (status, body, context.stats_for(&request.path))
+            let reply = handle_request(context, &request);
+            obs.finish_trace(surf_obs::trace::take());
+            context
+                .stats_for(&request.path)
+                .record(reply.status, started.elapsed());
+            let flush_timer = obs.timer();
+            let _ = write_response(&mut stream, reply.status, &reply.body, reply.content_type);
+            obs.observe(&obs.write_flush, flush_timer);
         }
-        Err(e) => (e.status(), e.to_body(), &context.other_stats),
-    };
-    stats.record(status, started.elapsed());
-    let _ = write_response(&mut stream, status, &body);
-    context.open_connections.fetch_sub(1, Ordering::Relaxed);
+        Err(e) => {
+            obs.other.record(e.status(), started.elapsed());
+            let _ = write_response(&mut stream, e.status(), &e.to_body(), CONTENT_TYPE_JSON);
+        }
+    }
+    obs.open_connections.dec();
 }

@@ -1,0 +1,343 @@
+//! End-to-end tests of the observability surface over real TCP: `/metrics` serves valid
+//! Prometheus text whose breakdown histograms were actually recorded by the transports,
+//! `/stats` agrees with `/metrics` (they are two views over the same registry), the
+//! flight recorder serves traces on `/trace`, and the blocking transport records the same
+//! span names and histograms as the event loop.
+
+use std::sync::Arc;
+
+use serde::Value;
+use surf_core::objective::Threshold;
+use surf_core::{Surf, SurfConfig};
+use surf_data::region::Region;
+use surf_data::statistic::Statistic;
+use surf_data::synthetic::{SyntheticDataset, SyntheticSpec};
+use surf_obs::expo;
+use surf_optim::gso::GsoParams;
+use surf_serve::cache::CacheConfig;
+use surf_serve::http::HttpClient;
+use surf_serve::routes::{PredictRequest, RegionSpec, StatsResponse};
+use surf_serve::{
+    serve, CoalesceConfig, ModelArtifact, ModelRegistry, ObsConfig, ServerConfig, ServerHandle,
+    TransportMode,
+};
+
+fn quick_engine(seed: u64) -> Surf {
+    let synthetic = SyntheticDataset::generate(
+        &SyntheticSpec::density(2, 1)
+            .with_points(1_500)
+            .with_seed(seed),
+    );
+    let config = SurfConfig::builder()
+        .statistic(Statistic::Count)
+        .threshold(Threshold::above(200.0))
+        .training_queries(300)
+        .gbrt(surf_ml::gbrt::GbrtParams::quick().with_n_estimators(10))
+        .gso(GsoParams::quick().with_iterations(25))
+        .kde_sample(96)
+        .seed(seed)
+        .build();
+    Surf::fit(&synthetic.dataset, &config).unwrap()
+}
+
+fn start(engine: &Surf, config: ServerConfig) -> ServerHandle {
+    let registry = Arc::new(ModelRegistry::new());
+    registry
+        .register(ModelArtifact::from_engine("m", engine))
+        .unwrap();
+    serve(registry, &config).unwrap()
+}
+
+/// Cache off so every `/predict` reaches the surrogate; trace sampling pinned to every
+/// request so the flight recorder's contents are deterministic.
+fn obs_config(transport: TransportMode) -> ServerConfig {
+    ServerConfig {
+        workers: 2,
+        cache: CacheConfig {
+            capacity: 0,
+            ..CacheConfig::default()
+        },
+        transport,
+        coalesce: CoalesceConfig::default(),
+        obs: ObsConfig {
+            trace_sample_every: 1,
+            ..ObsConfig::default()
+        },
+        ..ServerConfig::default()
+    }
+}
+
+fn predict_body(regions: &[Region]) -> String {
+    serde_json::to_string(&PredictRequest {
+        model: "m".to_string(),
+        region: None,
+        regions: Some(regions.iter().map(RegionSpec::from_region).collect()),
+    })
+    .unwrap()
+}
+
+fn probe_regions(offset: usize, count: usize) -> Vec<Region> {
+    (0..count)
+        .map(|i| {
+            let t = (offset + i) as f64 * 0.31;
+            Region::new(
+                vec![
+                    0.15 + 0.7 * (t.sin() * 0.5 + 0.5),
+                    0.2 + 0.6 * (t.cos() * 0.5 + 0.5),
+                ],
+                vec![0.05 + 0.02 * ((i % 3) as f64), 0.07],
+            )
+            .unwrap()
+        })
+        .collect()
+}
+
+/// Drives a handful of requests and returns the parsed `/metrics` samples plus the
+/// `/stats` snapshot taken over the same connection (so keep-alive counters are stable).
+fn drive_and_scrape(addr: &str) -> (Vec<expo::Sample>, StatsResponse, String) {
+    let mut client = HttpClient::connect(addr).unwrap();
+    let regions = probe_regions(0, 3);
+    for i in 0..4 {
+        let response = if i % 2 == 0 {
+            client
+                .request("POST", "/predict", Some(&predict_body(&regions)))
+                .unwrap()
+        } else {
+            client.request("GET", "/healthz", None).unwrap()
+        };
+        assert_eq!(response.status, 200, "request {i}: {}", response.body);
+    }
+    let stats: StatsResponse =
+        serde_json::from_str(&client.request("GET", "/stats", None).unwrap().body).unwrap();
+    let metrics = client.request("GET", "/metrics", None).unwrap();
+    assert_eq!(metrics.status, 200);
+    assert_eq!(
+        metrics.header("content-type"),
+        Some("text/plain; version=0.0.4; charset=utf-8")
+    );
+    expo::validate(&metrics.body)
+        .unwrap_or_else(|violations| panic!("invalid exposition: {violations:?}"));
+    let samples = expo::parse(&metrics.body).unwrap();
+    (samples, stats, metrics.body)
+}
+
+fn value(samples: &[expo::Sample], name: &str) -> f64 {
+    samples
+        .iter()
+        .find(|s| s.name == name && s.labels.is_empty())
+        .unwrap_or_else(|| panic!("sample `{name}` missing"))
+        .value
+}
+
+fn labeled(samples: &[expo::Sample], name: &str, key: &str, label: &str) -> f64 {
+    samples
+        .iter()
+        .find(|s| s.name == name && s.label(key) == Some(label))
+        .unwrap_or_else(|| panic!("sample `{name}{{{key}=\"{label}\"}}` missing"))
+        .value
+}
+
+#[test]
+fn event_loop_metrics_record_breakdown_and_agree_with_stats() {
+    let engine = quick_engine(41);
+    let handle = start(&engine, obs_config(TransportMode::EventLoop));
+    let addr = handle.addr().to_string();
+
+    let (samples, stats, _body) = drive_and_scrape(&addr);
+
+    // The breakdown histograms were actually recorded by the transport, per stage.
+    for stage in [
+        "surf_serve_recv_parse_nanos_count",
+        "surf_serve_queue_wait_nanos_count",
+        "surf_serve_batch_wait_nanos_count",
+        "surf_serve_kernel_nanos_count",
+        "surf_serve_write_flush_nanos_count",
+    ] {
+        assert!(
+            value(&samples, stage) > 0.0,
+            "{stage} must have observations after traffic"
+        );
+    }
+
+    // `/stats` is a view over the same registry: route counters must agree exactly
+    // (the metrics scrape happened after the stats read on the same connection, and
+    // `/metrics` itself lands in the `other` family only after being counted).
+    assert_eq!(
+        labeled(&samples, "surf_serve_requests_total", "route", "/predict"),
+        stats.predict.requests as f64
+    );
+    assert_eq!(
+        labeled(&samples, "surf_serve_errors_total", "route", "/predict"),
+        stats.predict.errors as f64
+    );
+    // The `/metrics` request is itself the next keep-alive reuse on this connection
+    // (counted at parse, before the scrape renders), so the scrape runs one ahead of
+    // the `/stats` snapshot taken one request earlier.
+    assert_eq!(
+        value(&samples, "surf_serve_keepalive_reuses_total"),
+        (stats.keepalive_reuses + 1) as f64
+    );
+    assert_eq!(
+        value(&samples, "surf_serve_coalesce_fused_jobs_total"),
+        stats.coalesce.fused_jobs as f64
+    );
+    let close_total = labeled(
+        &samples,
+        "surf_serve_coalesce_batch_close_total",
+        "cause",
+        "window",
+    ) + labeled(
+        &samples,
+        "surf_serve_coalesce_batch_close_total",
+        "cause",
+        "rows",
+    ) + labeled(
+        &samples,
+        "surf_serve_coalesce_batch_close_total",
+        "cause",
+        "waiters",
+    ) + labeled(
+        &samples,
+        "surf_serve_coalesce_batch_close_total",
+        "cause",
+        "shutdown",
+    );
+    let causes = stats.coalesce.close_causes;
+    assert_eq!(
+        close_total,
+        (causes.window + causes.rows + causes.waiters + causes.shutdown) as f64
+    );
+    assert!(
+        close_total >= 1.0,
+        "coalesced traffic must close at least one gathering round"
+    );
+
+    // The process-global training spans ride along in the same exposition (the engine
+    // above was trained in this process).
+    assert!(
+        value(&samples, "surf_ml_round_fit_nanos_count") > 0.0,
+        "training rounds must have recorded into the global registry"
+    );
+
+    handle.shutdown();
+}
+
+#[test]
+fn trace_endpoint_serves_sampled_spans() {
+    let engine = quick_engine(43);
+    let handle = start(&engine, obs_config(TransportMode::EventLoop));
+    let addr = handle.addr().to_string();
+
+    let mut client = HttpClient::connect(&addr).unwrap();
+    let regions = probe_regions(5, 2);
+    for _ in 0..3 {
+        let response = client
+            .request("POST", "/predict", Some(&predict_body(&regions)))
+            .unwrap();
+        assert_eq!(response.status, 200);
+    }
+    let trace = client.request("GET", "/trace", None).unwrap();
+    assert_eq!(trace.status, 200);
+    let parsed: Value = serde_json::from_str(&trace.body).unwrap();
+    assert_eq!(parsed.get("enabled"), Some(&Value::Bool(true)));
+    let Some(Value::Array(samples)) = parsed.get("samples") else {
+        panic!("trace body missing `samples` array: {}", trace.body);
+    };
+    assert!(
+        !samples.is_empty(),
+        "sample_every=1 must record every request"
+    );
+    let predict_sample = samples
+        .iter()
+        .find(|s| s.get("label").and_then(Value::as_str) == Some("POST /predict"))
+        .expect("a /predict trace must be recorded");
+    let Some(Value::Array(spans)) = predict_sample.get("spans") else {
+        panic!("trace sample missing `spans` array: {predict_sample:?}");
+    };
+    let span_names: Vec<&str> = spans
+        .iter()
+        .filter_map(|s| s.get("name").and_then(Value::as_str))
+        .collect();
+    for expected in ["recv_parse", "queue_wait", "coalesce_evaluate", "serialize"] {
+        assert!(
+            span_names.contains(&expected),
+            "span `{expected}` missing from {span_names:?}"
+        );
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn blocking_transport_records_the_same_breakdown() {
+    let engine = quick_engine(47);
+    let handle = start(&engine, obs_config(TransportMode::Blocking));
+    let addr = handle.addr().to_string();
+
+    // The blocking transport closes after each response; use one connection per request.
+    let regions = probe_regions(9, 2);
+    for _ in 0..3 {
+        let mut client = HttpClient::connect(&addr).unwrap();
+        let response = client
+            .request("POST", "/predict", Some(&predict_body(&regions)))
+            .unwrap();
+        assert_eq!(response.status, 200);
+    }
+    let mut client = HttpClient::connect(&addr).unwrap();
+    let metrics = client.request("GET", "/metrics", None).unwrap();
+    expo::validate(&metrics.body)
+        .unwrap_or_else(|violations| panic!("invalid exposition: {violations:?}"));
+    let samples = expo::parse(&metrics.body).unwrap();
+    for stage in [
+        "surf_serve_recv_parse_nanos_count",
+        "surf_serve_queue_wait_nanos_count",
+        "surf_serve_kernel_nanos_count",
+        "surf_serve_write_flush_nanos_count",
+    ] {
+        assert!(
+            value(&samples, stage) > 0.0,
+            "{stage} must be recorded by the blocking transport too"
+        );
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn disabled_observability_still_serves_consistent_endpoints() {
+    let engine = quick_engine(53);
+    let mut config = obs_config(TransportMode::EventLoop);
+    config.obs = ObsConfig::disabled();
+    let handle = start(&engine, config);
+    let addr = handle.addr().to_string();
+
+    let mut client = HttpClient::connect(&addr).unwrap();
+    let regions = probe_regions(2, 2);
+    let response = client
+        .request("POST", "/predict", Some(&predict_body(&regions)))
+        .unwrap();
+    assert_eq!(response.status, 200);
+
+    // Counters still move (same atomics `/stats` always read); the exposition stays
+    // valid; the gated histograms record nothing.
+    let stats: StatsResponse =
+        serde_json::from_str(&client.request("GET", "/stats", None).unwrap().body).unwrap();
+    assert_eq!(stats.predict.requests, 1);
+    let metrics = client.request("GET", "/metrics", None).unwrap();
+    expo::validate(&metrics.body)
+        .unwrap_or_else(|violations| panic!("invalid exposition: {violations:?}"));
+    let samples = expo::parse(&metrics.body).unwrap();
+    assert_eq!(
+        labeled(&samples, "surf_serve_requests_total", "route", "/predict"),
+        1.0
+    );
+    assert_eq!(value(&samples, "surf_serve_recv_parse_nanos_count"), 0.0);
+    assert_eq!(value(&samples, "surf_serve_queue_wait_nanos_count"), 0.0);
+
+    let trace = client.request("GET", "/trace", None).unwrap();
+    let parsed: Value = serde_json::from_str(&trace.body).unwrap();
+    assert_eq!(parsed.get("enabled"), Some(&Value::Bool(false)));
+    match parsed.get("samples") {
+        Some(Value::Array(samples)) => assert!(samples.is_empty()),
+        other => panic!("trace body missing `samples` array: {other:?}"),
+    }
+    handle.shutdown();
+}
