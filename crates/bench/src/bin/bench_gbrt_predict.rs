@@ -1,12 +1,16 @@
 //! GBRT-inference performance trajectory: times batch prediction with the node-walking
 //! predictor (`Gbrt::predict`, per-tree arena walks over `Vec<Vec<f64>>` rows) against the
 //! compiled struct-of-arrays engine (`CompiledEnsemble::predict_batch`, flat row-major
-//! input, cache-blocked trees-outer/examples-inner kernel) across batch sizes
-//! N ∈ {1k, 10k, 100k} and dimensionalities d ∈ {2, 4, 8}, single-threaded and with the
-//! blocked kernel fanned out over threads. A swarm-iteration end-to-end case additionally
-//! times a full GSO mining run against a surrogate fitness with batching on vs. off — the
-//! serving path `/mine` exercises. Results go to `BENCH_gbrt_predict.json` in the working
-//! directory so CI can accumulate a perf trajectory across commits.
+//! input, cache-blocked trees-outer/examples-inner kernel) and the QuickScorer bitvector
+//! engine (`QuickScorerEnsemble::predict_batch`, feature-major checkpointed mask ANDs)
+//! across batch sizes N ∈ {1k, 10k, 100k} and dimensionalities d ∈ {2, 4, 8},
+//! single-threaded and — when thread resolution yields more than one core — with the
+//! blocked kernels fanned out over threads (a `_mt` rung at one resolved thread would just
+//! re-measure the single-thread path plus scoping overhead, so it is skipped). A
+//! swarm-iteration end-to-end case additionally times a full GSO mining run against a
+//! surrogate fitness with batching on vs. off — the serving path `/mine` exercises.
+//! Results go to `BENCH_gbrt_predict.json` in the working directory so CI can accumulate
+//! a perf trajectory across commits.
 //!
 //! Two grid-search-sized ensembles are measured: the paper's reported default XGB setup
 //! (`paper_default`, 100 trees × depth 7 — L2-resident, so the win is branch elimination
@@ -27,6 +31,7 @@ use surf_core::surrogate::GbrtSurrogate;
 use surf_data::region::Region;
 use surf_ml::compiled::CompiledEnsemble;
 use surf_ml::gbrt::{Gbrt, GbrtParams};
+use surf_ml::qs::QuickScorerEnsemble;
 use surf_optim::fitness::{FitnessFunction, SolutionBounds};
 use surf_optim::gso::{GlowwormSwarm, GsoParams};
 
@@ -41,6 +46,8 @@ struct Measurement {
     batch_size: usize,
     dimensions: usize,
     engine: String,
+    /// The *resolved* thread count the engine actually ran with (multi-thread rungs are
+    /// skipped entirely when resolution yields one thread).
     threads: usize,
     /// Mean wall-clock time per full batch prediction.
     predict_seconds: f64,
@@ -149,7 +156,7 @@ fn swarm_case(scale: Scale) -> SwarmCase {
 
 fn main() {
     let scale = Scale::from_args();
-    println!("# gbrt_predict — node-walking vs. compiled SoA inference engine");
+    println!("# gbrt_predict — node-walking vs. compiled SoA vs. QuickScorer inference engines");
 
     let sizes: Vec<usize> = scale.pick(
         vec![1_000, 10_000],
@@ -182,6 +189,7 @@ fn main() {
             let (train_x, train_y) = training_data(train_rows, d, 17 + d as u64);
             let model = Gbrt::fit(&train_x, &train_y, params).expect("fit succeeds");
             let compiled = CompiledEnsemble::compile(&model).expect("compilable");
+            let quickscorer = QuickScorerEnsemble::compile(&model).expect("compilable");
             for &n in &sizes {
                 let (batch, _) = training_data(n, d, 41 + d as u64);
                 let flat: Vec<f64> = batch.iter().flatten().copied().collect();
@@ -190,17 +198,39 @@ fn main() {
                 let compiled_seconds = time(repetitions, || {
                     compiled.predict_batch(&flat, d).expect("predicts")
                 });
-                let compiled_mt_seconds = time(repetitions, || {
-                    compiled
-                        .predict_batch_threaded(&flat, d, threads)
-                        .expect("predicts")
+                let quickscorer_seconds = time(repetitions, || {
+                    quickscorer.predict_batch(&flat, d).expect("predicts")
                 });
 
-                for (engine, used_threads, seconds) in [
+                let mut engines = vec![
                     ("walker", 1usize, walker_seconds),
                     ("compiled", 1, compiled_seconds),
-                    ("compiled_mt", threads, compiled_mt_seconds),
-                ] {
+                    ("quickscorer", 1, quickscorer_seconds),
+                ];
+                // At one resolved thread the `_mt` rungs would re-measure the
+                // single-thread path plus thread-scope overhead; skip them.
+                if threads > 1 {
+                    engines.push((
+                        "compiled_mt",
+                        threads,
+                        time(repetitions, || {
+                            compiled
+                                .predict_batch_threaded(&flat, d, threads)
+                                .expect("predicts")
+                        }),
+                    ));
+                    engines.push((
+                        "quickscorer_mt",
+                        threads,
+                        time(repetitions, || {
+                            quickscorer
+                                .predict_batch_threaded(&flat, d, threads)
+                                .expect("predicts")
+                        }),
+                    ));
+                }
+
+                for (engine, used_threads, seconds) in engines {
                     let speedup = walker_seconds / seconds;
                     rows.push(vec![
                         ensemble.to_string(),
@@ -230,7 +260,7 @@ fn main() {
     }
 
     print_table(
-        "gbrt_predict (walker vs. compiled engine)",
+        "gbrt_predict (walker vs. compiled vs. quickscorer engines)",
         &[
             "ensemble", "N", "d", "engine", "threads", "s/batch", "rows/s", "speedup",
         ],

@@ -355,6 +355,7 @@ impl Surf {
             hypertune: config.hypertune,
             threads: config.threads,
             seed: config.seed,
+            engine: config.inference_engine,
             ..SurrogateTrainer::default()
         };
         let (surrogate, training_report) = trainer.train(workload)?;
@@ -485,7 +486,11 @@ impl Surf {
                 state.dimensions
             )));
         }
-        let surrogate = GbrtSurrogate::from_model(state.model, state.dimensions)?;
+        let surrogate = GbrtSurrogate::from_model_with_engine(
+            state.model,
+            state.dimensions,
+            state.config.inference_engine,
+        )?;
         Ok(Surf {
             config: state.config,
             domain: state.domain,

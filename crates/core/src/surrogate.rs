@@ -24,6 +24,7 @@ use surf_ml::gbrt::{Gbrt, GbrtParams};
 use surf_ml::grid::{GbrtGrid, GridSearch};
 use surf_ml::matrix::FeatureMatrix;
 use surf_ml::metrics::rmse;
+use surf_ml::qs::{InferenceEngine, QuickScorerEnsemble};
 
 use crate::error::SurfError;
 
@@ -34,10 +35,21 @@ pub trait Surrogate: Sync {
 
     /// Estimated statistics for a batch of regions, in request order. The default delegates
     /// to [`Surrogate::predict`] region by region; [`GbrtSurrogate`] overrides it to route
-    /// the whole batch through its compiled ensemble in one blocked pass. Overrides must
-    /// return exactly the value `predict` would for every region.
+    /// the whole batch through its selected inference engine in one blocked pass. Overrides
+    /// must return exactly the value `predict` would for every region.
     fn predict_batch(&self, regions: &[Region]) -> Vec<f64> {
         regions.iter().map(|r| self.predict(r)).collect()
+    }
+
+    /// Like [`Surrogate::predict_batch`], writing into a caller-owned buffer so steady-state
+    /// callers (e.g. the serving layer's coalescing queue) reuse one allocation across
+    /// batches. `out` must hold exactly `regions.len()` slots; every slot is overwritten.
+    /// Overrides must produce exactly the values `predict_batch` would.
+    fn predict_batch_into(&self, regions: &[Region], out: &mut [f64]) {
+        debug_assert_eq!(regions.len(), out.len());
+        for (slot, region) in out.iter_mut().zip(regions) {
+            *slot = self.predict(region);
+        }
     }
 
     /// Data dimensionality `d` the surrogate expects.
@@ -107,20 +119,40 @@ impl Surrogate for TrueFunctionSurrogate<'_> {
 /// representation `[x, l]`.
 ///
 /// Construction compiles the fitted walker into a [`CompiledEnsemble`] once — both
-/// `Surf::fit` and `Surf::from_state` go through [`GbrtSurrogate::from_model`], so every
-/// serving path (single predictions, batched `/predict`, GSO/PSO mining) runs on the
-/// flattened struct-of-arrays engine. Compiled predictions are bit-identical to the walker's.
+/// `Surf::fit` and `Surf::from_state` go through [`GbrtSurrogate::from_model_with_engine`],
+/// so every serving path (single predictions, batched `/predict`, GSO/PSO mining) runs on
+/// the [`InferenceEngine`] the configuration selects; choosing
+/// [`InferenceEngine::QuickScorer`] additionally recompiles the ensemble into the bitvector
+/// form of `surf_ml::qs`. All engines are bit-identical for every input, so the knob only
+/// moves speed, never results.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GbrtSurrogate {
     model: Gbrt,
     compiled: CompiledEnsemble,
+    quickscorer: Option<QuickScorerEnsemble>,
+    engine: InferenceEngine,
+    qs_compile_seconds: Option<f64>,
     dimensions: usize,
 }
 
 impl GbrtSurrogate {
-    /// Wraps an already-fitted model, compiling it for inference. The model must have been
-    /// trained on `2·dimensions` features.
+    /// Wraps an already-fitted model, compiling it for inference with the default engine.
+    /// The model must have been trained on `2·dimensions` features.
     pub fn from_model(model: Gbrt, dimensions: usize) -> Result<Self, SurfError> {
+        Self::from_model_with_engine(model, dimensions, InferenceEngine::default())
+    }
+
+    /// Wraps an already-fitted model, compiling it for inference with the selected engine.
+    /// The model must have been trained on `2·dimensions` features.
+    ///
+    /// The struct-of-arrays form is always compiled (it also backs the walker-parity tests);
+    /// the QuickScorer recompilation happens only when selected, and its one-off wall-clock
+    /// cost is recorded for the `surf_qs_compile_seconds` observability gauge.
+    pub fn from_model_with_engine(
+        model: Gbrt,
+        dimensions: usize,
+        engine: InferenceEngine,
+    ) -> Result<Self, SurfError> {
         if model.features() != 2 * dimensions {
             return Err(SurfError::InvalidConfig(format!(
                 "model expects {} features but a {}-dimensional region space needs {}",
@@ -130,9 +162,19 @@ impl GbrtSurrogate {
             )));
         }
         let compiled = model.compile()?;
+        let (quickscorer, qs_compile_seconds) = if engine == InferenceEngine::QuickScorer {
+            let started = Instant::now();
+            let quickscorer = QuickScorerEnsemble::compile(&model)?;
+            (Some(quickscorer), Some(started.elapsed().as_secs_f64()))
+        } else {
+            (None, None)
+        };
         Ok(Self {
             model,
             compiled,
+            quickscorer,
+            engine,
+            qs_compile_seconds,
             dimensions,
         })
     }
@@ -142,32 +184,90 @@ impl GbrtSurrogate {
         &self.model
     }
 
-    /// The compiled inference engine serving this surrogate's predictions.
+    /// The compiled struct-of-arrays ensemble (always built; serves predictions unless the
+    /// engine selection says otherwise).
     pub fn compiled(&self) -> &CompiledEnsemble {
         &self.compiled
+    }
+
+    /// The QuickScorer bitvector ensemble, when that engine is selected.
+    pub fn quickscorer(&self) -> Option<&QuickScorerEnsemble> {
+        self.quickscorer.as_ref()
+    }
+
+    /// The inference engine serving this surrogate's predictions.
+    pub fn engine(&self) -> InferenceEngine {
+        self.engine
+    }
+
+    /// One-off wall-clock cost of the QuickScorer recompilation, when that engine is
+    /// selected (`None` otherwise).
+    pub fn qs_compile_seconds(&self) -> Option<f64> {
+        self.qs_compile_seconds
+    }
+
+    /// Single-row prediction through the selected engine.
+    fn predict_row(&self, features: &[f64]) -> f64 {
+        match (self.engine, &self.quickscorer) {
+            (InferenceEngine::QuickScorer, Some(qs)) => {
+                qs.predict_one(features).unwrap_or(f64::NAN)
+            }
+            (InferenceEngine::Walker, _) => self.model.predict_one(features).unwrap_or(f64::NAN),
+            _ => self.compiled.predict_one(features).unwrap_or(f64::NAN),
+        }
+    }
+
+    /// Flattens a homogeneous batch of regions, or `None` when any region's width disagrees
+    /// with the model (those batches degrade to the per-region scalar path).
+    fn flatten_batch(&self, regions: &[Region]) -> Option<Vec<f64>> {
+        let width = self.compiled.features();
+        if regions.iter().any(|r| 2 * r.dimensions() != width) {
+            return None;
+        }
+        let mut flat = Vec::with_capacity(regions.len() * width);
+        for region in regions {
+            flat.extend_from_slice(&region.to_solution_vector());
+        }
+        Some(flat)
     }
 }
 
 impl Surrogate for GbrtSurrogate {
     fn predict(&self, region: &Region) -> f64 {
         let features = region.to_solution_vector();
-        self.compiled.predict_one(&features).unwrap_or(f64::NAN)
+        self.predict_row(&features)
     }
 
     fn predict_batch(&self, regions: &[Region]) -> Vec<f64> {
+        let mut out = vec![0.0; regions.len()];
+        self.predict_batch_into(regions, &mut out);
+        out
+    }
+
+    fn predict_batch_into(&self, regions: &[Region], out: &mut [f64]) {
+        debug_assert_eq!(regions.len(), out.len());
         let width = self.compiled.features();
         // A region of the wrong dimensionality must degrade to a per-region NaN exactly as
         // the scalar path does, so mixed batches fall back to it.
-        if regions.iter().any(|r| 2 * r.dimensions() != width) {
-            return regions.iter().map(|r| self.predict(r)).collect();
+        let Some(flat) = self.flatten_batch(regions) else {
+            for (slot, region) in out.iter_mut().zip(regions) {
+                *slot = self.predict(region);
+            }
+            return;
+        };
+        let result = match (self.engine, &self.quickscorer) {
+            (InferenceEngine::QuickScorer, Some(qs)) => qs.predict_batch_into(&flat, width, out),
+            (InferenceEngine::Walker, _) => {
+                for (slot, row) in out.iter_mut().zip(flat.chunks(width.max(1))) {
+                    *slot = self.model.predict_one(row).unwrap_or(f64::NAN);
+                }
+                Ok(())
+            }
+            _ => self.compiled.predict_batch_into(&flat, width, out),
+        };
+        if result.is_err() {
+            out.fill(f64::NAN);
         }
-        let mut flat = Vec::with_capacity(regions.len() * width);
-        for region in regions {
-            flat.extend_from_slice(&region.to_solution_vector());
-        }
-        self.compiled
-            .predict_batch(&flat, width)
-            .unwrap_or_else(|_| vec![f64::NAN; regions.len()])
     }
 
     fn dimensions(&self) -> usize {
@@ -255,6 +355,8 @@ pub struct SurrogateTrainer {
     pub threads: usize,
     /// Seed for splits.
     pub seed: u64,
+    /// Inference engine the fitted surrogate serves predictions with.
+    pub engine: InferenceEngine,
 }
 
 impl Default for SurrogateTrainer {
@@ -267,6 +369,7 @@ impl Default for SurrogateTrainer {
             holdout_fraction: 0.2,
             threads: 0,
             seed: 17,
+            engine: InferenceEngine::default(),
         }
     }
 }
@@ -307,6 +410,12 @@ impl SurrogateTrainer {
     /// Overrides the grid-search thread count (`0` = automatic).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Overrides the inference engine the fitted surrogate serves predictions with.
+    pub fn with_engine(mut self, engine: InferenceEngine) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -363,7 +472,7 @@ impl SurrogateTrainer {
         } else {
             rmse(&holdout_y, &model.predict(&holdout_x)?)
         };
-        let surrogate = GbrtSurrogate::from_model(model, dimensions)?;
+        let surrogate = GbrtSurrogate::from_model_with_engine(model, dimensions, self.engine)?;
         let report = TrainingReport {
             training_time: start.elapsed(),
             training_examples: train_x.len(),

@@ -46,7 +46,7 @@ use crate::tree::RegressionTree;
 /// Rows per cache block of the batch kernel: the accumulators (8 KiB) plus a block of input
 /// rows stay cache-resident while every tree is streamed over them, and each streaming pass
 /// over a larger-than-cache ensemble is amortized over this many rows.
-const BATCH_BLOCK_ROWS: usize = 1024;
+pub(crate) const BATCH_BLOCK_ROWS: usize = 1024;
 
 /// Examples interleaved in the inner traversal loop — enough independent dependency chains
 /// to keep the load ports saturated while each chain waits on its next node.

@@ -15,6 +15,10 @@
 //! * [`compiled`] — the struct-of-arrays inference engine: fitted ensembles flatten once
 //!   into contiguous arrays ([`CompiledEnsemble`]) with blocked, parallel batch prediction,
 //!   bit-identical to the node-walking predictors.
+//! * [`qs`] — the QuickScorer bitvector inference engine ([`QuickScorerEnsemble`]):
+//!   feature-major sorted condition runs with checkpointed leaf-mask ANDs, plus the
+//!   [`InferenceEngine`] selection knob shared by all three engines. Bit-identical to the
+//!   walkers for every input.
 //! * [`linear`] — ridge regression (the "alternative ML model" of the paper's footnote 2),
 //!   used by the surrogate-ablation benches.
 //! * [`kde`] — Gaussian kernel density estimation with box-probability queries (used to guide
@@ -37,6 +41,7 @@ pub mod linear;
 pub mod matrix;
 pub mod metrics;
 pub mod parallel;
+pub mod qs;
 pub mod tree;
 
 pub use compiled::CompiledEnsemble;
@@ -45,3 +50,4 @@ pub use gbrt::{Gbrt, GbrtParams};
 pub use kde::KernelDensity;
 pub use linear::{RidgeParams, RidgeRegression};
 pub use matrix::FeatureMatrix;
+pub use qs::{InferenceEngine, QuickScorerEnsemble};

@@ -1,0 +1,1054 @@
+//! QuickScorer bitvector inference engine for fitted tree ensembles.
+//!
+//! [`crate::compiled::CompiledEnsemble`] already removes the walker's branch mispredictions,
+//! but every traversal is still a *serial* pointer chase: `depth` dependent loads per tree
+//! per example, and on the cache-resident paper-default ensemble (100 trees × depth 7) the
+//! load ports — not the branch unit — are the bottleneck. [`QuickScorerEnsemble`] removes
+//! the traversal altogether, following the bitvector scheme of Lucchese et al. (SIGIR'15):
+//!
+//! * Each tree's leaves are numbered **left to right** (in-order). Every split node gets a
+//!   multi-word `u64` bitmask that *clears* the contiguous range of leaves in its **left**
+//!   subtree — the leaves that become unreachable when the split's condition is violated
+//!   (`!(x <= t)`, i.e. the row goes right; NaN violates every condition, exactly the
+//!   walker's NaN-routes-right convention).
+//! * All split conditions are regrouped **feature-major across all trees** and sorted by
+//!   threshold, so per row and per feature the violated conditions are exactly a *prefix*
+//!   of the run: `x` violates `t` iff `t < x` (and every condition, for NaN/`+∞`).
+//! * Scoring a row ANDs the masks of the violated conditions into one all-ones accumulator
+//!   per tree; afterwards the lowest set bit of each tree's accumulator *is* its exit leaf
+//!   (every leaf left of it has been cleared by a violated ancestor-or-left-sibling split,
+//!   and the exit leaf itself is never cleared). One lookup per tree recovers the leaf
+//!   value and the usual `base + lr·t₀ + lr·t₁ + …` readout reproduces the walker's
+//!   accumulation order bit for bit.
+//!
+//! **Checkpointed runs.** A faithful per-condition scan would AND ~half of all masks per
+//! row — far more memory traffic than the walker's `depth` loads per tree. This engine
+//! therefore memoizes each run: every [`checkpoint_stride`](QuickScorerEnsemble) conditions
+//! it snapshots the *cumulative* AND-image of the whole accumulator arena. Scoring finds
+//! the violated-prefix length `k` (the thresholds are sorted, so a short search over the
+//! per-feature *fence* thresholds — one per snapshot — plus a linear count of one
+//! stride-long window replaces hundreds of comparisons), applies the deepest snapshot at
+//! or below `k` with one long contiguous AND the compiler autovectorizes, and finishes
+//! with at most `checkpoint_stride − 1` per-condition tail ANDs — no comparisons in
+//! either AND loop. The stride widens on ensembles whose snapshots would exceed a fixed
+//! memory budget; such sizes remain the [`CompiledEnsemble`] regime anyway — see
+//! `BENCH_gbrt_predict.json`.
+//!
+//! **Bit-identity.** Masks, snapshots and readout only reorganize *which* leaf is found,
+//! never the arithmetic: per row the engine performs exactly the walker's accumulation
+//! (`base + lr·t₀ + …`, raw leaf value for a plain tree) over exactly the walker's exit
+//! leaves, so predictions are bit-identical to [`crate::gbrt::Gbrt::predict_one`] /
+//! [`crate::tree::RegressionTree::predict_one`] for every input — including NaN and ±∞
+//! rows — and every block/thread configuration. The `engine_parity` property suite pins
+//! this down across all three engines.
+
+use serde::Serialize;
+
+use crate::compiled::BATCH_BLOCK_ROWS;
+use crate::error::MlError;
+use crate::gbrt::Gbrt;
+use crate::tree::{Node, RegressionTree};
+
+/// Rows whose readouts are interleaved: the readout is a serial FP-add chain per row, so a
+/// few independent rows in flight hide its latency without changing any row's add order.
+const ROW_GROUP: usize = 4;
+
+/// Rows per feature-outer scan group: small enough for the group's accumulator arenas to
+/// stay near-L1, large enough to amortize each feature's threshold run, snapshot set and
+/// mask region over many rows while they are cache-hot.
+const SCAN_GROUP_ROWS: usize = 16;
+
+/// Snapshot images never exceed this budget; the stride grows on large ensembles instead.
+const CHECKPOINT_BUDGET_BYTES: usize = 8 << 20;
+
+/// Conditions covered by each cumulative snapshot image. Measured sweet spot on
+/// grid-search-sized ensembles: shorter strides shift work from the vectorizable
+/// per-condition tails into snapshot-image memory traffic, longer ones do the reverse;
+/// 16 also keeps the per-feature fence arrays (one fence per snapshot) L1-resident.
+const CHECKPOINT_STRIDE: usize = 16;
+
+/// Inference engine selection for a fitted GBRT surrogate.
+///
+/// All three engines are bit-identical for every input (the `engine_parity` suite enforces
+/// it); they differ only in speed and compile-time cost. Serialized with model artifacts,
+/// so a served model keeps the engine it was deployed with. Deserialization treats an
+/// absent field as [`InferenceEngine::Compiled`] (the default), so configurations and
+/// artifacts persisted before the knob existed load unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub enum InferenceEngine {
+    /// The node-walking predictor on the training-time tree arenas ([`Gbrt::predict_one`]).
+    Walker,
+    /// The branchless struct-of-arrays walker ([`crate::compiled::CompiledEnsemble`]).
+    #[default]
+    Compiled,
+    /// The QuickScorer bitvector kernel ([`QuickScorerEnsemble`]).
+    QuickScorer,
+}
+
+// Manual impl rather than derived: the vendored `serde` derive has no helper attributes,
+// and this knob needs `#[serde(default)]` semantics — `absent()` maps a missing field to
+// the default engine so pre-knob configurations keep deserializing.
+impl serde::Deserialize for InferenceEngine {
+    fn deserialize(value: &serde::Value) -> Result<Self, serde::DeError> {
+        match value {
+            serde::Value::String(s) => match s.as_str() {
+                "Walker" => Ok(InferenceEngine::Walker),
+                "Compiled" => Ok(InferenceEngine::Compiled),
+                "QuickScorer" => Ok(InferenceEngine::QuickScorer),
+                other => Err(serde::DeError::custom(format!(
+                    "unknown variant `{other}` of `InferenceEngine`"
+                ))),
+            },
+            other => Err(serde::DeError::expected(
+                "enum `InferenceEngine` representation",
+                other,
+            )),
+        }
+    }
+
+    fn absent() -> Option<Self> {
+        Some(InferenceEngine::default())
+    }
+}
+
+impl InferenceEngine {
+    /// Stable lowercase label, used in bench artifacts and metric labels.
+    pub fn label(self) -> &'static str {
+        match self {
+            InferenceEngine::Walker => "walker",
+            InferenceEngine::Compiled => "compiled",
+            InferenceEngine::QuickScorer => "quickscorer",
+        }
+    }
+}
+
+/// A fitted ensemble recompiled into feature-major bitvector form for fast batch inference.
+///
+/// Build one with [`QuickScorerEnsemble::compile`] (from a [`Gbrt`]) or
+/// [`QuickScorerEnsemble::from_tree`] (from a single [`RegressionTree`]); the compiled form
+/// is immutable and independent of the source model. See the [module docs](self) for the
+/// algorithm and the bit-identity guarantee.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuickScorerEnsemble {
+    /// Expected input feature width.
+    features: usize,
+    /// The walker's starting value (mean target for a boosted ensemble, 0 for a plain tree).
+    base_prediction: f64,
+    /// Shrinkage applied to every tree's leaf value (1 for a plain tree).
+    learning_rate: f64,
+    /// Compiled from a bare tree: predictions are raw leaf values, with no base/shrinkage
+    /// arithmetic (keeps even the sign of zero identical to the tree walker).
+    plain: bool,
+    /// Number of compiled trees.
+    n_trees: usize,
+    /// Uniform accumulator words per tree: `max(ceil(n_leaves / 64))` over all trees.
+    mask_words: usize,
+    /// Condition-run bounds per feature: run `f` is `run_offsets[f]..run_offsets[f + 1]`
+    /// into `thresholds` / `tree_ids` (and, times `mask_words`, into `masks`).
+    run_offsets: Vec<u32>,
+    /// Split thresholds, feature-major, ascending within each feature's run.
+    thresholds: Vec<f64>,
+    /// Owning tree of each condition.
+    tree_ids: Vec<u32>,
+    /// Per-condition leaf masks, `mask_words` words each: all ones except the owning
+    /// split's left-subtree leaf range.
+    masks: Vec<u64>,
+    /// Conditions covered per snapshot; snapshots exist at prefix lengths `stride`,
+    /// `2·stride`, … within each feature's run.
+    checkpoint_stride: usize,
+    /// Snapshot-count prefix per feature (units of whole images), `features + 1` entries.
+    checkpoint_offsets: Vec<u32>,
+    /// Fence thresholds per feature: every `checkpoint_stride`-th threshold of the run,
+    /// contiguous (`fences[i]` is the last threshold a row must violate for snapshot `i` to
+    /// apply). The violated-fence count *is* the snapshot index, so the hot search runs over
+    /// this small dense array instead of the full threshold run.
+    fences: Vec<f64>,
+    /// Fence-count prefix per feature, `features + 1` entries (counts match
+    /// `checkpoint_offsets`; kept separate for the borrow-friendly layout).
+    fence_offsets: Vec<u32>,
+    /// Cumulative AND-images of the whole accumulator arena (`n_trees · mask_words` words
+    /// per image), concatenated feature-major.
+    checkpoints: Vec<u64>,
+    /// Leaf-run bounds per tree into `leaf_values`, `n_trees + 1` entries.
+    leaf_offsets: Vec<u32>,
+    /// In-order (left-to-right) leaf values of every tree, concatenated.
+    leaf_values: Vec<f64>,
+}
+
+/// One tree flattened for mask building: in-order leaf values plus, per split, its feature,
+/// threshold and the in-order leaf range of its left subtree.
+struct TreeScan {
+    values: Vec<f64>,
+    /// `(feature, threshold, first_left_leaf, left_leaves)` in deterministic pre-order.
+    splits: Vec<(usize, f64, usize, usize)>,
+}
+
+/// Numbers a tree's leaves left to right and derives each split's left-subtree leaf range.
+fn scan_tree(tree: &RegressionTree) -> TreeScan {
+    let nodes = tree.nodes();
+    // Pass 1 (post-order): leaves under each node.
+    let mut leaves_below = vec![0usize; nodes.len()];
+    let mut stack: Vec<(usize, bool)> = vec![(0, false)];
+    while let Some((idx, children_done)) = stack.pop() {
+        match &nodes[idx] {
+            Node::Leaf { .. } => leaves_below[idx] = 1,
+            Node::Split { left, right, .. } => {
+                if children_done {
+                    leaves_below[idx] = leaves_below[*left] + leaves_below[*right];
+                } else {
+                    stack.push((idx, true));
+                    stack.push((*left, false));
+                    stack.push((*right, false));
+                }
+            }
+        }
+    }
+    // Pass 2 (pre-order, left first): in-order leaf numbers and per-split clear ranges.
+    let mut first_leaf = vec![0usize; nodes.len()];
+    let mut values = vec![0.0f64; leaves_below[0]];
+    let mut splits = Vec::with_capacity(nodes.len().saturating_sub(leaves_below[0]));
+    let mut stack = vec![0usize];
+    while let Some(idx) = stack.pop() {
+        match &nodes[idx] {
+            Node::Leaf { value, .. } => values[first_leaf[idx]] = *value,
+            Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+                ..
+            } => {
+                first_leaf[*left] = first_leaf[idx];
+                first_leaf[*right] = first_leaf[idx] + leaves_below[*left];
+                splits.push((*feature, *threshold, first_leaf[idx], leaves_below[*left]));
+                stack.push(*right);
+                stack.push(*left);
+            }
+        }
+    }
+    TreeScan { values, splits }
+}
+
+/// Length of the violated prefix of an ascending threshold run: the number of leading
+/// conditions with `!(x <= t)`. Branchless partition-point search; the predicate is
+/// monotone over the sorted run for every `x` — finite `x` violates exactly the
+/// thresholds below it, NaN and `+∞` violate all, `-∞` violates none.
+// The negated comparison is the point: `!(x <= t)` routes NaN right, as the walker does.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+#[inline(always)]
+fn violated_prefix(thresholds: &[f64], x: f64) -> usize {
+    let mut base = 0usize;
+    let mut len = thresholds.len();
+    if len == 0 {
+        return 0;
+    }
+    // Invariant: the answer lies in `base..=base + len`. The comparison feeds a conditional
+    // move, not a data-dependent branch — threshold outcomes are near-random, so a branchy
+    // search would mispredict on every other level.
+    while len > 1 {
+        let half = len / 2;
+        base += usize::from(!(x <= thresholds[base + half - 1])) * half;
+        len -= half;
+    }
+    base + usize::from(!(x <= thresholds[base]))
+}
+
+/// Exit leaf of tree `t`: index of the lowest set bit in its accumulator words. Bits at and
+/// above `n_leaves` are never cleared, so the last inspected word cannot be zero.
+#[inline(always)]
+fn leaf_index(acc: &[u64], t: usize, w: usize) -> usize {
+    lowest_set(&acc[t * w..(t + 1) * w])
+}
+
+/// Index of the lowest set bit across a tree's accumulator words.
+#[inline(always)]
+fn lowest_set(words: &[u64]) -> usize {
+    // Branchless lowest-non-zero-word selection: which word holds the exit leaf is
+    // data-dependent, so a branchy scan would mispredict on wide trees.
+    let w = words.len();
+    let mut word = words[w - 1];
+    let mut index = w - 1;
+    for j in (0..w - 1).rev() {
+        let candidate = words[j];
+        word = if candidate != 0 { candidate } else { word };
+        index = if candidate != 0 { j } else { index };
+    }
+    index * 64 + word.trailing_zeros() as usize
+}
+
+/// Per-thread scan scratch, allocated once per batch and reused across every scan group:
+/// the group's live-leaf accumulator arenas, per-(row, feature) violated-prefix lengths,
+/// and one row's snapshot-image base offsets.
+struct Scratch {
+    arena: Vec<u64>,
+    prefixes: Vec<u32>,
+    bases: Vec<usize>,
+}
+
+impl QuickScorerEnsemble {
+    /// Recompiles a fitted boosted ensemble. Predictions are bit-identical to
+    /// [`Gbrt::predict_one`].
+    ///
+    /// Errors only on models this layout cannot address: more than `u32::MAX` trees,
+    /// leaves or split conditions (far beyond anything the trainer produces).
+    pub fn compile(model: &Gbrt) -> Result<Self, MlError> {
+        Self::build(
+            model.features(),
+            model.base_prediction(),
+            model.learning_rate(),
+            false,
+            model.trees(),
+        )
+    }
+
+    /// Recompiles a single fitted tree. Predictions are bit-identical to
+    /// [`RegressionTree::predict_one`].
+    pub fn from_tree(tree: &RegressionTree) -> Result<Self, MlError> {
+        Self::build(tree.features(), 0.0, 1.0, true, std::slice::from_ref(tree))
+    }
+
+    fn build(
+        features: usize,
+        base_prediction: f64,
+        learning_rate: f64,
+        plain: bool,
+        trees: &[RegressionTree],
+    ) -> Result<Self, MlError> {
+        if trees.len() > u32::MAX as usize {
+            return Err(MlError::InvalidParameter {
+                name: "trees",
+                value: "ensemble exceeds the bitvector layout's u32 tree budget".into(),
+            });
+        }
+        let scans: Vec<TreeScan> = trees.iter().map(scan_tree).collect();
+        let n_trees = scans.len();
+        let mask_words = scans
+            .iter()
+            .map(|scan| scan.values.len().div_ceil(64))
+            .max()
+            .unwrap_or(1)
+            .max(1);
+
+        let mut leaf_offsets = Vec::with_capacity(n_trees + 1);
+        leaf_offsets.push(0u32);
+        let mut leaf_values = Vec::new();
+        for scan in &scans {
+            leaf_values.extend_from_slice(&scan.values);
+            if leaf_values.len() > u32::MAX as usize {
+                return Err(MlError::InvalidParameter {
+                    name: "trees",
+                    value: "ensemble exceeds the bitvector layout's u32 leaf budget".into(),
+                });
+            }
+            leaf_offsets.push(leaf_values.len() as u32);
+        }
+
+        // Feature-major regrouping. The stable sort keeps equal thresholds in (tree,
+        // pre-order) order — deterministic, and harmless to results since equal thresholds
+        // share their violation outcome and AND commutes.
+        let mut runs: Vec<Vec<(f64, u32, usize, usize)>> = vec![Vec::new(); features];
+        let mut total = 0usize;
+        for (tree, scan) in scans.iter().enumerate() {
+            for &(feature, threshold, first_leaf, left_leaves) in &scan.splits {
+                runs[feature].push((threshold, tree as u32, first_leaf, left_leaves));
+                total += 1;
+            }
+        }
+        if total > u32::MAX as usize {
+            return Err(MlError::InvalidParameter {
+                name: "trees",
+                value: "ensemble exceeds the bitvector layout's u32 condition budget".into(),
+            });
+        }
+        for run in &mut runs {
+            run.sort_by(|a, b| a.0.total_cmp(&b.0));
+        }
+
+        let image_words = n_trees * mask_words;
+        // Fixed stride, widened only when dense snapshots would blow the memory budget on
+        // ensembles too large for the snapshot pool.
+        let floor = (total * image_words * 8).div_ceil(CHECKPOINT_BUDGET_BYTES);
+        let checkpoint_stride = CHECKPOINT_STRIDE.max(floor);
+
+        let mut run_offsets = Vec::with_capacity(features + 1);
+        run_offsets.push(0u32);
+        let mut thresholds = Vec::with_capacity(total);
+        let mut tree_ids = Vec::with_capacity(total);
+        let mut masks = Vec::with_capacity(total * mask_words);
+        let mut checkpoint_offsets = Vec::with_capacity(features + 1);
+        checkpoint_offsets.push(0u32);
+        let mut checkpoints = Vec::new();
+        let mut fences = Vec::new();
+        let mut fence_offsets = Vec::with_capacity(features + 1);
+        fence_offsets.push(0u32);
+        let mut image = vec![!0u64; image_words];
+        for run in &runs {
+            image.fill(!0);
+            for (i, &(threshold, tree, first_leaf, left_leaves)) in run.iter().enumerate() {
+                thresholds.push(threshold);
+                tree_ids.push(tree);
+                let mask_start = masks.len();
+                masks.resize(mask_start + mask_words, !0u64);
+                let mask = &mut masks[mask_start..];
+                for bit in first_leaf..first_leaf + left_leaves {
+                    mask[bit / 64] &= !(1u64 << (bit % 64));
+                }
+                let slot = tree as usize * mask_words;
+                for (acc, word) in image[slot..slot + mask_words].iter_mut().zip(&*mask) {
+                    *acc &= *word;
+                }
+                if (i + 1) % checkpoint_stride == 0 {
+                    checkpoints.extend_from_slice(&image);
+                    fences.push(threshold);
+                }
+            }
+            run_offsets.push(thresholds.len() as u32);
+            checkpoint_offsets.push((checkpoints.len() / image_words) as u32);
+            fence_offsets.push(fences.len() as u32);
+        }
+
+        Ok(Self {
+            features,
+            base_prediction,
+            learning_rate,
+            plain,
+            n_trees,
+            mask_words,
+            run_offsets,
+            thresholds,
+            tree_ids,
+            masks,
+            checkpoint_stride,
+            checkpoint_offsets,
+            fences,
+            fence_offsets,
+            checkpoints,
+            leaf_offsets,
+            leaf_values,
+        })
+    }
+
+    /// Number of input features the engine expects.
+    pub fn features(&self) -> usize {
+        self.features
+    }
+
+    /// Number of compiled trees.
+    pub fn n_trees(&self) -> usize {
+        self.n_trees
+    }
+
+    /// Total split conditions across all feature runs.
+    pub fn condition_count(&self) -> usize {
+        self.thresholds.len()
+    }
+
+    /// ANDs the masks of every condition `row` violates into the per-tree accumulators:
+    /// binary-search each feature run's violated-prefix length, apply the deepest
+    /// cumulative snapshot at or below it, then AND the short comparison-free tail.
+    #[inline(always)]
+    fn scan_row(&self, row: &[f64], acc: &mut [u64], w: usize) {
+        let image_words = self.n_trees * w;
+        for (feature, &x) in row.iter().enumerate() {
+            let start = self.run_offsets[feature] as usize;
+            let end = self.run_offsets[feature + 1] as usize;
+            if start == end {
+                continue;
+            }
+            let k = violated_prefix(&self.thresholds[start..end], x);
+            if k == 0 {
+                continue;
+            }
+            let images = k / self.checkpoint_stride;
+            if images > 0 {
+                let at = (self.checkpoint_offsets[feature] as usize + images - 1) * image_words;
+                let image = &self.checkpoints[at..at + image_words];
+                for (slot, word) in acc.iter_mut().zip(image) {
+                    *slot &= *word;
+                }
+            }
+            for i in start + images * self.checkpoint_stride..start + k {
+                let tree = self.tree_ids[i] as usize;
+                let mask = &self.masks[i * w..(i + 1) * w];
+                let slot = &mut acc[tree * w..(tree + 1) * w];
+                for (slot_word, mask_word) in slot.iter_mut().zip(mask) {
+                    *slot_word &= *mask_word;
+                }
+            }
+        }
+    }
+
+    /// Leaf value of tree `t` for a scanned accumulator arena.
+    #[inline(always)]
+    fn leaf_value(&self, acc: &[u64], t: usize, w: usize) -> f64 {
+        self.leaf_values[self.leaf_offsets[t] as usize + leaf_index(acc, t, w)]
+    }
+
+    #[inline]
+    fn predict_one_prevalidated(&self, example: &[f64]) -> f64 {
+        let w = self.mask_words;
+        let mut acc = vec![!0u64; self.n_trees * w];
+        self.scan_row(example, &mut acc, w);
+        if self.plain {
+            return self.leaf_value(&acc, 0, w);
+        }
+        let mut prediction = self.base_prediction;
+        for t in 0..self.n_trees {
+            prediction += self.learning_rate * self.leaf_value(&acc, t, w);
+        }
+        prediction
+    }
+
+    /// Predicts the target for one example (bit-identical to the walker it was compiled
+    /// from).
+    pub fn predict_one(&self, example: &[f64]) -> Result<f64, MlError> {
+        if example.len() != self.features {
+            return Err(MlError::FeatureWidthMismatch {
+                expected: self.features,
+                actual: example.len(),
+            });
+        }
+        Ok(self.predict_one_prevalidated(example))
+    }
+
+    /// Prediction using only the first `rounds` trees — the bitvector counterpart of
+    /// [`Gbrt::predict_staged`] (bit-identical to it for ensembles).
+    pub fn predict_staged(&self, example: &[f64], rounds: usize) -> Result<f64, MlError> {
+        if example.len() != self.features {
+            return Err(MlError::FeatureWidthMismatch {
+                expected: self.features,
+                actual: example.len(),
+            });
+        }
+        let w = self.mask_words;
+        let mut acc = vec![!0u64; self.n_trees * w];
+        self.scan_row(example, &mut acc, w);
+        let mut prediction = self.base_prediction;
+        for t in 0..self.n_trees.min(rounds) {
+            prediction += self.learning_rate * self.leaf_value(&acc, t, w);
+        }
+        Ok(prediction)
+    }
+
+    /// Validates a flat row-major batch and returns its row count.
+    fn validate_batch(&self, data: &[f64], width: usize) -> Result<usize, MlError> {
+        if width != self.features {
+            return Err(MlError::FeatureWidthMismatch {
+                expected: self.features,
+                actual: width,
+            });
+        }
+        if data.len() % width != 0 {
+            return Err(MlError::InvalidParameter {
+                name: "data",
+                value: format!(
+                    "flat batch of {} values is not a multiple of width {width}",
+                    data.len()
+                ),
+            });
+        }
+        Ok(data.len() / width)
+    }
+
+    /// Scans and reads out one [`SCAN_GROUP_ROWS`] group of rows, feature-outer so every
+    /// per-feature structure (threshold run, snapshot set, mask region) is amortized over
+    /// the whole group while cache-hot. `scratch` is allocated once per thread and reused
+    /// across every group:
+    ///
+    /// 1. **Search**: per feature, binary-search every row's violated-prefix length.
+    /// 2. **Snapshots**: per row, AND the selected per-feature snapshot images into the
+    ///    row's accumulators four images at a time, so intermediate results stay in
+    ///    registers instead of round-tripping through the arena per feature.
+    /// 3. **Tails**: per feature, AND every row's short comparison-free condition tail.
+    /// 4. **Readout**: interleaved over [`ROW_GROUP`] rows — the readout is a serial
+    ///    FP-add chain per row, so a few independent rows in flight hide its latency with
+    ///    each row's adds in exactly the walker's tree order.
+    #[inline(always)]
+    fn group_w(
+        &self,
+        rows_g: &[f64],
+        width: usize,
+        out_g: &mut [f64],
+        scratch: &mut Scratch,
+        w: usize,
+    ) {
+        let Scratch {
+            arena,
+            prefixes,
+            bases,
+        } = scratch;
+        let iw = self.n_trees * w;
+        let group = out_g.len();
+        // 1. Violated-prefix searches, feature-outer and two-level: the violated-fence
+        // count *is* the snapshot index, so a lockstep branchless binary search over the
+        // small dense fence array (L1-resident across the whole group) replaces a search of
+        // the full run, and one comparison-per-element count over the single remaining
+        // stride-long window — contiguous, so the compiler vectorizes it — pins down the
+        // within-stride offset (violated conditions are a prefix, so the count is the
+        // offset). Lockstep matters: each row's search is a ~10-level dependency chain, and
+        // sharing the level geometry across the group lets the pipeline overlap them.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        for f in 0..width {
+            let start = self.run_offsets[f] as usize;
+            let end = self.run_offsets[f + 1] as usize;
+            if start == end {
+                for r in 0..group {
+                    prefixes[r * width + f] = 0;
+                }
+                continue;
+            }
+            let run = &self.thresholds[start..end];
+            let fences =
+                &self.fences[self.fence_offsets[f] as usize..self.fence_offsets[f + 1] as usize];
+            let stride = self.checkpoint_stride;
+            let mut xs = [0.0f64; SCAN_GROUP_ROWS];
+            for (r, x) in xs.iter_mut().enumerate().take(group) {
+                *x = rows_g[r * width + f];
+            }
+            let mut nf = [0usize; SCAN_GROUP_ROWS];
+            if !fences.is_empty() {
+                let mut len = fences.len();
+                while len > 1 {
+                    let half = len / 2;
+                    for (b, &x) in nf.iter_mut().zip(&xs).take(group) {
+                        *b += usize::from(!(x <= fences[*b + half - 1])) * half;
+                    }
+                    len -= half;
+                }
+                for (b, &x) in nf.iter_mut().zip(&xs).take(group) {
+                    *b += usize::from(!(x <= fences[*b]));
+                }
+            }
+            for (r, (&b, &x)) in nf.iter().zip(&xs).enumerate().take(group) {
+                let base = b * stride;
+                let window = &run[base..(base + stride).min(run.len())];
+                let m: usize = window.iter().map(|&t| usize::from(!(x <= t))).sum();
+                prefixes[r * width + f] = (base + m) as u32;
+            }
+        }
+        // 2. Snapshot images, fused four at a time per row.
+        for r in 0..group {
+            bases.clear();
+            for f in 0..width {
+                let images = prefixes[r * width + f] as usize / self.checkpoint_stride;
+                if images > 0 {
+                    bases.push((self.checkpoint_offsets[f] as usize + images - 1) * iw);
+                }
+            }
+            let acc = &mut arena[r * iw..(r + 1) * iw];
+            // The first up-to-four images are *written* (not RMW'd) into the arena,
+            // subsuming the all-ones initialization; further images fold in four at a
+            // time so intermediates stay in registers.
+            let first = bases.len().min(4);
+            match first {
+                0 => acc.fill(!0),
+                1 => acc.copy_from_slice(&self.checkpoints[bases[0]..bases[0] + iw]),
+                2 => {
+                    let s0 = &self.checkpoints[bases[0]..bases[0] + iw];
+                    let s1 = &self.checkpoints[bases[1]..bases[1] + iw];
+                    for i in 0..iw {
+                        acc[i] = s0[i] & s1[i];
+                    }
+                }
+                3 => {
+                    let s0 = &self.checkpoints[bases[0]..bases[0] + iw];
+                    let s1 = &self.checkpoints[bases[1]..bases[1] + iw];
+                    let s2 = &self.checkpoints[bases[2]..bases[2] + iw];
+                    for i in 0..iw {
+                        acc[i] = s0[i] & s1[i] & s2[i];
+                    }
+                }
+                _ => {
+                    let s0 = &self.checkpoints[bases[0]..bases[0] + iw];
+                    let s1 = &self.checkpoints[bases[1]..bases[1] + iw];
+                    let s2 = &self.checkpoints[bases[2]..bases[2] + iw];
+                    let s3 = &self.checkpoints[bases[3]..bases[3] + iw];
+                    for i in 0..iw {
+                        acc[i] = s0[i] & s1[i] & s2[i] & s3[i];
+                    }
+                }
+            }
+            let mut quads = bases[first..].chunks_exact(4);
+            for quad in &mut quads {
+                let s0 = &self.checkpoints[quad[0]..quad[0] + iw];
+                let s1 = &self.checkpoints[quad[1]..quad[1] + iw];
+                let s2 = &self.checkpoints[quad[2]..quad[2] + iw];
+                let s3 = &self.checkpoints[quad[3]..quad[3] + iw];
+                for i in 0..iw {
+                    acc[i] &= s0[i] & s1[i] & s2[i] & s3[i];
+                }
+            }
+            for &base in quads.remainder() {
+                let image = &self.checkpoints[base..base + iw];
+                for (slot, word) in acc.iter_mut().zip(image) {
+                    *slot &= *word;
+                }
+            }
+        }
+        // 3. Per-condition tails, feature-outer so each run's mask region stays hot.
+        for f in 0..width {
+            let start = self.run_offsets[f] as usize;
+            for r in 0..group {
+                let k = prefixes[r * width + f] as usize;
+                if k == 0 {
+                    continue;
+                }
+                let tail = start + (k / self.checkpoint_stride) * self.checkpoint_stride;
+                let acc = &mut arena[r * iw..(r + 1) * iw];
+                for i in tail..start + k {
+                    let tree = self.tree_ids[i] as usize;
+                    let mask = &self.masks[i * w..(i + 1) * w];
+                    let slot = &mut acc[tree * w..(tree + 1) * w];
+                    for (slot_word, mask_word) in slot.iter_mut().zip(mask) {
+                        *slot_word &= *mask_word;
+                    }
+                }
+            }
+        }
+        // 4. Readout.
+        if self.plain {
+            for (r, slot) in out_g.iter_mut().enumerate() {
+                *slot = self.leaf_value(&arena[r * iw..(r + 1) * iw], 0, w);
+            }
+        } else {
+            let lr = self.learning_rate;
+            for (chunk, out_c) in out_g.chunks_mut(ROW_GROUP).enumerate() {
+                let first = chunk * ROW_GROUP;
+                let mut preds = [self.base_prediction; ROW_GROUP];
+                if out_c.len() == ROW_GROUP {
+                    // Full chunks walk lockstep per-tree word iterators so the hot loop
+                    // carries no per-(tree, row) slice re-derivation; the independent
+                    // FP-add chains hide each other's latency while keeping every row's
+                    // add order identical to the walker's.
+                    let mut its: [std::slice::ChunksExact<'_, u64>; ROW_GROUP] =
+                        std::array::from_fn(|r| {
+                            arena[(first + r) * iw..(first + r + 1) * iw].chunks_exact(w)
+                        });
+                    for &off in &self.leaf_offsets[..self.n_trees] {
+                        let leaves = &self.leaf_values[off as usize..];
+                        for (it, pred) in its.iter_mut().zip(preds.iter_mut()) {
+                            if let Some(words) = it.next() {
+                                *pred += lr * leaves[lowest_set(words)];
+                            }
+                        }
+                    }
+                } else {
+                    for t in 0..self.n_trees {
+                        for (r, pred) in preds.iter_mut().enumerate().take(out_c.len()) {
+                            let acc = &arena[(first + r) * iw..(first + r + 1) * iw];
+                            *pred += lr * self.leaf_value(acc, t, w);
+                        }
+                    }
+                }
+                out_c.copy_from_slice(&preds[..out_c.len()]);
+            }
+        }
+    }
+
+    /// One thread's share of a batch: cache-sized blocks of feature-outer scan groups
+    /// through reused scratch (accumulator arena, prefix lengths, snapshot bases), with the
+    /// accumulator width specialized for the common one- and two-word cases.
+    fn predict_blocks(&self, data: &[f64], width: usize, out: &mut [f64]) {
+        if self.n_trees == 0 {
+            out.fill(self.base_prediction);
+            return;
+        }
+        match self.mask_words {
+            1 => self.predict_blocks_w(data, width, out, 1),
+            2 => self.predict_blocks_w(data, width, out, 2),
+            w => self.predict_blocks_w(data, width, out, w),
+        }
+    }
+
+    #[inline(always)]
+    fn predict_blocks_w(&self, data: &[f64], width: usize, out: &mut [f64], w: usize) {
+        let mut scratch = Scratch {
+            arena: vec![0u64; SCAN_GROUP_ROWS * self.n_trees * w],
+            prefixes: vec![0u32; SCAN_GROUP_ROWS * width],
+            bases: Vec::with_capacity(width),
+        };
+        for (rows, slots) in data
+            .chunks(BATCH_BLOCK_ROWS * width)
+            .zip(out.chunks_mut(BATCH_BLOCK_ROWS))
+        {
+            for (rows_g, out_g) in rows
+                .chunks(SCAN_GROUP_ROWS * width)
+                .zip(slots.chunks_mut(SCAN_GROUP_ROWS))
+            {
+                self.group_w(rows_g, width, out_g, &mut scratch, w);
+            }
+        }
+    }
+
+    /// Predicts a flat row-major batch (`width` values per example), writing one prediction
+    /// per example into `out`. Empty batches are a no-op.
+    pub fn predict_batch_into(
+        &self,
+        data: &[f64],
+        width: usize,
+        out: &mut [f64],
+    ) -> Result<(), MlError> {
+        let rows = self.validate_batch(data, width)?;
+        if out.len() != rows {
+            return Err(MlError::LengthMismatch {
+                features: rows,
+                targets: out.len(),
+            });
+        }
+        self.predict_blocks(data, width, out);
+        Ok(())
+    }
+
+    /// Predicts a flat row-major batch on the calling thread. See
+    /// [`QuickScorerEnsemble::predict_batch_threaded`] for the parallel variant.
+    pub fn predict_batch(&self, data: &[f64], width: usize) -> Result<Vec<f64>, MlError> {
+        self.predict_batch_threaded(data, width, 1)
+    }
+
+    /// Like [`QuickScorerEnsemble::predict_batch`], fanning cache-sized blocks out over up
+    /// to `threads` OS threads. Blocks are independent, so the result is bit-identical for
+    /// every thread count.
+    pub fn predict_batch_threaded(
+        &self,
+        data: &[f64],
+        width: usize,
+        threads: usize,
+    ) -> Result<Vec<f64>, MlError> {
+        let rows = self.validate_batch(data, width)?;
+        let mut out = vec![0.0; rows];
+        let threads = threads.max(1);
+        if threads == 1 || rows <= BATCH_BLOCK_ROWS {
+            self.predict_blocks(data, width, &mut out);
+            return Ok(out);
+        }
+        // Hand each thread a contiguous run of whole blocks.
+        let blocks_per_thread = rows.div_ceil(BATCH_BLOCK_ROWS).div_ceil(threads);
+        let rows_per_thread = blocks_per_thread * BATCH_BLOCK_ROWS;
+        std::thread::scope(|scope| {
+            for (rows_chunk, out_chunk) in data
+                .chunks(rows_per_thread * width)
+                .zip(out.chunks_mut(rows_per_thread))
+            {
+                scope.spawn(move || self.predict_blocks(rows_chunk, width, out_chunk));
+            }
+        });
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiled::CompiledEnsemble;
+    use crate::gbrt::GbrtParams;
+    use crate::tree::TreeParams;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn nonlinear_data(n: usize, d: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let features: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..d).map(|_| rng.random::<f64>()).collect())
+            .collect();
+        let targets: Vec<f64> = features
+            .iter()
+            .map(|x| {
+                x.iter()
+                    .enumerate()
+                    .map(|(i, v)| ((i + 1) as f64 * v).sin())
+                    .sum()
+            })
+            .collect();
+        (features, targets)
+    }
+
+    fn flatten(rows: &[Vec<f64>]) -> Vec<f64> {
+        rows.iter().flatten().copied().collect()
+    }
+
+    #[test]
+    fn quickscorer_matches_walker_bit_for_bit() {
+        let (x, y) = nonlinear_data(400, 3, 1);
+        let model = Gbrt::fit(&x, &y, &GbrtParams::quick()).unwrap();
+        let qs = QuickScorerEnsemble::compile(&model).unwrap();
+        assert_eq!(qs.n_trees(), model.n_trees());
+        assert_eq!(qs.features(), 3);
+        assert!(qs.condition_count() > 0);
+        for row in &x {
+            assert_eq!(
+                qs.predict_one(row).unwrap().to_bits(),
+                model.predict_one(row).unwrap().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn batch_matches_single_for_every_thread_count() {
+        let (x, y) = nonlinear_data(1_200, 4, 2);
+        let model = Gbrt::fit(&x, &y, &GbrtParams::quick()).unwrap();
+        let qs = QuickScorerEnsemble::compile(&model).unwrap();
+        let flat = flatten(&x);
+        let singles: Vec<f64> = x.iter().map(|row| qs.predict_one(row).unwrap()).collect();
+        for threads in [1usize, 2, 4, 7] {
+            let batch = qs.predict_batch_threaded(&flat, 4, threads).unwrap();
+            assert_eq!(batch.len(), singles.len());
+            for (a, b) in batch.iter().zip(&singles) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads={threads}");
+            }
+        }
+        let mut out = vec![0.0; x.len()];
+        qs.predict_batch_into(&flat, 4, &mut out).unwrap();
+        assert_eq!(out, singles);
+    }
+
+    #[test]
+    fn odd_batch_sizes_exercise_the_group_remainder() {
+        let (x, y) = nonlinear_data(300, 2, 9);
+        let model = Gbrt::fit(&x, &y, &GbrtParams::quick().with_n_estimators(6)).unwrap();
+        let qs = QuickScorerEnsemble::compile(&model).unwrap();
+        for n in [1usize, 2, 3, 4, 5, 7, 9, 255, 256, 257, 1023, 1024, 1025] {
+            let (batch, _) = nonlinear_data(n, 2, 100 + n as u64);
+            let flat = flatten(&batch);
+            let got = qs.predict_batch(&flat, 2).unwrap();
+            for (row, value) in batch.iter().zip(&got) {
+                assert_eq!(
+                    value.to_bits(),
+                    model.predict_one(row).unwrap().to_bits(),
+                    "n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plain_tree_matches_tree_walker() {
+        let (x, y) = nonlinear_data(200, 2, 3);
+        let tree = RegressionTree::fit(&x, &y, &TreeParams::default()).unwrap();
+        let qs = QuickScorerEnsemble::from_tree(&tree).unwrap();
+        assert_eq!(qs.n_trees(), 1);
+        let flat = flatten(&x);
+        let batch = qs.predict_batch(&flat, 2).unwrap();
+        for (row, value) in x.iter().zip(&batch) {
+            assert_eq!(value.to_bits(), tree.predict_one(row).unwrap().to_bits());
+        }
+    }
+
+    #[test]
+    fn single_leaf_ensemble_predicts_the_mean() {
+        // Constant targets: every tree collapses to one leaf and zero conditions.
+        let x: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
+        let y = vec![4.25; 30];
+        let model = Gbrt::fit(&x, &y, &GbrtParams::quick().with_n_estimators(3)).unwrap();
+        let qs = QuickScorerEnsemble::compile(&model).unwrap();
+        assert_eq!(qs.condition_count(), 0);
+        assert_eq!(
+            qs.predict_one(&[5.0]).unwrap().to_bits(),
+            model.predict_one(&[5.0]).unwrap().to_bits()
+        );
+        let batch = qs.predict_batch(&[1.0, 2.0, 99.0], 1).unwrap();
+        assert_eq!(batch.len(), 3);
+    }
+
+    #[test]
+    fn staged_matches_walker_and_compiled() {
+        let (x, y) = nonlinear_data(150, 2, 4);
+        let model = Gbrt::fit(&x, &y, &GbrtParams::quick().with_n_estimators(12)).unwrap();
+        let qs = QuickScorerEnsemble::compile(&model).unwrap();
+        let compiled = CompiledEnsemble::compile(&model).unwrap();
+        for rounds in [0usize, 1, 5, 12, 40] {
+            assert_eq!(
+                qs.predict_staged(&x[7], rounds).unwrap().to_bits(),
+                model.predict_staged(&x[7], rounds).unwrap().to_bits()
+            );
+            assert_eq!(
+                qs.predict_staged(&x[7], rounds).unwrap().to_bits(),
+                compiled.predict_staged(&x[7], rounds).unwrap().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn non_finite_rows_match_both_other_engines() {
+        let (x, y) = nonlinear_data(300, 3, 11);
+        let model = Gbrt::fit(&x, &y, &GbrtParams::quick()).unwrap();
+        let qs = QuickScorerEnsemble::compile(&model).unwrap();
+        let compiled = CompiledEnsemble::compile(&model).unwrap();
+        let rows = [
+            vec![f64::NAN, 0.5, 0.5],
+            vec![0.5, f64::NAN, f64::NAN],
+            vec![f64::NAN, f64::NAN, f64::NAN],
+            vec![f64::INFINITY, 0.5, f64::NEG_INFINITY],
+            vec![f64::NEG_INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY],
+            vec![f64::INFINITY, f64::INFINITY, f64::INFINITY],
+            vec![-0.0, 0.0, f64::MIN_POSITIVE],
+        ];
+        for row in &rows {
+            let walker = model.predict_one(row).unwrap();
+            assert_eq!(qs.predict_one(row).unwrap().to_bits(), walker.to_bits());
+            assert_eq!(
+                compiled.predict_one(row).unwrap().to_bits(),
+                walker.to_bits()
+            );
+        }
+        let flat: Vec<f64> = rows.iter().flatten().copied().collect();
+        let batch = qs.predict_batch(&flat, 3).unwrap();
+        for (row, value) in rows.iter().zip(&batch) {
+            assert_eq!(
+                value.to_bits(),
+                model.predict_one(row).unwrap().to_bits(),
+                "batched non-finite row"
+            );
+        }
+    }
+
+    #[test]
+    fn deep_trees_exercise_multi_word_masks() {
+        // Depth-9 trees push past 64 leaves, so accumulators span multiple words.
+        let (x, y) = nonlinear_data(3_000, 4, 21);
+        let params = GbrtParams::quick().with_n_estimators(12).with_max_depth(9);
+        let model = Gbrt::fit(&x, &y, &params).unwrap();
+        let qs = QuickScorerEnsemble::compile(&model).unwrap();
+        let (batch, _) = nonlinear_data(700, 4, 22);
+        let flat = flatten(&batch);
+        let got = qs.predict_batch(&flat, 4).unwrap();
+        for (row, value) in batch.iter().zip(&got) {
+            assert_eq!(value.to_bits(), model.predict_one(row).unwrap().to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_batch_and_width_mismatch() {
+        let (x, y) = nonlinear_data(50, 2, 5);
+        let model = Gbrt::fit(&x, &y, &GbrtParams::quick().with_n_estimators(2)).unwrap();
+        let qs = QuickScorerEnsemble::compile(&model).unwrap();
+        assert!(qs.predict_batch(&[], 2).unwrap().is_empty());
+        assert!(matches!(
+            qs.predict_batch(&[0.5, 0.5, 0.5], 3),
+            Err(MlError::FeatureWidthMismatch {
+                expected: 2,
+                actual: 3
+            })
+        ));
+        assert!(matches!(
+            qs.predict_batch(&[0.5, 0.5, 0.5], 2),
+            Err(MlError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            qs.predict_one(&[0.5]),
+            Err(MlError::FeatureWidthMismatch { .. })
+        ));
+        let mut short = vec![0.0; 1];
+        assert!(matches!(
+            qs.predict_batch_into(&[0.1, 0.2, 0.3, 0.4], 2, &mut short),
+            Err(MlError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn engine_labels_are_stable() {
+        assert_eq!(InferenceEngine::Walker.label(), "walker");
+        assert_eq!(InferenceEngine::Compiled.label(), "compiled");
+        assert_eq!(InferenceEngine::QuickScorer.label(), "quickscorer");
+        assert_eq!(InferenceEngine::default(), InferenceEngine::Compiled);
+    }
+}

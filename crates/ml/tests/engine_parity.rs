@@ -1,0 +1,264 @@
+//! Property suite: all **three** inference engines — the node-walking predictor, the
+//! compiled struct-of-arrays engine and the QuickScorer bitvector engine — are
+//! **bit-identical** for every input.
+//!
+//! The compiled engine replays the walker's comparison sequence over rearranged storage;
+//! QuickScorer replaces the walk entirely with mask ANDs whose violation predicate
+//! `!(x <= t)` routes exactly where the walker's `x <= t` branch does — including NaN
+//! (which violates every condition and always exits right) and ±∞. Bit-identity therefore
+//! must hold for *arbitrary* fitted models and *arbitrary* inputs: subsampled and
+//! column-subsampled ensembles, single-leaf trees, empty batches, non-finite rows, and
+//! every thread count. Width mismatches must surface as typed errors on each engine,
+//! never as NaN predictions.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use surf_ml::compiled::CompiledEnsemble;
+use surf_ml::gbrt::{Gbrt, GbrtParams};
+use surf_ml::qs::QuickScorerEnsemble;
+use surf_ml::tree::{RegressionTree, TreeParams};
+use surf_ml::MlError;
+
+/// Unstructured regression data: features in [-3, 3), a rough nonlinear target.
+fn random_data(n: usize, d: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let features: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..d).map(|_| rng.random_range(-3.0..3.0)).collect())
+        .collect();
+    let targets: Vec<f64> = features
+        .iter()
+        .map(|x| {
+            x.iter()
+                .enumerate()
+                .map(|(i, v)| ((i + 2) as f64 * v).sin() + 0.25 * v * v)
+                .sum()
+        })
+        .collect();
+    (features, targets)
+}
+
+/// Probe points both inside and far outside the training range.
+fn probes(n: usize, d: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xbeef);
+    (0..n)
+        .map(|_| (0..d).map(|_| rng.random_range(-50.0..50.0)).collect())
+        .collect()
+}
+
+/// Probe points with non-finite entries sprinkled in: every row carries at least one of
+/// NaN, +∞ or -∞ (in rotation), the rest stay finite.
+fn non_finite_probes(n: usize, d: usize, seed: u64) -> Vec<Vec<f64>> {
+    let specials = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY];
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xfeed);
+    (0..n)
+        .map(|row| {
+            let mut values: Vec<f64> = (0..d).map(|_| rng.random_range(-10.0..10.0)).collect();
+            values[row % d] = specials[row % specials.len()];
+            values
+        })
+        .collect()
+}
+
+fn flatten(rows: &[Vec<f64>]) -> Vec<f64> {
+    rows.iter().flatten().copied().collect()
+}
+
+/// Asserts both batch engines reproduce `walker` bit for bit at `threads`, scalar and
+/// batched alike.
+fn assert_three_way(
+    inputs: &[Vec<f64>],
+    walker: &[f64],
+    compiled: &CompiledEnsemble,
+    quickscorer: &QuickScorerEnsemble,
+    d: usize,
+    threads: usize,
+) {
+    for (row, expected) in inputs.iter().zip(walker) {
+        assert_eq!(
+            compiled.predict_one(row).unwrap().to_bits(),
+            expected.to_bits()
+        );
+        assert_eq!(
+            quickscorer.predict_one(row).unwrap().to_bits(),
+            expected.to_bits()
+        );
+    }
+    let flat = flatten(inputs);
+    let compiled_batch = compiled.predict_batch_threaded(&flat, d, threads).unwrap();
+    let quickscorer_batch = quickscorer
+        .predict_batch_threaded(&flat, d, threads)
+        .unwrap();
+    assert_eq!(compiled_batch.len(), walker.len());
+    assert_eq!(quickscorer_batch.len(), walker.len());
+    for ((c, q), expected) in compiled_batch.iter().zip(&quickscorer_batch).zip(walker) {
+        assert_eq!(c.to_bits(), expected.to_bits());
+        assert_eq!(q.to_bits(), expected.to_bits());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `predict_one` and `predict_batch` (sequential and threaded) of both batch engines
+    /// are bit-identical to the boosting walker on arbitrary finite inputs, across
+    /// subsampled and column-subsampled ensembles.
+    #[test]
+    fn three_engine_bit_parity(
+        n in 5usize..=120,
+        d in 1usize..=5,
+        n_estimators in 1usize..=12,
+        max_depth in 1usize..=6,
+        subsample in 0.6f64..=1.0,
+        colsample in 0.4f64..=1.0,
+        threads in 1usize..=4,
+        seed in 0u64..10_000,
+    ) {
+        let (x, y) = random_data(n, d, seed);
+        let params = GbrtParams {
+            n_estimators,
+            max_depth,
+            subsample,
+            colsample,
+            seed,
+            ..GbrtParams::quick()
+        };
+        let model = Gbrt::fit(&x, &y, &params).unwrap();
+        let compiled = CompiledEnsemble::compile(&model).unwrap();
+        let quickscorer = QuickScorerEnsemble::compile(&model).unwrap();
+        prop_assert_eq!(quickscorer.n_trees(), model.n_trees());
+
+        let inputs: Vec<Vec<f64>> = x.into_iter().chain(probes(20, d, seed)).collect();
+        let walker = model.predict(&inputs).unwrap();
+        assert_three_way(&inputs, &walker, &compiled, &quickscorer, d, threads);
+    }
+
+    /// Rows carrying NaN and ±∞ predict bit-identically across all three engines: NaN
+    /// violates every split condition (`!(x <= t)`) exactly like the walker's false
+    /// branch, -∞ none, +∞ all.
+    #[test]
+    fn non_finite_rows_bit_parity(
+        n in 5usize..=60,
+        d in 1usize..=5,
+        n_estimators in 1usize..=10,
+        max_depth in 1usize..=6,
+        threads in 1usize..=4,
+        seed in 0u64..10_000,
+    ) {
+        let (x, y) = random_data(n, d, seed);
+        let params = GbrtParams {
+            n_estimators,
+            max_depth,
+            seed,
+            ..GbrtParams::quick()
+        };
+        let model = Gbrt::fit(&x, &y, &params).unwrap();
+        let compiled = CompiledEnsemble::compile(&model).unwrap();
+        let quickscorer = QuickScorerEnsemble::compile(&model).unwrap();
+
+        let inputs = non_finite_probes(24, d, seed);
+        let walker = model.predict(&inputs).unwrap();
+        assert_three_way(&inputs, &walker, &compiled, &quickscorer, d, threads);
+    }
+
+    /// Staged prediction (any number of rounds, including 0 and past the end) matches the
+    /// walker bit for bit on both batch engines.
+    #[test]
+    fn staged_bit_parity(
+        n in 10usize..=80,
+        d in 1usize..=3,
+        n_estimators in 1usize..=10,
+        rounds in 0usize..=14,
+        seed in 0u64..10_000,
+    ) {
+        let (x, y) = random_data(n, d, seed);
+        let params = GbrtParams {
+            n_estimators,
+            ..GbrtParams::quick()
+        };
+        let model = Gbrt::fit(&x, &y, &params).unwrap();
+        let compiled = CompiledEnsemble::compile(&model).unwrap();
+        let quickscorer = QuickScorerEnsemble::compile(&model).unwrap();
+        for row in x.iter().take(10) {
+            let expected = model.predict_staged(row, rounds).unwrap();
+            prop_assert_eq!(
+                compiled.predict_staged(row, rounds).unwrap().to_bits(),
+                expected.to_bits()
+            );
+            prop_assert_eq!(
+                quickscorer.predict_staged(row, rounds).unwrap().to_bits(),
+                expected.to_bits()
+            );
+        }
+    }
+
+    /// A single compiled tree matches the tree walker bit for bit on both engines —
+    /// including trees that collapse to a single leaf (constant targets), whose
+    /// QuickScorer form has an empty condition list and a one-bit mask arena.
+    #[test]
+    fn tree_bit_parity(
+        n in 2usize..=100,
+        d in 1usize..=4,
+        max_depth in 1usize..=8,
+        constant_flag in 0usize..=1,
+        seed in 0u64..10_000,
+    ) {
+        let constant_targets = constant_flag == 1;
+        let (x, mut y) = random_data(n, d, seed);
+        if constant_targets {
+            y = vec![2.5; n];
+        }
+        let params = TreeParams { max_depth, ..TreeParams::default() };
+        let tree = RegressionTree::fit(&x, &y, &params).unwrap();
+        let compiled = CompiledEnsemble::from_tree(&tree).unwrap();
+        let quickscorer = QuickScorerEnsemble::from_tree(&tree).unwrap();
+        if constant_targets {
+            prop_assert_eq!(tree.node_count(), 1);
+            prop_assert_eq!(quickscorer.condition_count(), 0);
+        }
+        let inputs: Vec<Vec<f64>> = x.into_iter().chain(probes(10, d, seed)).collect();
+        let walker = tree.predict(&inputs).unwrap();
+        assert_three_way(&inputs, &walker, &compiled, &quickscorer, d, 1);
+    }
+
+    /// Empty batches yield empty outputs; width mismatches are typed errors on every
+    /// QuickScorer entry point (never NaN-filled results), mirroring the compiled engine.
+    #[test]
+    fn empty_batches_and_width_mismatches(
+        d in 1usize..=4,
+        offset in 1usize..=6,
+        seed in 0u64..1_000,
+    ) {
+        // `wrong` is always a different, positive width.
+        let wrong = d + offset;
+        let (x, y) = random_data(30, d, seed);
+        let model = Gbrt::fit(&x, &y, &GbrtParams::quick().with_n_estimators(3)).unwrap();
+        let quickscorer = QuickScorerEnsemble::compile(&model).unwrap();
+
+        prop_assert!(quickscorer.predict_batch(&[], d).unwrap().is_empty());
+        let mut empty_out: [f64; 0] = [];
+        prop_assert!(quickscorer.predict_batch_into(&[], d, &mut empty_out).is_ok());
+
+        let row = vec![0.5; wrong];
+        prop_assert_eq!(
+            quickscorer.predict_one(&row),
+            Err(MlError::FeatureWidthMismatch { expected: d, actual: wrong })
+        );
+        prop_assert_eq!(
+            quickscorer.predict_staged(&row, 1),
+            Err(MlError::FeatureWidthMismatch { expected: d, actual: wrong })
+        );
+        prop_assert!(matches!(
+            quickscorer.predict_batch(&row, wrong),
+            Err(MlError::FeatureWidthMismatch { .. })
+        ));
+        // A flat buffer that is not a whole number of rows is rejected, not truncated.
+        let ragged = vec![0.25; d + (d + 1)];
+        if ragged.len() % d != 0 {
+            prop_assert!(matches!(
+                quickscorer.predict_batch(&ragged, d),
+                Err(MlError::InvalidParameter { .. })
+            ));
+        }
+    }
+}

@@ -33,8 +33,11 @@ use crate::error::ServeError;
 ///
 /// Version history: `1` — initial layout; `2` — `GbrtParams` gained the `max_bins`
 /// histogram-engine knob (nested in `SurfState::config`), changing the fitted-state layout;
-/// `3` — `GbrtParams` gained the `colsample` per-tree feature-subsampling knob.
-pub const SCHEMA_VERSION: u64 = 3;
+/// `3` — `GbrtParams` gained the `colsample` per-tree feature-subsampling knob;
+/// `4` — `SurfConfig` gained the `inference_engine` knob selecting the batch-prediction
+/// kernel (walker / compiled / quickscorer), so a served model keeps the engine it was
+/// deployed with.
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// Descriptive metadata of a persisted surrogate, denormalized out of the fitted state so
 /// registries and `/models` listings can describe a model cheaply.

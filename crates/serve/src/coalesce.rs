@@ -136,8 +136,9 @@ impl CoalesceStats {
 pub struct BatchInstruments {
     /// Time each submission spent parked in the queue before its fused call started.
     pub batch_wait: Arc<Histogram>,
-    /// Wall time of each fused `predict_batch` call.
-    pub kernel: Arc<Histogram>,
+    /// Wall time of each fused `predict_batch` call, labelled by the inference engine
+    /// that ran it.
+    pub kernel: crate::obs::KernelStats,
 }
 
 /// One caller's evaluation request, parked until a batcher fuses it.
@@ -422,15 +423,19 @@ impl Drop for FlightGuard<'_> {
 }
 
 fn batcher_loop(queue: &BatchQueue) {
+    // Fused-output buffer reused across every round this gatherer serves: it grows to the
+    // high-water batch size once instead of allocating per fused call.
+    let mut values: Vec<f64> = Vec::new();
     while let Some(jobs) = queue.gather() {
-        fuse_and_reply(queue, jobs);
+        fuse_and_reply(queue, jobs, &mut values);
     }
 }
 
 /// Groups a gathered round by model registration generation (arrival order preserved
-/// within a group), issues one fused `predict_batch` per group and demultiplexes the
-/// per-row results back to each submission.
-fn fuse_and_reply(queue: &BatchQueue, jobs: Vec<Submission>) {
+/// within a group), issues one fused `predict_batch_into` per group — writing into the
+/// gatherer's reused `values` buffer — and demultiplexes the per-row results back to each
+/// submission.
+fn fuse_and_reply(queue: &BatchQueue, jobs: Vec<Submission>, values: &mut Vec<f64>) {
     let mut groups: Vec<(u64, Vec<Submission>)> = Vec::new();
     for job in jobs {
         match groups
@@ -459,24 +464,21 @@ fn fuse_and_reply(queue: &BatchQueue, jobs: Vec<Submission>) {
         for job in &group {
             fused.extend(job.regions.iter().cloned());
         }
-        // One fused pass of this generation's compiled ensemble: the same trees-outer loop
+        // One fused pass of this generation's inference engine: the same blocked kernel
         // any solo call runs, just over more rows — per-row results are bit-identical to
-        // solo evaluation regardless of what the batch happens to contain.
+        // solo evaluation regardless of what the batch happens to contain. Writing into
+        // the gatherer-owned buffer keeps the output exactly `rows` long, so replies can
+        // never misalign, and the per-call output allocation disappears.
         let surrogate = group[0].model.engine.surrogate();
+        values.clear();
+        values.resize(rows, 0.0);
         let kernel_started = instruments.map(|_| Instant::now());
-        let values = surf_core::Surrogate::predict_batch(surrogate, &fused);
+        surf_core::Surrogate::predict_batch_into(surrogate, &fused, values);
         if let (Some(instruments), Some(started)) = (instruments, kernel_started) {
-            instruments.kernel.observe_duration(started.elapsed());
-        }
-        if values.len() != rows {
-            // Defensive: a surrogate violating the one-value-per-region contract must not
-            // misalign every caller in the batch; answer each solo instead.
-            for job in group {
-                let solo =
-                    surf_core::Surrogate::predict_batch(job.model.engine.surrogate(), &job.regions);
-                let _ = job.reply.send(solo);
-            }
-            continue;
+            instruments
+                .kernel
+                .for_engine(surrogate.engine())
+                .observe_duration(started.elapsed());
         }
         let mut offset = 0;
         for job in group {
@@ -755,15 +757,22 @@ mod tests {
         let bounds = surf_obs::metrics::default_duration_bounds();
         queue.set_instruments(BatchInstruments {
             batch_wait: registry.histogram("test_batch_wait_nanos", "wait", &bounds),
-            kernel: registry.histogram("test_kernel_nanos", "kernel", &bounds),
+            kernel: crate::obs::KernelStats::new(&registry, &bounds),
         });
         let probe = regions(9, 3);
         queue.evaluate(&model, &probe);
         let wait = registry
             .histogram("test_batch_wait_nanos", "wait", &bounds)
             .snapshot();
+        // The test model trains with the default engine, so the fused call lands in the
+        // `compiled` series of the per-engine kernel family.
         let kernel = registry
-            .histogram("test_kernel_nanos", "kernel", &bounds)
+            .histogram_with(
+                "surf_serve_kernel_nanos",
+                "kernel",
+                &bounds,
+                &[("engine", "compiled")],
+            )
             .snapshot();
         assert_eq!(wait.count, 1, "one submission, one wait observation");
         assert_eq!(kernel.count, 1, "one fused call, one kernel observation");

@@ -19,6 +19,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use surf_ml::qs::InferenceEngine;
 use surf_obs::metrics::{default_duration_bounds, Counter, Gauge, Histogram, MetricsRegistry};
 use surf_obs::trace::{FlightRecorder, Trace};
 use surf_obs::{ObsConfig, Snapshot};
@@ -80,6 +81,46 @@ impl RouteStats {
     }
 }
 
+/// The `predict_batch` wall-time histogram family (`surf_serve_kernel_nanos`), one series
+/// per inference engine — solo and fused calls alike observe into the series of the
+/// engine that actually ran, so a deployment mixing quickscorer and compiled models can
+/// attribute kernel time per engine. All three series are registered up front (standard
+/// pre-declared label values), so `/metrics` exposes the family's full label space from
+/// the first scrape.
+#[derive(Clone)]
+pub struct KernelStats {
+    walker: Arc<Histogram>,
+    compiled: Arc<Histogram>,
+    quickscorer: Arc<Histogram>,
+}
+
+impl KernelStats {
+    pub(crate) fn new(registry: &MetricsRegistry, bounds: &[u64]) -> Self {
+        let series = |engine: InferenceEngine| {
+            registry.histogram_with(
+                "surf_serve_kernel_nanos",
+                "predict_batch wall time (solo and fused calls alike), by inference engine",
+                bounds,
+                &[("engine", engine.label())],
+            )
+        };
+        KernelStats {
+            walker: series(InferenceEngine::Walker),
+            compiled: series(InferenceEngine::Compiled),
+            quickscorer: series(InferenceEngine::QuickScorer),
+        }
+    }
+
+    /// The histogram series recording `engine`'s calls.
+    pub fn for_engine(&self, engine: InferenceEngine) -> &Arc<Histogram> {
+        match engine {
+            InferenceEngine::Walker => &self.walker,
+            InferenceEngine::Compiled => &self.compiled,
+            InferenceEngine::QuickScorer => &self.quickscorer,
+        }
+    }
+}
+
 /// The per-server observability state: registry, route stats, breakdown histograms,
 /// connection instruments and the flight recorder.
 pub struct ServeObs {
@@ -99,8 +140,8 @@ pub struct ServeObs {
     pub queue_wait: Arc<Histogram>,
     /// Coalescing submission to fuse start (recorded by the batcher).
     pub batch_wait: Arc<Histogram>,
-    /// Compiled-ensemble `predict_batch` wall time (solo and fused calls alike).
-    pub kernel: Arc<Histogram>,
+    /// `predict_batch` wall time (solo and fused calls alike), labelled by engine.
+    pub kernel: KernelStats,
     /// One reactor write-flush pass over a connection with pending bytes.
     pub write_flush: Arc<Histogram>,
     /// Currently open client connections.
@@ -143,11 +184,7 @@ impl ServeObs {
                 "Coalescing submission to fuse start (the gathering-window wait)",
                 &bounds,
             ),
-            kernel: registry.histogram(
-                "surf_serve_kernel_nanos",
-                "Compiled-ensemble predict_batch wall time",
-                &bounds,
-            ),
+            kernel: KernelStats::new(&registry, &bounds),
             write_flush: registry.histogram(
                 "surf_serve_write_flush_nanos",
                 "One write-flush pass over a connection with pending response bytes",
@@ -270,6 +307,20 @@ pub fn metrics_snapshot(context: &ServeContext) -> Snapshot {
         &[],
         context.registry.len().unwrap_or(0) as i64,
     );
+
+    // One-shot per-model gauge: recorded once when the artifact's QuickScorer ensemble is
+    // compiled at load, then served unchanged. `/stats` exposes the same registry view
+    // (`ModelRegistry::engine_stats`), so the two endpoints cannot drift.
+    for stats in context.registry.engine_stats().unwrap_or_default() {
+        if let Some(seconds) = stats.qs_compile_seconds {
+            snapshot.push_gauge_f64(
+                "surf_qs_compile_seconds",
+                "Seconds spent compiling the QuickScorer ensemble at model load",
+                &[("model", stats.model.as_str())],
+                seconds,
+            );
+        }
+    }
 
     let cache = context.cache.stats();
     snapshot.push_counter(

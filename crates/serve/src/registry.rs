@@ -41,6 +41,20 @@ pub struct ModelInfo {
     pub metadata: ArtifactMetadata,
 }
 
+/// Per-model inference-engine facts, surfaced both in `/stats` and — for models compiled
+/// with the QuickScorer engine — as `surf_qs_compile_seconds` gauges in `/metrics`. Both
+/// endpoints read this same registry view, so the numbers cannot drift.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelEngineStats {
+    /// Registered model name.
+    pub model: String,
+    /// Label of the engine serving it (`walker` / `compiled` / `quickscorer`).
+    pub engine: String,
+    /// Seconds spent compiling the QuickScorer ensemble at model load; absent on models
+    /// whose engine never compiled one.
+    pub qs_compile_seconds: Option<f64>,
+}
+
 /// Named slots of servable models behind a reader/writer lock.
 #[derive(Default)]
 pub struct ModelRegistry {
@@ -156,6 +170,28 @@ impl ModelRegistry {
             .collect();
         infos.sort_by(|a, b| a.name.cmp(&b.name));
         Ok(infos)
+    }
+
+    /// Per-model inference-engine facts, sorted by model name (see [`ModelEngineStats`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::LockPoisoned`] when the registry lock is poisoned.
+    pub fn engine_stats(&self) -> Result<Vec<ModelEngineStats>, ServeError> {
+        let slots = self.read_slots()?;
+        let mut stats: Vec<ModelEngineStats> = slots
+            .values()
+            .map(|m| {
+                let surrogate = m.engine.surrogate();
+                ModelEngineStats {
+                    model: m.name.clone(),
+                    engine: surrogate.engine().label().to_string(),
+                    qs_compile_seconds: surrogate.qs_compile_seconds(),
+                }
+            })
+            .collect();
+        stats.sort_by(|a, b| a.model.cmp(&b.model));
+        Ok(stats)
     }
 
     /// Number of registered models.

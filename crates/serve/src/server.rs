@@ -196,10 +196,12 @@ impl ServeContext {
                 values
             }
             None => {
+                let surrogate = model.engine.surrogate();
                 let timer = self.obs.timer();
                 let span = surf_obs::trace::span_timer();
-                let values = surf_core::Surrogate::predict_batch(model.engine.surrogate(), regions);
-                self.obs.observe(&self.obs.kernel, timer);
+                let values = surf_core::Surrogate::predict_batch(surrogate, regions);
+                self.obs
+                    .observe(self.obs.kernel.for_engine(surrogate.engine()), timer);
                 surf_obs::trace::record_span("kernel", span);
                 values
             }
@@ -288,7 +290,7 @@ pub fn serve(
             // actually known; hand it the registry's histograms.
             queue.set_instruments(BatchInstruments {
                 batch_wait: Arc::clone(&obs.batch_wait),
-                kernel: Arc::clone(&obs.kernel),
+                kernel: obs.kernel.clone(),
             });
         }
         threads.extend(batchers);

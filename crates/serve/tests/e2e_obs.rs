@@ -12,6 +12,7 @@ use surf_core::{Surf, SurfConfig};
 use surf_data::region::Region;
 use surf_data::statistic::Statistic;
 use surf_data::synthetic::{SyntheticDataset, SyntheticSpec};
+use surf_ml::qs::InferenceEngine;
 use surf_obs::expo;
 use surf_optim::gso::GsoParams;
 use surf_serve::cache::CacheConfig;
@@ -23,6 +24,10 @@ use surf_serve::{
 };
 
 fn quick_engine(seed: u64) -> Surf {
+    quick_engine_with(seed, InferenceEngine::Compiled)
+}
+
+fn quick_engine_with(seed: u64, inference: InferenceEngine) -> Surf {
     let synthetic = SyntheticDataset::generate(
         &SyntheticSpec::density(2, 1)
             .with_points(1_500)
@@ -36,6 +41,7 @@ fn quick_engine(seed: u64) -> Surf {
         .gso(GsoParams::quick().with_iterations(25))
         .kde_sample(96)
         .seed(seed)
+        .inference_engine(inference)
         .build();
     Surf::fit(&synthetic.dataset, &config).unwrap()
 }
@@ -150,7 +156,6 @@ fn event_loop_metrics_record_breakdown_and_agree_with_stats() {
         "surf_serve_recv_parse_nanos_count",
         "surf_serve_queue_wait_nanos_count",
         "surf_serve_batch_wait_nanos_count",
-        "surf_serve_kernel_nanos_count",
         "surf_serve_write_flush_nanos_count",
     ] {
         assert!(
@@ -158,6 +163,17 @@ fn event_loop_metrics_record_breakdown_and_agree_with_stats() {
             "{stage} must have observations after traffic"
         );
     }
+    // The kernel histogram is labelled by inference engine; the test model serves with
+    // the default compiled engine, so that series carries every observation.
+    assert!(
+        labeled(
+            &samples,
+            "surf_serve_kernel_nanos_count",
+            "engine",
+            "compiled"
+        ) > 0.0,
+        "surf_serve_kernel_nanos_count{{engine=\"compiled\"}} must have observations"
+    );
 
     // `/stats` is a view over the same registry: route counters must agree exactly
     // (the metrics scrape happened after the stats read on the same connection, and
@@ -218,6 +234,53 @@ fn event_loop_metrics_record_breakdown_and_agree_with_stats() {
         value(&samples, "surf_ml_round_fit_nanos_count") > 0.0,
         "training rounds must have recorded into the global registry"
     );
+
+    handle.shutdown();
+}
+
+/// A model deployed with the QuickScorer engine records its kernel time under the
+/// `engine="quickscorer"` series (and nothing under the others), exposes its one-off
+/// compile cost as a `surf_qs_compile_seconds` gauge, and `/stats.engines` reports the
+/// exact same registry view.
+#[test]
+fn quickscorer_engine_records_compile_gauge_and_labelled_kernel() {
+    let engine = quick_engine_with(59, InferenceEngine::QuickScorer);
+    let handle = start(&engine, obs_config(TransportMode::EventLoop));
+    let addr = handle.addr().to_string();
+
+    let (samples, stats, _body) = drive_and_scrape(&addr);
+
+    assert!(
+        labeled(
+            &samples,
+            "surf_serve_kernel_nanos_count",
+            "engine",
+            "quickscorer"
+        ) > 0.0,
+        "kernel time must land on the quickscorer series"
+    );
+    assert_eq!(
+        labeled(
+            &samples,
+            "surf_serve_kernel_nanos_count",
+            "engine",
+            "compiled"
+        ),
+        0.0,
+        "no observation may land on an engine that never ran"
+    );
+
+    let gauge = labeled(&samples, "surf_qs_compile_seconds", "model", "m");
+    assert!(gauge > 0.0, "compile time must be recorded at model load");
+    let entry = stats
+        .engines
+        .iter()
+        .find(|e| e.model == "m")
+        .expect("/stats must report the model's engine");
+    assert_eq!(entry.engine, "quickscorer");
+    // Shortest-round-trip float rendering: the scraped gauge is bit-identical to the
+    // registry value `/stats` serves.
+    assert_eq!(entry.qs_compile_seconds, Some(gauge));
 
     handle.shutdown();
 }
@@ -290,7 +353,6 @@ fn blocking_transport_records_the_same_breakdown() {
     for stage in [
         "surf_serve_recv_parse_nanos_count",
         "surf_serve_queue_wait_nanos_count",
-        "surf_serve_kernel_nanos_count",
         "surf_serve_write_flush_nanos_count",
     ] {
         assert!(
@@ -298,6 +360,15 @@ fn blocking_transport_records_the_same_breakdown() {
             "{stage} must be recorded by the blocking transport too"
         );
     }
+    assert!(
+        labeled(
+            &samples,
+            "surf_serve_kernel_nanos_count",
+            "engine",
+            "compiled"
+        ) > 0.0,
+        "the per-engine kernel histogram must be recorded by the blocking transport too"
+    );
     handle.shutdown();
 }
 
