@@ -12,6 +12,17 @@
 //! Results go to `BENCH_gbrt_predict.json` in the working directory so CI can accumulate
 //! a perf trajectory across commits.
 //!
+//! Since the batch engines dispatch their hot loops through `surf_simd`, every rung also
+//! carries a **kernel** dimension: the batch engines are measured once with scalar
+//! dispatch forced and once under the CPU's detected ISA (skipped on machines that
+//! detect no SIMD), with the two paths' outputs asserted bit-identical before either is
+//! reported. The walker has no SIMD path and always reports `scalar`. The compiled
+//! engine's SIMD rung opts into its gather-based vectorized walk, which is **off in
+//! production** — these very measurements show the fused scalar loop (16 interleaved
+//! chains saturating the load ports) beating microcoded AVX2 `vgather` kernels — while
+//! QuickScorer's streaming mask/fence kernels profit from AVX2 and dispatch it by
+//! default.
+//!
 //! Two grid-search-sized ensembles are measured: the paper's reported default XGB setup
 //! (`paper_default`, 100 trees × depth 7 — L2-resident, so the win is branch elimination
 //! and interleaving) and the largest cell of its default hyper-parameter grid (`grid_max`,
@@ -46,6 +57,9 @@ struct Measurement {
     batch_size: usize,
     dimensions: usize,
     engine: String,
+    /// `surf_simd` dispatch the engine ran under: `scalar` (forced) or the detected ISA
+    /// (`sse2` / `avx2`); the walker has no SIMD path and is always `scalar`.
+    kernel: String,
     /// The *resolved* thread count the engine actually ran with (multi-thread rungs are
     /// skipped entirely when resolution yields one thread).
     threads: usize,
@@ -168,6 +182,22 @@ fn main() {
     let threads = surf_ml::parallel::resolve_threads(0);
     let train_rows = scale.pick(2_000, 5_000, 5_000);
 
+    // SIMD rungs measure the detected ISA; when the probe yields only the scalar path
+    // (non-x86_64, or SURF_FORCE_SCALAR set in the environment), they would duplicate
+    // the forced-scalar rungs and are skipped.
+    let detected = surf_simd::detected();
+    let has_simd = detected != surf_simd::Isa::Scalar && !surf_simd::scalar_forced();
+    let simd_label = detected.label();
+    println!(
+        "# simd dispatch: detected `{}`{}",
+        simd_label,
+        if has_simd {
+            ""
+        } else {
+            " (no SIMD rungs: scalar-only dispatch)"
+        }
+    );
+
     // Grid-search-sized ensembles: the paper's reported default XGB setup (100 × depth 7)
     // and the largest cell of its default hyper-parameter grid (300 × depth 9) — the size
     // class hypertuned surrogates actually land in.
@@ -194,6 +224,12 @@ fn main() {
                 let (batch, _) = training_data(n, d, 41 + d as u64);
                 let flat: Vec<f64> = batch.iter().flatten().copied().collect();
 
+                // Scalar rungs: force the fallback kernels so the measurement is the
+                // honest pre-SIMD path, and keep each engine's output for the
+                // bit-identity audit below. The previous forcing state is restored
+                // afterwards so a SURF_FORCE_SCALAR run stays scalar throughout.
+                let prev_forced = surf_simd::scalar_forced();
+                surf_simd::force_scalar(true);
                 let walker_seconds = time(repetitions, || model.predict(&batch).expect("predicts"));
                 let compiled_seconds = time(repetitions, || {
                     compiled.predict_batch(&flat, d).expect("predicts")
@@ -201,17 +237,56 @@ fn main() {
                 let quickscorer_seconds = time(repetitions, || {
                     quickscorer.predict_batch(&flat, d).expect("predicts")
                 });
+                let scalar_compiled = compiled.predict_batch(&flat, d).expect("predicts");
+                let scalar_quickscorer = quickscorer.predict_batch(&flat, d).expect("predicts");
+                surf_simd::force_scalar(prev_forced);
 
                 let mut engines = vec![
-                    ("walker", 1usize, walker_seconds),
-                    ("compiled", 1, compiled_seconds),
-                    ("quickscorer", 1, quickscorer_seconds),
+                    ("walker", "scalar", 1usize, walker_seconds),
+                    ("compiled", "scalar", 1, compiled_seconds),
+                    ("quickscorer", "scalar", 1, quickscorer_seconds),
                 ];
+                // SIMD rungs under the detected ISA — skipped when detection yields no
+                // SIMD (the rung would duplicate the scalar one). Outputs must be
+                // bit-identical to the forced-scalar path before they are reported.
+                if has_simd {
+                    // The compiled engine's vectorized walk is opt-in (off in production:
+                    // its fused scalar loop measures faster than AVX2 gathers); the rung
+                    // measures the vector path so the regime comparison stays visible.
+                    surf_ml::compiled::set_simd_walk(true);
+                    let compiled_simd_seconds = time(repetitions, || {
+                        compiled.predict_batch(&flat, d).expect("predicts")
+                    });
+                    let simd_compiled = compiled.predict_batch(&flat, d).expect("predicts");
+                    surf_ml::compiled::set_simd_walk(false);
+                    let quickscorer_simd_seconds = time(repetitions, || {
+                        quickscorer.predict_batch(&flat, d).expect("predicts")
+                    });
+                    let simd_quickscorer = quickscorer.predict_batch(&flat, d).expect("predicts");
+                    for i in 0..n {
+                        assert_eq!(
+                            simd_compiled[i].to_bits(),
+                            scalar_compiled[i].to_bits(),
+                            "compiled {simd_label} diverged from scalar at row {i}"
+                        );
+                        assert_eq!(
+                            simd_quickscorer[i].to_bits(),
+                            scalar_quickscorer[i].to_bits(),
+                            "quickscorer {simd_label} diverged from scalar at row {i}"
+                        );
+                    }
+                    engines.push(("compiled", simd_label, 1, compiled_simd_seconds));
+                    engines.push(("quickscorer", simd_label, 1, quickscorer_simd_seconds));
+                }
                 // At one resolved thread the `_mt` rungs would re-measure the
-                // single-thread path plus thread-scope overhead; skip them.
+                // single-thread path plus thread-scope overhead; skip them. They run
+                // the production dispatch: scalar walk for compiled (its default),
+                // the detected ISA for quickscorer.
                 if threads > 1 {
+                    let qs_kernel = if has_simd { simd_label } else { "scalar" };
                     engines.push((
                         "compiled_mt",
+                        "scalar",
                         threads,
                         time(repetitions, || {
                             compiled
@@ -221,6 +296,7 @@ fn main() {
                     ));
                     engines.push((
                         "quickscorer_mt",
+                        qs_kernel,
                         threads,
                         time(repetitions, || {
                             quickscorer
@@ -230,13 +306,14 @@ fn main() {
                     ));
                 }
 
-                for (engine, used_threads, seconds) in engines {
+                for (engine, kernel, used_threads, seconds) in engines {
                     let speedup = walker_seconds / seconds;
                     rows.push(vec![
                         ensemble.to_string(),
                         n.to_string(),
                         d.to_string(),
                         engine.to_string(),
+                        kernel.to_string(),
                         used_threads.to_string(),
                         format!("{seconds:.5}"),
                         format!("{:.0}", n as f64 / seconds),
@@ -249,6 +326,7 @@ fn main() {
                         batch_size: n,
                         dimensions: d,
                         engine: engine.to_string(),
+                        kernel: kernel.to_string(),
                         threads: used_threads,
                         predict_seconds: seconds,
                         rows_per_second: n as f64 / seconds,
@@ -262,7 +340,7 @@ fn main() {
     print_table(
         "gbrt_predict (walker vs. compiled vs. quickscorer engines)",
         &[
-            "ensemble", "N", "d", "engine", "threads", "s/batch", "rows/s", "speedup",
+            "ensemble", "N", "d", "engine", "kernel", "threads", "s/batch", "rows/s", "speedup",
         ],
         &rows,
     );

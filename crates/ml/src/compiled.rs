@@ -39,9 +39,42 @@
 //! [`crate::tree::RegressionTree::predict_one`] for every input and every block/thread
 //! configuration. The `compiled_parity` property suite pins this down.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
 use crate::error::MlError;
 use crate::gbrt::Gbrt;
 use crate::tree::RegressionTree;
+
+/// Lazily initialized opt-in flag for the vectorized walk; see [`simd_walk_enabled`].
+fn simd_walk_flag() -> &'static AtomicBool {
+    static FLAG: OnceLock<AtomicBool> = OnceLock::new();
+    FLAG.get_or_init(|| {
+        let from_env =
+            std::env::var("SURF_COMPILED_SIMD_WALK").is_ok_and(|v| !v.is_empty() && v != "0");
+        AtomicBool::new(from_env)
+    })
+}
+
+/// Opts the batch kernel in (or out) of the vectorized whole-group walk
+/// ([`surf_simd::Kernels::walk_lanes`]); also settable at startup via the
+/// `SURF_COMPILED_SIMD_WALK` environment variable (any non-empty value other than `0`).
+///
+/// **Off by default — a measured decision, not an oversight.** The walk's indices are
+/// data-dependent, so its vector form leans entirely on AVX2 hardware gathers; on every
+/// part measured so far (`vgather*` is microcoded on many) those lose to the fused scalar
+/// loop, whose 16 interleaved independent chains already keep the load ports saturated.
+/// The two paths are bit-identical (`engine_parity` runs both), so this flag only ever
+/// trades speed, never results. [`surf_simd::force_scalar`] still wins when set.
+pub fn set_simd_walk(enabled: bool) {
+    simd_walk_flag().store(enabled, Ordering::Relaxed);
+}
+
+/// Whether the batch kernel dispatches the vectorized whole-group walk (see
+/// [`set_simd_walk`]).
+pub fn simd_walk_enabled() -> bool {
+    simd_walk_flag().load(Ordering::Relaxed)
+}
 
 /// Rows per cache block of the batch kernel: the accumulators (8 KiB) plus a block of input
 /// rows stay cache-resident while every tree is streamed over them, and each streaming pass
@@ -49,8 +82,10 @@ use crate::tree::RegressionTree;
 pub(crate) const BATCH_BLOCK_ROWS: usize = 1024;
 
 /// Examples interleaved in the inner traversal loop — enough independent dependency chains
-/// to keep the load ports saturated while each chain waits on its next node.
+/// to keep the load ports saturated while each chain waits on its next node, and exactly
+/// one [`surf_simd::LANES`] group for the vectorized node-step.
 const GROUP: usize = 16;
+const _: () = assert!(GROUP == surf_simd::LANES);
 
 /// Hard cap on total nodes per compiled ensemble (child indices are `u32`).
 const MAX_NODES: usize = u32::MAX as usize;
@@ -110,6 +145,13 @@ pub struct CompiledEnsemble {
     plain: bool,
     /// All trees' nodes, concatenated in boosting order (each tree in arena order).
     nodes: Vec<PackedNode>,
+    /// SoA mirrors of `nodes` for the vectorized whole-group walk
+    /// ([`surf_simd::Kernels::walk_lanes`]): hardware gathers index flat per-field arrays
+    /// by node id, which the packed AoS record cannot provide.
+    soa_thresholds: Vec<f64>,
+    soa_lo: Vec<u32>,
+    soa_hi: Vec<u32>,
+    soa_features: Vec<u32>,
     /// Node index of every tree's root.
     roots: Vec<u32>,
     /// Depth of every tree — the number of branchless steps that provably reaches a leaf.
@@ -161,6 +203,10 @@ impl CompiledEnsemble {
             learning_rate,
             plain,
             nodes: Vec::new(),
+            soa_thresholds: Vec::new(),
+            soa_lo: Vec::new(),
+            soa_hi: Vec::new(),
+            soa_features: Vec::new(),
             roots: Vec::new(),
             depths: Vec::new(),
         })
@@ -189,6 +235,10 @@ impl CompiledEnsemble {
                     ..
                 } => PackedNode::new(*threshold, base + left, base + right, *feature as u16),
             };
+            self.soa_thresholds.push(packed.threshold);
+            self.soa_lo.push(packed.children[0]);
+            self.soa_hi.push(packed.children[1]);
+            self.soa_features.push(u32::from(packed.feature));
             self.nodes.push(packed);
         }
         self.roots.push(base as u32);
@@ -291,8 +341,18 @@ impl CompiledEnsemble {
     /// The inner loop interleaves [`GROUP`] examples so their branchless traversal chains
     /// overlap in the pipeline; per example the adds happen in exactly the walker's order,
     /// so results are bit-identical to [`CompiledEnsemble::predict_one`].
+    ///
+    /// Under a gather-capable [`surf_simd::Kernels`] handle (AVX2) the whole group walk is
+    /// one [`surf_simd::Kernels::walk_lanes`] call: every depth step hardware-gathers the
+    /// node fields and row values straight from the SoA mirrors and performs all 16
+    /// `x <= t` compares and child selects in vector registers — no per-step call
+    /// boundary, no scalar gather into lane temporaries. The kernel's predicate is
+    /// bit-identical to the scalar `!(x <= t)` route (NaN goes right), so both paths
+    /// produce identical bits — `engine_parity` pins this. Scalar and SSE2 handles (no
+    /// hardware gathers) keep the fused scalar loop.
     // The negated comparison is the point: `!(x <= t)` routes NaN right, as the walker does.
     #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    #[allow(clippy::too_many_arguments)] // one per-tree fact each; a struct would just rename them
     #[inline]
     fn tree_over_block(
         &self,
@@ -302,17 +362,32 @@ impl CompiledEnsemble {
         width: usize,
         out: &mut [f64],
         scale: Option<f64>,
+        kernels: surf_simd::Kernels,
     ) {
+        let simd = kernels.gathers_vectorized();
         let groups = rows.chunks_exact(GROUP * width);
         let tail_rows = groups.remainder();
         let (grouped_out, tail_out) = out.split_at_mut(out.len() - tail_rows.len() / width);
         for (rows_g, out_g) in groups.zip(grouped_out.chunks_exact_mut(GROUP)) {
             let mut state = [root; GROUP];
-            for _ in 0..depth {
-                for k in 0..GROUP {
-                    let n = &self.nodes[state[k] as usize];
-                    let x = rows_g[k * width + n.feature()];
-                    state[k] = n.child(!(x <= n.threshold));
+            if simd {
+                kernels.walk_lanes(
+                    &self.soa_thresholds,
+                    &self.soa_lo,
+                    &self.soa_hi,
+                    &self.soa_features,
+                    rows_g,
+                    width,
+                    depth,
+                    &mut state,
+                );
+            } else {
+                for _ in 0..depth {
+                    for k in 0..GROUP {
+                        let n = &self.nodes[state[k] as usize];
+                        let x = rows_g[k * width + n.feature()];
+                        state[k] = n.child(!(x <= n.threshold));
+                    }
                 }
             }
             for k in 0..GROUP {
@@ -333,23 +408,53 @@ impl CompiledEnsemble {
     }
 
     /// The blocked batch kernel: trees outer, examples inner.
-    fn predict_block(&self, rows: &[f64], width: usize, out: &mut [f64]) {
+    fn predict_block(
+        &self,
+        rows: &[f64],
+        width: usize,
+        out: &mut [f64],
+        kernels: surf_simd::Kernels,
+    ) {
         if self.plain {
-            self.tree_over_block(self.roots[0], self.depths[0], rows, width, out, None);
+            self.tree_over_block(
+                self.roots[0],
+                self.depths[0],
+                rows,
+                width,
+                out,
+                None,
+                kernels,
+            );
             return;
         }
         out.fill(self.base_prediction);
         for (&root, &depth) in self.roots.iter().zip(&self.depths) {
-            self.tree_over_block(root, depth, rows, width, out, Some(self.learning_rate));
+            self.tree_over_block(
+                root,
+                depth,
+                rows,
+                width,
+                out,
+                Some(self.learning_rate),
+                kernels,
+            );
         }
     }
 
     fn predict_blocks(&self, data: &[f64], width: usize, out: &mut [f64]) {
+        // One dispatch query per batch (per thread); the hot loops never re-probe. The
+        // vectorized walk is opt-in (see `set_simd_walk`): without it the batch kernel
+        // pins a scalar handle and runs the fused loop, its measured-fastest path.
+        let kernels = if simd_walk_enabled() {
+            surf_simd::active()
+        } else {
+            surf_simd::Kernels::scalar()
+        };
         for (rows, slots) in data
             .chunks(BATCH_BLOCK_ROWS * width)
             .zip(out.chunks_mut(BATCH_BLOCK_ROWS))
         {
-            self.predict_block(rows, width, slots);
+            self.predict_block(rows, width, slots, kernels);
         }
     }
 

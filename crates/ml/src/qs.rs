@@ -55,8 +55,10 @@ const ROW_GROUP: usize = 4;
 
 /// Rows per feature-outer scan group: small enough for the group's accumulator arenas to
 /// stay near-L1, large enough to amortize each feature's threshold run, snapshot set and
-/// mask region over many rows while they are cache-hot.
+/// mask region over many rows while they are cache-hot — and exactly one
+/// [`surf_simd::LANES`] group for the vectorized fence search.
 const SCAN_GROUP_ROWS: usize = 16;
+const _: () = assert!(SCAN_GROUP_ROWS == surf_simd::LANES);
 
 /// Snapshot images never exceed this budget; the stride grows on large ensembles instead.
 const CHECKPOINT_BUDGET_BYTES: usize = 8 << 20;
@@ -571,12 +573,14 @@ impl QuickScorerEnsemble {
         out_g: &mut [f64],
         scratch: &mut Scratch,
         w: usize,
+        kernels: surf_simd::Kernels,
     ) {
         let Scratch {
             arena,
             prefixes,
             bases,
         } = scratch;
+        let simd = kernels.isa() != surf_simd::Isa::Scalar;
         let iw = self.n_trees * w;
         let group = out_g.len();
         // 1. Violated-prefix searches, feature-outer and two-level: the violated-fence
@@ -605,24 +609,46 @@ impl QuickScorerEnsemble {
             for (r, x) in xs.iter_mut().enumerate().take(group) {
                 *x = rows_g[r * width + f];
             }
-            let mut nf = [0usize; SCAN_GROUP_ROWS];
+            let mut nf = [0u64; SCAN_GROUP_ROWS];
             if !fences.is_empty() {
-                let mut len = fences.len();
-                while len > 1 {
-                    let half = len / 2;
-                    for (b, &x) in nf.iter_mut().zip(&xs).take(group) {
-                        *b += usize::from(!(x <= fences[*b + half - 1])) * half;
+                if simd {
+                    // Vectorized lockstep: gather each lane's fence for this level
+                    // (scalar loads — the positions are data-dependent), then one
+                    // kernel call advances all 16 bases. Lanes `>= group` keep the
+                    // 0.0-initialized gather slot and advance on garbage, but are
+                    // never read back, let alone used to index.
+                    let mut gathered = [0.0f64; SCAN_GROUP_ROWS];
+                    let mut len = fences.len();
+                    while len > 1 {
+                        let half = len / 2;
+                        for (g, &b) in gathered.iter_mut().zip(&nf).take(group) {
+                            *g = fences[b as usize + half - 1];
+                        }
+                        kernels.advance_bases(&xs, &gathered, half as u64, &mut nf);
+                        len -= half;
                     }
-                    len -= half;
-                }
-                for (b, &x) in nf.iter_mut().zip(&xs).take(group) {
-                    *b += usize::from(!(x <= fences[*b]));
+                    for (g, &b) in gathered.iter_mut().zip(&nf).take(group) {
+                        *g = fences[b as usize];
+                    }
+                    kernels.advance_bases(&xs, &gathered, 1, &mut nf);
+                } else {
+                    let mut len = fences.len();
+                    while len > 1 {
+                        let half = len / 2;
+                        for (b, &x) in nf.iter_mut().zip(&xs).take(group) {
+                            *b += u64::from(!(x <= fences[*b as usize + half - 1])) * half as u64;
+                        }
+                        len -= half;
+                    }
+                    for (b, &x) in nf.iter_mut().zip(&xs).take(group) {
+                        *b += u64::from(!(x <= fences[*b as usize]));
+                    }
                 }
             }
             for (r, (&b, &x)) in nf.iter().zip(&xs).enumerate().take(group) {
-                let base = b * stride;
+                let base = b as usize * stride;
                 let window = &run[base..(base + stride).min(run.len())];
-                let m: usize = window.iter().map(|&t| usize::from(!(x <= t))).sum();
+                let m = kernels.violated_count(window, x);
                 prefixes[r * width + f] = (base + m) as u32;
             }
         }
@@ -646,26 +672,20 @@ impl QuickScorerEnsemble {
                 2 => {
                     let s0 = &self.checkpoints[bases[0]..bases[0] + iw];
                     let s1 = &self.checkpoints[bases[1]..bases[1] + iw];
-                    for i in 0..iw {
-                        acc[i] = s0[i] & s1[i];
-                    }
+                    kernels.and2_into(acc, s0, s1);
                 }
                 3 => {
                     let s0 = &self.checkpoints[bases[0]..bases[0] + iw];
                     let s1 = &self.checkpoints[bases[1]..bases[1] + iw];
                     let s2 = &self.checkpoints[bases[2]..bases[2] + iw];
-                    for i in 0..iw {
-                        acc[i] = s0[i] & s1[i] & s2[i];
-                    }
+                    kernels.and3_into(acc, s0, s1, s2);
                 }
                 _ => {
                     let s0 = &self.checkpoints[bases[0]..bases[0] + iw];
                     let s1 = &self.checkpoints[bases[1]..bases[1] + iw];
                     let s2 = &self.checkpoints[bases[2]..bases[2] + iw];
                     let s3 = &self.checkpoints[bases[3]..bases[3] + iw];
-                    for i in 0..iw {
-                        acc[i] = s0[i] & s1[i] & s2[i] & s3[i];
-                    }
+                    kernels.and4_into(acc, s0, s1, s2, s3);
                 }
             }
             let mut quads = bases[first..].chunks_exact(4);
@@ -674,18 +694,16 @@ impl QuickScorerEnsemble {
                 let s1 = &self.checkpoints[quad[1]..quad[1] + iw];
                 let s2 = &self.checkpoints[quad[2]..quad[2] + iw];
                 let s3 = &self.checkpoints[quad[3]..quad[3] + iw];
-                for i in 0..iw {
-                    acc[i] &= s0[i] & s1[i] & s2[i] & s3[i];
-                }
+                kernels.and4_fold(acc, s0, s1, s2, s3);
             }
             for &base in quads.remainder() {
-                let image = &self.checkpoints[base..base + iw];
-                for (slot, word) in acc.iter_mut().zip(image) {
-                    *slot &= *word;
-                }
+                kernels.and_words(acc, &self.checkpoints[base..base + iw]);
             }
         }
         // 3. Per-condition tails, feature-outer so each run's mask region stays hot.
+        // Deliberately scalar even under SIMD dispatch: each AND is only `w` words
+        // (typically 1–2), far below kernel-call overhead (`#[target_feature]` functions
+        // cannot inline into non-feature callers).
         for f in 0..width {
             let start = self.run_offsets[f] as usize;
             for r in 0..group {
@@ -753,15 +771,24 @@ impl QuickScorerEnsemble {
             out.fill(self.base_prediction);
             return;
         }
+        // One dispatch query per batch (per thread); the hot loops never re-probe.
+        let kernels = surf_simd::active();
         match self.mask_words {
-            1 => self.predict_blocks_w(data, width, out, 1),
-            2 => self.predict_blocks_w(data, width, out, 2),
-            w => self.predict_blocks_w(data, width, out, w),
+            1 => self.predict_blocks_w(data, width, out, 1, kernels),
+            2 => self.predict_blocks_w(data, width, out, 2, kernels),
+            w => self.predict_blocks_w(data, width, out, w, kernels),
         }
     }
 
     #[inline(always)]
-    fn predict_blocks_w(&self, data: &[f64], width: usize, out: &mut [f64], w: usize) {
+    fn predict_blocks_w(
+        &self,
+        data: &[f64],
+        width: usize,
+        out: &mut [f64],
+        w: usize,
+        kernels: surf_simd::Kernels,
+    ) {
         let mut scratch = Scratch {
             arena: vec![0u64; SCAN_GROUP_ROWS * self.n_trees * w],
             prefixes: vec![0u32; SCAN_GROUP_ROWS * width],
@@ -775,7 +802,7 @@ impl QuickScorerEnsemble {
                 .chunks(SCAN_GROUP_ROWS * width)
                 .zip(slots.chunks_mut(SCAN_GROUP_ROWS))
             {
-                self.group_w(rows_g, width, out_g, &mut scratch, w);
+                self.group_w(rows_g, width, out_g, &mut scratch, w, kernels);
             }
         }
     }

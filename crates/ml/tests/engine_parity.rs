@@ -10,6 +10,12 @@
 //! column-subsampled ensembles, single-leaf trees, empty batches, non-finite rows, and
 //! every thread count. Width mismatches must surface as typed errors on each engine,
 //! never as NaN predictions.
+//!
+//! Both batch engines additionally dispatch their hot loops through `surf_simd` (scalar /
+//! SSE2 / AVX2, probed at runtime), so bit-identity must also hold **across kernel
+//! dispatch**: the forced-scalar path and whatever ISA the running CPU dispatches to must
+//! produce identical bits — including batch sizes that leave tail lanes beyond the 16-row
+//! interleave groups, and rows whose every entry is non-finite.
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -62,6 +68,31 @@ fn non_finite_probes(n: usize, d: usize, seed: u64) -> Vec<Vec<f64>> {
 
 fn flatten(rows: &[Vec<f64>]) -> Vec<f64> {
     rows.iter().flatten().copied().collect()
+}
+
+/// Serializes test windows that touch the process-wide force-scalar flag, so a
+/// "dispatched" computation in one test cannot be silently downgraded to scalar by
+/// another test's forced window running concurrently.
+static DISPATCH_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Runs `scalar` with scalar dispatch forced and `dispatched` with the CPU's detected
+/// ISA, under the lock, restoring the prior force state (it may be pinned by
+/// `SURF_FORCE_SCALAR=1`, under which both closures legitimately run scalar — the
+/// comparison is then trivially green and the CI matrix covers the SIMD leg elsewhere).
+/// The dispatched leg also opts the compiled engine into its vectorized whole-group walk
+/// (off in production — measured slower than the fused scalar loop — but exactly the
+/// path whose bit-identity this suite must pin).
+fn scalar_and_dispatched<T>(scalar: impl FnOnce() -> T, dispatched: impl FnOnce() -> T) -> (T, T) {
+    let _guard = DISPATCH_LOCK.lock().unwrap();
+    let prev = surf_simd::scalar_forced();
+    let prev_walk = surf_ml::compiled::simd_walk_enabled();
+    surf_simd::force_scalar(true);
+    let s = scalar();
+    surf_simd::force_scalar(prev);
+    surf_ml::compiled::set_simd_walk(true);
+    let d = dispatched();
+    surf_ml::compiled::set_simd_walk(prev_walk);
+    (s, d)
 }
 
 /// Asserts both batch engines reproduce `walker` bit for bit at `threads`, scalar and
@@ -259,6 +290,114 @@ proptest! {
                 quickscorer.predict_batch(&ragged, d),
                 Err(MlError::InvalidParameter { .. })
             ));
+        }
+    }
+
+    /// The forced-scalar and CPU-dispatched kernel paths of both batch engines are
+    /// bit-identical to each other and to the walker, for arbitrary models, arbitrary
+    /// batch sizes (including non-multiples of the 16-row group) and rows mixing finite
+    /// with non-finite values.
+    #[test]
+    fn forced_scalar_matches_dispatched(
+        n in 1usize..=90,
+        d in 1usize..=5,
+        n_estimators in 1usize..=10,
+        max_depth in 1usize..=7,
+        threads in 1usize..=3,
+        seed in 0u64..10_000,
+    ) {
+        let (x, y) = random_data(n.max(5), d, seed);
+        let params = GbrtParams {
+            n_estimators,
+            max_depth,
+            seed,
+            ..GbrtParams::quick()
+        };
+        let model = Gbrt::fit(&x, &y, &params).unwrap();
+        let compiled = CompiledEnsemble::compile(&model).unwrap();
+        let quickscorer = QuickScorerEnsemble::compile(&model).unwrap();
+
+        let inputs: Vec<Vec<f64>> = probes(n, d, seed)
+            .into_iter()
+            .chain(non_finite_probes(n.min(24), d, seed))
+            .collect();
+        let walker = model.predict(&inputs).unwrap();
+        let flat = flatten(&inputs);
+
+        let run = || {
+            (
+                compiled.predict_batch_threaded(&flat, d, threads).unwrap(),
+                quickscorer.predict_batch_threaded(&flat, d, threads).unwrap(),
+            )
+        };
+        let ((scalar_c, scalar_q), (disp_c, disp_q)) = scalar_and_dispatched(run, run);
+        for i in 0..walker.len() {
+            prop_assert_eq!(scalar_c[i].to_bits(), walker[i].to_bits());
+            prop_assert_eq!(scalar_q[i].to_bits(), walker[i].to_bits());
+            prop_assert_eq!(disp_c[i].to_bits(), walker[i].to_bits());
+            prop_assert_eq!(disp_q[i].to_bits(), walker[i].to_bits());
+        }
+    }
+}
+
+/// Deterministic tail-lane coverage: every batch size around the 16-row interleave-group
+/// boundary, with a third of the rows carrying **only** non-finite entries (NaN / ±∞ in
+/// every slot), must be bit-identical between the forced-scalar and dispatched kernel
+/// paths on both batch engines.
+#[test]
+fn tail_lanes_and_all_non_finite_rows_match_across_dispatch() {
+    let (x, y) = random_data(200, 3, 42);
+    let params = GbrtParams {
+        n_estimators: 8,
+        max_depth: 6,
+        seed: 42,
+        ..GbrtParams::quick()
+    };
+    let model = Gbrt::fit(&x, &y, &params).unwrap();
+    let compiled = CompiledEnsemble::compile(&model).unwrap();
+    let quickscorer = QuickScorerEnsemble::compile(&model).unwrap();
+    let specials = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY];
+
+    for n in [1usize, 2, 5, 15, 16, 17, 31, 32, 33, 47, 48, 49, 63, 64, 65] {
+        let mut rows = probes(n, 3, 1_000 + n as u64);
+        for (i, row) in rows.iter_mut().enumerate() {
+            if i % 3 == 0 {
+                for (j, value) in row.iter_mut().enumerate() {
+                    *value = specials[(i + j) % specials.len()];
+                }
+            }
+        }
+        let walker = model.predict(&rows).unwrap();
+        let flat = flatten(&rows);
+        let run = || {
+            (
+                compiled.predict_batch(&flat, 3).unwrap(),
+                quickscorer.predict_batch(&flat, 3).unwrap(),
+            )
+        };
+        let ((scalar_c, scalar_q), (disp_c, disp_q)) = scalar_and_dispatched(run, run);
+        for i in 0..walker.len() {
+            let expected = walker[i].to_bits();
+            assert_eq!(
+                scalar_c[i].to_bits(),
+                expected,
+                "compiled scalar n={n} row={i}"
+            );
+            assert_eq!(
+                scalar_q[i].to_bits(),
+                expected,
+                "quickscorer scalar n={n} row={i}"
+            );
+            assert_eq!(
+                disp_c[i].to_bits(),
+                expected,
+                "compiled dispatched n={n} row={i}"
+            );
+            assert_eq!(
+                disp_q[i].to_bits(),
+                expected,
+                "quickscorer dispatched n={n} row={i}"
+            );
         }
     }
 }

@@ -765,13 +765,20 @@ mod tests {
             .histogram("test_batch_wait_nanos", "wait", &bounds)
             .snapshot();
         // The test model trains with the default engine, so the fused call lands in the
-        // `compiled` series of the per-engine kernel family.
+        // `compiled` series of the per-engine kernel family (labelled with whatever
+        // kernel dispatch the engine ran under when the instruments were built).
         let kernel = registry
             .histogram_with(
                 "surf_serve_kernel_nanos",
                 "kernel",
                 &bounds,
-                &[("engine", "compiled")],
+                &[
+                    ("engine", "compiled"),
+                    (
+                        "kernel",
+                        crate::obs::engine_kernel(surf_ml::qs::InferenceEngine::Compiled),
+                    ),
+                ],
             )
             .snapshot();
         assert_eq!(wait.count, 1, "one submission, one wait observation");

@@ -87,6 +87,11 @@ impl RouteStats {
 /// attribute kernel time per engine. All three series are registered up front (standard
 /// pre-declared label values), so `/metrics` exposes the family's full label space from
 /// the first scrape.
+///
+/// Each series also carries a `kernel` label naming the `surf_simd` dispatch its engine
+/// runs under (see [`engine_kernel`]), resolved when the server started — dispatch is
+/// decided once per process (the probe is cached), so the label cannot drift mid-run
+/// unless a test harness flips the force-scalar override, which no server does.
 #[derive(Clone)]
 pub struct KernelStats {
     walker: Arc<Histogram>,
@@ -94,14 +99,31 @@ pub struct KernelStats {
     quickscorer: Arc<Histogram>,
 }
 
+/// The `surf_simd` dispatch label `engine`'s hot loop actually runs under. The walker has
+/// no SIMD path, so it is always `scalar`. The compiled engine's vectorized walk is
+/// opt-in and off by default — its fused scalar loop measured faster than AVX2 gathers on
+/// every part benched (see [`surf_ml::compiled::set_simd_walk`]) — so it reports `scalar`
+/// unless the walk was enabled. QuickScorer's mask/fence kernels always dispatch the
+/// active ISA. `/metrics` series labels and `/stats.engines` both route through here, so
+/// the two surfaces cannot disagree.
+pub(crate) fn engine_kernel(engine: InferenceEngine) -> &'static str {
+    match engine {
+        InferenceEngine::Walker => surf_simd::Isa::Scalar.label(),
+        InferenceEngine::Compiled if !surf_ml::compiled::simd_walk_enabled() => {
+            surf_simd::Isa::Scalar.label()
+        }
+        _ => surf_simd::active().isa().label(),
+    }
+}
+
 impl KernelStats {
     pub(crate) fn new(registry: &MetricsRegistry, bounds: &[u64]) -> Self {
         let series = |engine: InferenceEngine| {
             registry.histogram_with(
                 "surf_serve_kernel_nanos",
-                "predict_batch wall time (solo and fused calls alike), by inference engine",
+                "predict_batch wall time (solo and fused calls alike), by inference engine and simd kernel",
                 bounds,
-                &[("engine", engine.label())],
+                &[("engine", engine.label()), ("kernel", engine_kernel(engine))],
             )
         };
         KernelStats {
@@ -307,6 +329,19 @@ pub fn metrics_snapshot(context: &ServeContext) -> Snapshot {
         &[],
         context.registry.len().unwrap_or(0) as i64,
     );
+
+    // Info-style dispatch gauge: 1 on the ISA the batch engines' surf_simd kernels
+    // dispatch to, 0 on the others — the full label space is always exposed so a scrape
+    // can alert on `surf_simd_dispatch{isa="scalar"} == 1` fleet-wide.
+    let active_isa = surf_simd::active().isa();
+    for isa in surf_simd::Isa::ALL {
+        snapshot.push_gauge(
+            "surf_simd_dispatch",
+            "SIMD kernel dispatch of the batch inference engines: 1 on the active ISA",
+            &[("isa", isa.label())],
+            i64::from(isa == active_isa),
+        );
+    }
 
     // One-shot per-model gauge: recorded once when the artifact's QuickScorer ensemble is
     // compiled at load, then served unchanged. `/stats` exposes the same registry view

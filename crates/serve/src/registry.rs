@@ -50,6 +50,10 @@ pub struct ModelEngineStats {
     pub model: String,
     /// Label of the engine serving it (`walker` / `compiled` / `quickscorer`).
     pub engine: String,
+    /// `surf_simd` kernel dispatch the engine runs under (`scalar` / `sse2` / `avx2`);
+    /// always `scalar` for the walker (no SIMD path) and for the compiled engine unless
+    /// its opt-in vectorized walk is enabled (see [`surf_ml::compiled::set_simd_walk`]).
+    pub kernel: String,
     /// Seconds spent compiling the QuickScorer ensemble at model load; absent on models
     /// whose engine never compiled one.
     pub qs_compile_seconds: Option<f64>,
@@ -183,9 +187,11 @@ impl ModelRegistry {
             .values()
             .map(|m| {
                 let surrogate = m.engine.surrogate();
+                let engine = surrogate.engine();
                 ModelEngineStats {
                     model: m.name.clone(),
-                    engine: surrogate.engine().label().to_string(),
+                    engine: engine.label().to_string(),
+                    kernel: crate::obs::engine_kernel(engine).to_string(),
                     qs_compile_seconds: surrogate.qs_compile_seconds(),
                 }
             })

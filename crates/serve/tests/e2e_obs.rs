@@ -174,6 +174,40 @@ fn event_loop_metrics_record_breakdown_and_agree_with_stats() {
         ) > 0.0,
         "surf_serve_kernel_nanos_count{{engine=\"compiled\"}} must have observations"
     );
+    // SIMD dispatch visibility: the info gauge marks exactly the active ISA with 1 over
+    // the full pre-declared label space, the compiled series carries its effective
+    // dispatch as its `kernel` label (scalar unless the opt-in vectorized walk is on —
+    // its fused scalar loop measured faster than AVX2 gathers), and `/stats.engines`
+    // reports the same per model.
+    let active_isa = surf_simd::active().isa();
+    for isa in surf_simd::Isa::ALL {
+        assert_eq!(
+            labeled(&samples, "surf_simd_dispatch", "isa", isa.label()),
+            f64::from(u8::from(isa == active_isa)),
+            "surf_simd_dispatch{{isa=\"{}\"}}",
+            isa.label()
+        );
+    }
+    let compiled_kernel = if surf_ml::compiled::simd_walk_enabled() {
+        active_isa.label()
+    } else {
+        surf_simd::Isa::Scalar.label()
+    };
+    let kernel_series = samples
+        .iter()
+        .find(|s| {
+            s.name == "surf_serve_kernel_nanos_count" && s.label("engine") == Some("compiled")
+        })
+        .expect("compiled kernel series");
+    assert_eq!(
+        kernel_series.label("kernel"),
+        Some(compiled_kernel),
+        "kernel label must name the compiled engine's effective dispatch"
+    );
+    assert!(
+        stats.engines.iter().all(|e| e.kernel == compiled_kernel),
+        "/stats.engines must report the effective kernel (compiled-engine model)"
+    );
 
     // `/stats` is a view over the same registry: route counters must agree exactly
     // (the metrics scrape happened after the stats read on the same connection, and
